@@ -1,0 +1,61 @@
+#pragma once
+
+// Shared setup for the ablation benches: one small task and one small
+// network so the ablations isolate the training-algorithm variable under
+// test rather than model/task capacity.
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/quantize_model.hpp"
+#include "support/table.hpp"
+#include "eval/storage.hpp"
+#include "models/networks.hpp"
+
+namespace flightnn::bench {
+
+inline data::TrainTest ablation_task() {
+  auto spec = data::cifar10_like(0.75F * bench_scale());
+  spec.seed = 21;
+  return data::make_synthetic(spec);
+}
+
+inline std::unique_ptr<nn::Sequential> ablation_model(std::uint64_t seed = 4) {
+  models::BuildOptions build;
+  build.classes = 10;
+  build.width_scale = 0.25F;
+  build.seed = seed;
+  return models::build_network(models::table1_network(1), build);
+}
+
+struct AblationRow {
+  std::string label;
+  double accuracy = 0.0;
+  double mean_k = 0.0;
+  double storage_mb = 0.0;
+};
+
+inline AblationRow measure(const std::string& label, nn::Sequential& model,
+                           const data::TrainTest& split,
+                           core::TrainConfig train) {
+  core::Trainer trainer(model, train);
+  const auto fit = trainer.fit(split.train, split.test);
+  AblationRow row;
+  row.label = label;
+  row.accuracy = fit.test_accuracy * 100.0;
+  row.mean_k = eval::model_mean_k(model);
+  row.storage_mb = eval::model_storage_bytes(model) / (1024.0 * 1024.0);
+  return row;
+}
+
+inline void print_rows(const std::vector<AblationRow>& rows) {
+  support::Table table({"Variant", "Accuracy(%)", "mean k", "Storage(MB)"});
+  for (const auto& row : rows) {
+    table.add_row({row.label, support::format_fixed(row.accuracy, 2),
+                   support::format_fixed(row.mean_k, 2),
+                   support::format_fixed(row.storage_mb, 4)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace flightnn::bench

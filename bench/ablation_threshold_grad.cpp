@@ -1,0 +1,30 @@
+// Ablation 1 (DESIGN.md Sec. 5): the sigmoid-relaxed threshold gradient.
+// The paper's differentiable k-selection trains the thresholds t; the
+// ablation freezes them at their initialization (threshold learning rate 0),
+// so k adapts only through the regularizer shrinking residual norms.
+// Trainable thresholds should find sparser / better-balanced operating
+// points for the same lambda.
+
+#include "ablation_common.hpp"
+
+int main() {
+  using namespace flightnn;
+  bench::print_preamble("ablation: trainable vs frozen thresholds");
+
+  const auto split = bench::ablation_task();
+  std::vector<bench::AblationRow> rows;
+
+  for (const bool trainable : {true, false}) {
+    auto model = bench::ablation_model();
+    core::FLightNNConfig fl;
+    fl.lambdas = {8e-5F, 2.4e-4F};  // balanced operating point
+    core::install_flightnn(*model, fl);
+    auto train = bench::bench_train_config(5);
+    train.threshold_learning_rate = trainable ? 0.05F : 0.0F;
+    rows.push_back(bench::measure(
+        trainable ? "trainable thresholds (paper)" : "frozen thresholds",
+        *model, split, train));
+  }
+  bench::print_rows(rows);
+  return 0;
+}

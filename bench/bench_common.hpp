@@ -1,0 +1,99 @@
+#pragma once
+
+// Shared configuration for the table/figure reproduction harnesses.
+//
+// All benches train reduced-size proxies of the paper's networks on
+// synthetic datasets (see DESIGN.md "Substitutions"); hardware numbers come
+// from the analytic FPGA/ASIC models evaluated on the *full-size*
+// topologies. The FLIGHTNN_BENCH_SCALE environment variable (default 1.0)
+// scales dataset sizes and epochs for quicker smoke runs, e.g.
+//   FLIGHTNN_BENCH_SCALE=0.2 ./bench/table2_cifar10
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/trainer.hpp"
+#include "eval/experiment.hpp"
+
+namespace flightnn::bench {
+
+inline float bench_scale() {
+  const char* env = std::getenv("FLIGHTNN_BENCH_SCALE");
+  if (env == nullptr) return 1.0F;
+  const float scale = std::strtof(env, nullptr);
+  return scale > 0.0F ? scale : 1.0F;
+}
+
+// Baseline training setup used by the table benches. Epochs scale with the
+// global bench scale (at least 1).
+inline core::TrainConfig bench_train_config(int epochs = 5) {
+  core::TrainConfig train;
+  train.epochs = std::max(1, static_cast<int>(epochs * bench_scale() + 0.5F));
+  train.batch_size = 32;
+  train.learning_rate = 3e-3F;
+  train.threshold_learning_rate = 1e-3F;
+  train.lr_decay = 0.85F;
+  train.seed = 7;
+  return train;
+}
+
+// Width scale each Table-1 network trains at in the benches: large nets get
+// smaller proxies so every bench finishes in minutes on one core. Hardware
+// numbers always come from the unscaled topology.
+inline float bench_width_scale(int network_id) {
+  switch (network_id) {
+    case 3: return 0.1F;   // VGG-7/512
+    case 7: return 0.1F;   // ResNet-18/256
+    case 8: return 0.15F;  // ResNet-10/256
+    case 2:
+    case 6: return 0.2F;   // ResNet-18/128
+    default: return 0.25F;
+  }
+}
+
+// Standard experiment config for one network on one dataset.
+inline eval::ExperimentConfig bench_experiment(int network_id,
+                                               data::DatasetSpec dataset,
+                                               float width_scale = 0.0F) {
+  if (width_scale <= 0.0F) width_scale = bench_width_scale(network_id);
+  eval::ExperimentConfig config;
+  config.network_id = network_id;
+  dataset.train_size = std::max<std::int64_t>(
+      64, static_cast<std::int64_t>(dataset.train_size * bench_scale()));
+  dataset.test_size = std::max<std::int64_t>(
+      64, static_cast<std::int64_t>(dataset.test_size * bench_scale()));
+  config.dataset = dataset;
+  config.train = bench_train_config();
+  config.build.width_scale = width_scale;
+  config.seed = 1;
+  return config;
+}
+
+// The three calibrated FLightNN operating points used by the figure benches
+// (see EXPERIMENTS.md "Calibration"): dense stays at k ~ 2 (L-2-like),
+// balanced mixes 1- and 2-shift filters, sparse drives nearly all filters
+// to one shift (L-1-like storage).
+struct FlOperatingPoint {
+  const char* name;
+  std::vector<float> lambdas;
+  float threshold_lr;
+};
+
+inline std::vector<FlOperatingPoint> fl_operating_points() {
+  return {
+      {"FL-dense", {1e-5F, 3e-5F}, 1e-3F},
+      {"FL-balanced", {8e-5F, 2.4e-4F}, 0.05F},
+      {"FL-sparse", {1e-5F, 1e-3F}, 0.1F},
+  };
+}
+
+inline void print_preamble(const char* what) {
+  std::printf("== FLightNN reproduction: %s ==\n", what);
+  std::printf(
+      "substrate: synthetic datasets + analytic ZC706 FPGA / 65nm ASIC "
+      "models (DESIGN.md); bench scale %.2f\n\n",
+      bench_scale());
+}
+
+}  // namespace flightnn::bench

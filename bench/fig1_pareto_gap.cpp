@@ -1,0 +1,68 @@
+// Reproduces Fig. 1's motivating observation: with only LightNN-1 and
+// LightNN-2 the accuracy/energy Pareto front is two isolated points with a
+// gap between them; sweeping the FLightNN regularization strength lambda
+// produces operating points inside (and above) that gap, making the front
+// continuous.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/quantize_model.hpp"
+#include "eval/storage.hpp"
+#include "hw/asic_model.hpp"
+
+int main() {
+  using namespace flightnn;
+  bench::print_preamble("Fig. 1 (the L-1 / L-2 gap and how FLightNN fills it)");
+
+  auto dataset_spec = data::cifar10_like(bench::bench_scale());
+  const auto split = data::make_synthetic(dataset_spec);
+  const auto network = models::table1_network(1);
+
+  models::BuildOptions build;
+  build.in_channels = dataset_spec.channels;
+  build.classes = dataset_spec.classes;
+  build.width_scale = 0.25F;
+  build.seed = 2;
+
+  // Energy comes from the full-size network's largest layer.
+  models::BuildOptions full_size = build;
+  full_size.width_scale = 1.0F;
+  full_size.act_bits = 0;
+  auto reference = models::build_network(network, full_size);
+  const auto layer = hw::largest_layer(*reference, tensor::Shape{1, 3, 32, 32});
+  const hw::AsicModel asic;
+
+  std::printf("model,energy_uJ,accuracy_pct,mean_k\n");
+  auto run = [&](const char* label, int lightnn_k,
+                 const bench::FlOperatingPoint* point) {
+    auto model = models::build_network(network, build);
+    auto train = bench::bench_train_config(5);
+    if (lightnn_k > 0) {
+      core::install_lightnn(*model, lightnn_k);
+    } else {
+      core::FLightNNConfig fl;
+      fl.lambdas = point->lambdas;
+      core::install_flightnn(*model, fl);
+      train.threshold_learning_rate = point->threshold_lr;
+    }
+    core::Trainer trainer(*model, train);
+    const auto fit = trainer.fit(split.train, split.test);
+    const double mean_k = eval::model_mean_k(*model);
+    const auto spec = lightnn_k > 0 ? hw::QuantSpec::lightnn(lightnn_k)
+                                    : hw::QuantSpec::flightnn(mean_k);
+    std::printf("%s,%.4f,%.2f,%.2f\n", label,
+                asic.layer_energy_uj(layer, spec), fit.test_accuracy * 100.0,
+                mean_k);
+  };
+
+  run("L-1", 1, nullptr);
+  run("L-2", 2, nullptr);
+  for (const auto& point : bench::fl_operating_points()) {
+    run(point.name, 0, &point);
+  }
+  std::printf(
+      "\npaper shape check (Fig. 1): the FL rows land at energies strictly\n"
+      "between the L-1 and L-2 points, giving a continuous trade-off.\n");
+  return 0;
+}

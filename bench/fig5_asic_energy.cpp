@@ -1,0 +1,55 @@
+// Reproduces Fig. 5: accuracy vs ASIC computational energy (largest layer,
+// one image) for all eight networks. Accuracy comes from training reduced
+// proxies; energy from the 65nm-class AsicModel on the full-size topology.
+// Output is one CSV-like block per network: exactly the scatter data behind
+// each subplot.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace flightnn;
+  bench::print_preamble("Fig. 5 (accuracy vs ASIC energy, all 8 networks)");
+
+  struct NetPlan {
+    int id;
+    data::DatasetSpec dataset;
+    int top_k;
+    bool include_full_fp;
+  };
+  const std::vector<NetPlan> plans = {
+      {1, data::cifar10_like(0.5F), 1, true},
+      {2, data::cifar10_like(0.5F), 1, true},
+      {3, data::cifar10_like(0.5F), 1, true},
+      {4, data::svhn_like(0.5F), 1, true},
+      {5, data::svhn_like(0.5F), 1, true},
+      {6, data::cifar100_like(0.5F), 1, true},
+      {7, data::cifar100_like(0.5F), 1, true},
+      {8, data::imagenet_like(0.6F), 5, false},
+  };
+
+  for (const auto& plan : plans) {
+    auto config = bench::bench_experiment(plan.id, plan.dataset);
+    config.top_k = plan.top_k;
+    // The paper's Fig. 5 omits Full everywhere (off-scale) and FP for net 8.
+    config.include_full = false;
+    config.include_fixed_point = plan.include_full_fp;
+    const auto result = eval::run_experiment(config);
+
+    std::printf("# network %d (%s, %s)\n", plan.id, plan.dataset.name.c_str(),
+                plan.id == 8 ? "top-5" : "top-1");
+    std::printf("model,energy_uJ,accuracy_pct,mean_k\n");
+    for (const auto& variant : result.variants) {
+      std::printf("%s,%.4f,%.2f,%.2f\n", variant.label.c_str(),
+                  variant.energy_uj, variant.accuracy, variant.mean_k);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape check: per network, energy ordering L-1 < FP < L-2 with\n"
+      "FLightNNs interpolating; accuracy ordering roughly the reverse, so\n"
+      "FL points fill the Pareto gap between L-1 and L-2 (Fig. 5).\n");
+  return 0;
+}

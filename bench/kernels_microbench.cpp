@@ -1,0 +1,123 @@
+// google-benchmark microbenchmarks for the compute kernels: quantizers,
+// the shift-add inference engine vs the float reference convolution, and
+// the Fig. 3 decomposition. These quantify the CPU-side costs; the
+// hardware win of shifts is modeled in hw/ (a CPU has a multiplier either
+// way, so shift-vs-multiply parity here is expected -- the interesting
+// numbers are quantization and decomposition overheads).
+
+#include <benchmark/benchmark.h>
+
+#include "core/decompose.hpp"
+#include "core/flightnn_transform.hpp"
+#include "inference/shift_engine.hpp"
+#include "quant/lightnn.hpp"
+#include "support/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace flightnn;
+
+tensor::Tensor random_weights(std::int64_t out_ch, std::int64_t in_ch,
+                              std::uint64_t seed) {
+  support::Rng rng(seed);
+  return tensor::Tensor::randn(tensor::Shape{out_ch, in_ch, 3, 3}, rng, 0.0F,
+                               0.3F);
+}
+
+void BM_QuantizeLightNN(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  tensor::Tensor w = random_weights(64, 64, 1);
+  const quant::Pow2Config config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::quantize_lightnn(w, k, config));
+  }
+  state.SetItemsProcessed(state.iterations() * w.numel());
+}
+BENCHMARK(BM_QuantizeLightNN)->Arg(1)->Arg(2);
+
+void BM_QuantizeFLightNN(benchmark::State& state) {
+  tensor::Tensor w = random_weights(64, 64, 2);
+  core::FLightNNTransform transform;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform.forward(w));
+  }
+  state.SetItemsProcessed(state.iterations() * w.numel());
+}
+BENCHMARK(BM_QuantizeFLightNN);
+
+void BM_FLightNNThresholdBackward(benchmark::State& state) {
+  tensor::Tensor w = random_weights(64, 64, 3);
+  core::FLightNNTransform transform;
+  support::Rng rng(4);
+  tensor::Tensor grad_wq = tensor::Tensor::randn(w.shape(), rng);
+  tensor::Tensor grad_w(w.shape());
+  for (auto _ : state) {
+    transform.zero_internal_grads();
+    transform.backward(w, grad_wq, grad_w);
+    benchmark::DoNotOptimize(transform.threshold_grads());
+  }
+  state.SetItemsProcessed(state.iterations() * w.numel());
+}
+BENCHMARK(BM_FLightNNThresholdBackward);
+
+void BM_Decompose(benchmark::State& state) {
+  tensor::Tensor w = random_weights(64, 64, 5);
+  const quant::Pow2Config config;
+  tensor::Tensor wq = quant::quantize_lightnn(w, 2, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::decompose_to_lightnn1(wq, 2, config));
+  }
+  state.SetItemsProcessed(state.iterations() * w.numel());
+}
+BENCHMARK(BM_Decompose);
+
+void BM_ShiftEngineConv(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  support::Rng rng(6);
+  const quant::Pow2Config config;
+  tensor::Tensor w = random_weights(32, 32, 7);
+  tensor::Tensor wq = quant::quantize_lightnn(w, k, config);
+  tensor::Tensor img = tensor::Tensor::randn(tensor::Shape{32, 16, 16}, rng);
+  const auto qimg = inference::quantize_image(img, 8);
+  inference::ShiftConv2d engine(wq, k, config, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(qimg));
+  }
+  // One "item" = one MAC-equivalent.
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * 16 * 16 * 9);
+}
+BENCHMARK(BM_ShiftEngineConv)->Arg(1)->Arg(2);
+
+void BM_ReferenceFloatConv(benchmark::State& state) {
+  support::Rng rng(8);
+  tensor::Tensor w = random_weights(32, 32, 9);
+  tensor::Tensor img = tensor::Tensor::randn(tensor::Shape{32, 16, 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inference::reference_conv(w, img, 1, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * 16 * 16 * 9);
+}
+BENCHMARK(BM_ReferenceFloatConv);
+
+void BM_Im2ColGemmConv(benchmark::State& state) {
+  support::Rng rng(10);
+  tensor::Tensor w = random_weights(32, 32, 11);
+  tensor::Tensor img = tensor::Tensor::randn(tensor::Shape{32, 16, 16}, rng);
+  const tensor::ConvGeometry geom{32, 16, 16, 3, 1, 1};
+  std::vector<float> cols(
+      static_cast<std::size_t>(geom.patch_size() * geom.out_h() * geom.out_w()));
+  tensor::Tensor out(tensor::Shape{32, geom.out_h(), geom.out_w()});
+  for (auto _ : state) {
+    tensor::im2col(img.data(), geom, cols.data());
+    tensor::gemm(w.data(), cols.data(), out.data(), 32, geom.patch_size(),
+                 geom.out_h() * geom.out_w());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * 16 * 16 * 9);
+}
+BENCHMARK(BM_Im2ColGemmConv);
+
+}  // namespace
+
+BENCHMARK_MAIN();

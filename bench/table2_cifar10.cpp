@@ -1,0 +1,27 @@
+// Reproduces Table 2: accuracy and FPGA throughput on CIFAR-10 for networks
+// 1, 2 and 3 (VGG-7/64, ResNet-18/128, VGG-7/512) across Full, L-2, L-1,
+// FP4W8A and two FLightNNs.
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace flightnn;
+  bench::print_preamble("Table 2 (CIFAR-10: accuracy, storage, throughput)");
+
+  support::Table table(
+      {"ID", "Model", "Accuracy(%)", "Storage(MB)", "Throughput(img/s)",
+       "Speedup"});
+  for (int network_id : {1, 2, 3}) {
+    auto config =
+        bench::bench_experiment(network_id, data::cifar10_like(0.5F));
+    const auto result = eval::run_experiment(config);
+    table.add_separator();
+    for (auto& row : eval::table_rows(result)) table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "paper shape check: L-1 ~ 2x L-2 throughput; FP4 between L-2 and L-1;\n"
+      "FL_a near L-1 speed at higher accuracy; FL_b near L-2 accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Table 3: accuracy and FPGA throughput on SVHN for networks 4
+// and 5 (VGG-4/64, VGG-4/128).
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace flightnn;
+  bench::print_preamble("Table 3 (SVHN: accuracy, storage, throughput)");
+
+  support::Table table(
+      {"ID", "Model", "Accuracy(%)", "Storage(MB)", "Throughput(img/s)",
+       "Speedup"});
+  for (int network_id : {4, 5}) {
+    auto config = bench::bench_experiment(network_id, data::svhn_like());
+    const auto result = eval::run_experiment(config);
+    table.add_separator();
+    for (auto& row : eval::table_rows(result)) table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Table 4: accuracy and FPGA throughput on CIFAR-100 for
+// networks 6 and 7 (ResNet-18/128, ResNet-18/256).
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace flightnn;
+  bench::print_preamble("Table 4 (CIFAR-100: accuracy, storage, throughput)");
+
+  support::Table table(
+      {"ID", "Model", "Accuracy(%)", "Storage(MB)", "Throughput(img/s)",
+       "Speedup"});
+  for (int network_id : {6, 7}) {
+    auto config =
+        bench::bench_experiment(network_id, data::cifar100_like(0.5F));
+    const auto result = eval::run_experiment(config);
+    table.add_separator();
+    for (auto& row : eval::table_rows(result)) table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

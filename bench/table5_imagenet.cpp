@@ -1,0 +1,26 @@
+// Reproduces Table 5: top-5 accuracy and FPGA throughput on the ImageNet
+// proxy for network 8 (reduced-width ResNet-10). Like the paper, only L-2,
+// L-1 and the two FLightNNs are trained (no Full / FP4 baselines), and the
+// speedup column is relative to L-2.
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace flightnn;
+  bench::print_preamble("Table 5 (ImageNet proxy: top-5 accuracy, throughput)");
+
+  auto config = bench::bench_experiment(8, data::imagenet_like(0.6F));
+  config.top_k = 5;
+  config.include_full = false;
+  config.include_fixed_point = false;
+  const auto result = eval::run_experiment(config);
+
+  support::Table table(
+      {"ID", "Model", "Top-5 Acc(%)", "Storage(MB)", "Throughput(img/s)",
+       "Speedup"});
+  for (auto& row : eval::table_rows(result)) table.add_row(std::move(row));
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("speedup baseline: L-2 (as in the paper's Table 5).\n");
+  return 0;
+}

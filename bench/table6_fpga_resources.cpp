@@ -1,0 +1,77 @@
+// Reproduces Table 6: FPGA resource utilization (BRAM / DSP / FF / LUT) and
+// speedup for the largest layers of networks 7 and 8 under every quantized
+// model. Purely structural -- no training required: the FLightNN rows use
+// representative mean-k values matching the paper's FL7a/b and FL8a/b
+// operating points.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hw/fpga_model.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace flightnn;
+  bench::print_preamble("Table 6 (FPGA resource utilization, networks 7-8)");
+
+  const hw::FpgaModel fpga;
+  support::Table table({"ID", "Model", "BRAM", "DSP", "FF", "LUT",
+                        "Bound", "Batch", "Speedup"});
+
+  struct Row {
+    const char* label;
+    hw::QuantSpec spec;
+  };
+
+  for (int network_id : {7, 8}) {
+    const auto network = models::table1_network(network_id);
+    models::BuildOptions build;
+    build.classes = network_id == 7 ? 100 : 50;
+    build.act_bits = 0;
+    auto model = models::build_network(network, build);
+    const auto layer =
+        hw::largest_layer(*model, tensor::Shape{1, 3, 32, 32});
+
+    std::vector<Row> rows;
+    const std::string id = std::to_string(network_id);
+    if (network_id == 7) {
+      rows = {{"Full", hw::QuantSpec::full()},
+              {"L-2 8W8A", hw::QuantSpec::lightnn(2)},
+              {"L-1 4W8A", hw::QuantSpec::lightnn(1)},
+              {"FP 4W8A", hw::QuantSpec::fixed_point(4, 8)},
+              {"FL7a", hw::QuantSpec::flightnn(1.05)},
+              {"FL7b", hw::QuantSpec::flightnn(1.7)}};
+    } else {
+      // Table 6's network 8 block, like Table 5, is relative to L-2.
+      rows = {{"L-2 8W8A", hw::QuantSpec::lightnn(2)},
+              {"L-1 4W8A", hw::QuantSpec::lightnn(1)},
+              {"FL8a", hw::QuantSpec::flightnn(1.7)},
+              {"FL8b", hw::QuantSpec::flightnn(1.9)}};
+    }
+
+    const double baseline = fpga.evaluate(layer, rows.front().spec).throughput;
+    table.add_separator();
+    for (const auto& row : rows) {
+      const auto report = fpga.evaluate(layer, row.spec);
+      table.add_row({id, row.label, std::to_string(report.bram_used),
+                     std::to_string(report.dsp_used),
+                     std::to_string(report.ff_used),
+                     std::to_string(report.lut_used),
+                     report.compute_bound + (report.bram_bound ? "+BRAM" : ""),
+                     std::to_string(report.batch),
+                     support::format_speedup(report.throughput / baseline)});
+    }
+  }
+
+  const auto& device = fpga.resources();
+  table.add_separator();
+  table.add_row({"", "Available", std::to_string(device.bram18),
+                 std::to_string(device.dsp), std::to_string(device.ff),
+                 std::to_string(device.lut), "", "", ""});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "paper shape check: (F)LightNNs collapse DSP usage to the control\n"
+      "constant and trade it for LUT; Full/FP are DSP-bound, shifts are\n"
+      "fabric-bound with BRAM capping the batch.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Train -> checkpoint -> pack -> verify: the full deployment round trip.
+// Saves a training checkpoint, exports the nibble-packed shift-term model
+// (the artifact an accelerator would flash), reloads both, and verifies the
+// packed weights drive the integer engine to the same predictions.
+//
+//   $ ./examples/export_deploy
+
+#include <cstdio>
+
+#include "core/quantize_model.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "eval/storage.hpp"
+#include "inference/quantized_network.hpp"
+#include "models/networks.hpp"
+#include "serialize/model_io.hpp"
+
+int main() {
+  using namespace flightnn;
+
+  // Train a small FLightNN.
+  auto spec = data::cifar10_like(0.25F);
+  spec.noise = 2.0F;  // demo-friendly difficulty at this tiny training budget
+  const auto split = data::make_synthetic(spec);
+  models::BuildOptions build;
+  build.classes = spec.classes;
+  build.width_scale = 0.25F;
+  auto model = models::build_network(models::table1_network(4), build);
+  core::FLightNNConfig fl;
+  fl.lambdas = {8e-5F, 2.4e-4F};
+  core::install_flightnn(*model, fl);
+  core::TrainConfig train;
+  train.epochs = 3;
+  train.threshold_learning_rate = 0.05F;
+  core::Trainer trainer(*model, train);
+  const auto fit = trainer.fit(split.train, split.test);
+  std::printf("trained: %.2f%% test accuracy, mean k %.2f\n",
+              fit.test_accuracy * 100.0, eval::model_mean_k(*model));
+
+  // 1. Checkpoint round trip.
+  const auto checkpoint = serialize::save_state(*model);
+  auto restored = models::build_network(models::table1_network(4), build);
+  core::install_flightnn(*restored, fl);
+  serialize::load_state(*restored, checkpoint);
+  std::printf("checkpoint: %zu bytes, restored model matches: %s\n",
+              checkpoint.size(),
+              tensor::max_abs_diff(model->forward(split.test.image(0), false),
+                                   restored->forward(split.test.image(0), false)) <
+                      1e-6F
+                  ? "yes"
+                  : "NO");
+
+  // 2. Deployment pack: the bits an accelerator's weight memory holds.
+  const auto packed = serialize::pack_quantized(*model);
+  const auto pack_bytes = serialize::serialize_packed(packed);
+  std::printf("packed shift-term model: %.0f payload bytes (%zu on the wire)\n",
+              packed.total_bytes(), pack_bytes.size());
+  std::printf("  float32 weights would be: %.0f bytes\n",
+              static_cast<double>(models::parameter_count(*model)) * 4);
+
+  // 3. Verify the pack: parse it back, rebuild each layer's quantized
+  //    weights, and check they equal the live model's quantized weights.
+  const auto parsed = serialize::parse_packed(pack_bytes);
+  const auto layers = core::quantizable_layers(*model);
+  float max_diff = 0.0F;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const tensor::Tensor wq =
+        layers[i].transform->forward(layers[i].weight->value);
+    const tensor::Tensor rebuilt =
+        serialize::unpack_layer(parsed.layers[i], parsed.pow2, wq.shape());
+    max_diff = std::max(max_diff, tensor::max_abs_diff(wq, rebuilt));
+  }
+  std::printf("pack round trip: max weight diff %.2e %s\n", max_diff,
+              max_diff == 0.0F ? "(exact)" : "");
+
+  // 4. Run the integer engine on the restored model and compare accuracy.
+  auto engine = inference::QuantizedNetwork::compile(
+      *restored, tensor::Shape{1, spec.channels, spec.height, spec.width});
+  inference::NetworkOpCounts counts{};
+  const double engine_acc = engine.evaluate(split.test, 1, &counts);
+  std::printf("integer engine accuracy: %.2f%% (float path: %.2f%%)\n",
+              engine_acc * 100.0, fit.test_accuracy * 100.0);
+  std::printf("integer ops per image: %lld shifts, %lld adds, %lld float MACs\n",
+              static_cast<long long>(counts.shifts / counts.images),
+              static_cast<long long>(counts.adds / counts.images),
+              static_cast<long long>(counts.float_macs / counts.images));
+  return max_diff == 0.0F ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Quickstart: train a FLightNN on a synthetic CIFAR-10-like task and
+// inspect what the differentiable k-selection learned.
+//
+//   $ ./examples/quickstart
+//
+// Walks the whole public API surface: dataset -> model builder ->
+// install_flightnn -> Trainer (Algorithm 1) -> per-filter k / storage
+// reporting.
+
+#include <cstdio>
+
+#include "core/quantize_model.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "eval/storage.hpp"
+#include "models/networks.hpp"
+
+int main() {
+  using namespace flightnn;
+
+  // 1. A small synthetic classification task (stand-in for CIFAR-10).
+  auto spec = data::cifar10_like(/*scale=*/0.5F);
+  spec.noise = 3.0F;  // demo-friendly difficulty at this training budget
+  const auto split = data::make_synthetic(spec);
+  std::printf("dataset: %s, %lld train / %lld test images, %d classes\n",
+              spec.name.c_str(), static_cast<long long>(split.train.size()),
+              static_cast<long long>(split.test.size()), spec.classes);
+
+  // 2. Network 1 from the paper's Table 1 (VGG-7), at quarter width so the
+  //    example finishes in seconds.
+  models::BuildOptions build;
+  build.classes = spec.classes;
+  build.width_scale = 0.25F;
+  auto model = models::build_network(models::table1_network(1), build);
+  std::printf("model: VGG-7 proxy with %lld parameters\n",
+              static_cast<long long>(models::parameter_count(*model)));
+
+  // 3. Install FLightNN quantization: per-filter flexible k, k_max = 2.
+  //    The group-lasso coefficients here are the "balanced" operating point
+  //    (EXPERIMENTS.md): strong enough to push some filters to one shift at
+  //    this reduced training scale.
+  core::FLightNNConfig fl;
+  fl.lambdas = {8e-5F, 2.4e-4F};
+  const auto transforms = core::install_flightnn(*model, fl);
+
+  // 4. Train with Algorithm 1 (Adam on weights, biases and thresholds).
+  core::TrainConfig train;
+  train.epochs = 4;
+  train.batch_size = 32;
+  train.learning_rate = 3e-3F;
+  train.threshold_learning_rate = 0.05F;
+  train.verbose = true;
+  core::Trainer trainer(*model, train);
+  const auto fit = trainer.fit(split.train, split.test);
+  std::printf("test accuracy: %.2f%% (chance %.1f%%)\n",
+              fit.test_accuracy * 100.0, 100.0 / spec.classes);
+
+  // 5. Inspect the learned k profile: how many shifts each layer's filters
+  //    ended up with, and what that means for storage.
+  std::printf("\nper-layer k profile (filters using 0 / 1 / 2 shifts):\n");
+  int layer_index = 0;
+  for (const auto& layer : core::quantizable_layers(*model)) {
+    auto* transform = dynamic_cast<core::FLightNNTransform*>(layer.transform);
+    if (transform == nullptr) continue;
+    int histogram[3] = {0, 0, 0};
+    for (int k : transform->filter_k(layer.weight->value)) ++histogram[k];
+    std::printf("  layer %2d: k=0: %3d  k=1: %3d  k=2: %3d  (t = %.3f, %.3f)\n",
+                layer_index++, histogram[0], histogram[1], histogram[2],
+                transform->thresholds()[0], transform->thresholds()[1]);
+  }
+  std::printf("\nmean k over all weights: %.2f\n", eval::model_mean_k(*model));
+  std::printf("storage: %.3f MB (vs %.3f MB full precision)\n",
+              eval::model_storage_bytes(*model) / (1024.0 * 1024.0),
+              static_cast<double>(models::parameter_count(*model)) * 4.0 /
+                  (1024.0 * 1024.0));
+  return 0;
+}

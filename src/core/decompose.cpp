@@ -1,0 +1,77 @@
+#include "core/decompose.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flightnn::core {
+
+tensor::Tensor Decomposition::reconstruct(const tensor::Shape& shape) const {
+  tensor::Tensor out(shape);
+  for (const auto& term : terms) {
+    float* base = out.data() + term.filter * elements_per_filter;
+    for (std::int64_t e = 0; e < elements_per_filter; ++e) {
+      base[e] += term.elements[static_cast<std::size_t>(e)].value();
+    }
+  }
+  return out;
+}
+
+Decomposition decompose_to_lightnn1(const tensor::Tensor& quantized_weights,
+                                    int k_max, const quant::Pow2Config& config) {
+  if (k_max < 1) throw std::invalid_argument("decompose_to_lightnn1: k_max < 1");
+  const auto& shape = quantized_weights.shape();
+  if (shape.rank() < 1 || shape[0] <= 0) {
+    throw std::invalid_argument("decompose_to_lightnn1: filter-major tensor required");
+  }
+  const std::int64_t filters = shape[0];
+  const std::int64_t per_filter = quantized_weights.numel() / filters;
+
+  Decomposition result;
+  result.elements_per_filter = per_filter;
+  result.filter_k.assign(static_cast<std::size_t>(filters), 0);
+
+  // Peel each filter level by level: level j takes the nearest power of two
+  // of each element's remaining residual. A filter is done when all residuals
+  // are zero; a non-zero residual after k_max levels means the input was not
+  // a valid LightNN-k / FLightNN quantization.
+  std::vector<float> residual(static_cast<std::size_t>(per_filter));
+  for (std::int64_t i = 0; i < filters; ++i) {
+    const float* filter = quantized_weights.data() + i * per_filter;
+    for (std::int64_t e = 0; e < per_filter; ++e) {
+      residual[static_cast<std::size_t>(e)] = filter[e];
+    }
+    for (int level = 0; level < k_max; ++level) {
+      bool any_nonzero = false;
+      for (float v : residual) {
+        if (v != 0.0F) {
+          any_nonzero = true;
+          break;
+        }
+      }
+      if (!any_nonzero) break;
+
+      Pow2FilterTerm term;
+      term.filter = i;
+      term.level = level;
+      term.elements.resize(static_cast<std::size_t>(per_filter));
+      for (std::int64_t e = 0; e < per_filter; ++e) {
+        auto& v = residual[static_cast<std::size_t>(e)];
+        const quant::Pow2Term p = quant::round_to_pow2(v, config);
+        term.elements[static_cast<std::size_t>(e)] = p;
+        v -= p.value();
+      }
+      result.terms.push_back(std::move(term));
+      ++result.filter_k[static_cast<std::size_t>(i)];
+    }
+    for (float v : residual) {
+      if (v != 0.0F) {
+        throw std::invalid_argument(
+            "decompose_to_lightnn1: filter " + std::to_string(i) +
+            " is not a sum of <= " + std::to_string(k_max) + " powers of two");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace flightnn::core

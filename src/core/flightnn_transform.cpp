@@ -1,0 +1,249 @@
+#include "core/flightnn_transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flightnn::core {
+
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// d/dx sigmoid(x / T) evaluated at x, including the 1/T factor.
+double sigmoid_prime(double x, double temperature) {
+  const double s = sigmoid(x / temperature);
+  return s * (1.0 - s) / temperature;
+}
+
+std::int64_t filter_count(const tensor::Tensor& w, bool per_layer) {
+  if (w.shape().rank() < 1 || w.shape()[0] <= 0) {
+    throw std::invalid_argument("FLightNNTransform: weights must be filter-major");
+  }
+  return per_layer ? 1 : w.shape()[0];
+}
+
+}  // namespace
+
+FLightNNTransform::FLightNNTransform(FLightNNConfig config)
+    : config_(std::move(config)),
+      thresholds_(static_cast<std::size_t>(config_.k_max), config_.threshold_init),
+      threshold_grads_(static_cast<std::size_t>(config_.k_max), 0.0F),
+      threshold_adam_(static_cast<std::size_t>(config_.k_max)) {
+  if (config_.k_max < 1) throw std::invalid_argument("FLightNNConfig: k_max < 1");
+  if (config_.temperature <= 0.0F) {
+    throw std::invalid_argument("FLightNNConfig: temperature <= 0");
+  }
+  if (config_.lambdas.empty()) config_.lambdas = {0.0F};
+  // Extend lambdas to k_max levels by repeating the last coefficient.
+  while (static_cast<int>(config_.lambdas.size()) < config_.k_max) {
+    config_.lambdas.push_back(config_.lambdas.back());
+  }
+}
+
+FLightNNTransform::FilterTrace FLightNNTransform::quantize_filter(
+    const float* filter, std::int64_t count, float* out) const {
+  FilterTrace trace;
+  std::vector<float> residual(filter, filter + count);
+  if (out != nullptr) {
+    for (std::int64_t e = 0; e < count; ++e) out[e] = 0.0F;
+  }
+  for (int j = 0; j < config_.k_max; ++j) {
+    double norm_sq = 0.0;
+    for (std::int64_t e = 0; e < count; ++e) {
+      norm_sq += static_cast<double>(residual[static_cast<std::size_t>(e)]) *
+                 residual[static_cast<std::size_t>(e)];
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm <= thresholds_[static_cast<std::size_t>(j)]) break;  // Fig. 2 early exit
+
+    std::vector<float> rounded(static_cast<std::size_t>(count));
+    for (std::int64_t e = 0; e < count; ++e) {
+      rounded[static_cast<std::size_t>(e)] =
+          quant::round_to_pow2(residual[static_cast<std::size_t>(e)], config_.pow2)
+              .value();
+    }
+    if (out != nullptr) {
+      for (std::int64_t e = 0; e < count; ++e) {
+        out[e] += rounded[static_cast<std::size_t>(e)];
+      }
+    }
+    trace.residuals.push_back(residual);
+    trace.norms.push_back(norm);
+    for (std::int64_t e = 0; e < count; ++e) {
+      residual[static_cast<std::size_t>(e)] -= rounded[static_cast<std::size_t>(e)];
+    }
+    trace.rounded.push_back(std::move(rounded));
+    ++trace.k;
+  }
+  return trace;
+}
+
+tensor::Tensor FLightNNTransform::forward(const tensor::Tensor& w) {
+  const std::int64_t filters = filter_count(w, config_.per_layer);
+  const std::int64_t per_filter = w.numel() / filters;
+  tensor::Tensor out(w.shape());
+  std::vector<double> level0_norms(static_cast<std::size_t>(filters));
+  for (std::int64_t i = 0; i < filters; ++i) {
+    const float* filter = w.data() + i * per_filter;
+    double norm_sq = 0.0;
+    for (std::int64_t e = 0; e < per_filter; ++e) {
+      norm_sq += static_cast<double>(filter[e]) * filter[e];
+    }
+    level0_norms[static_cast<std::size_t>(i)] = std::sqrt(norm_sq);
+    quantize_filter(filter, per_filter, out.data() + i * per_filter);
+  }
+  // Refresh the keep-alive cap: t_0 may prune at most max_prune_fraction of
+  // the filters, i.e. it must stay below that quantile of the norms.
+  if (config_.max_prune_fraction < 1.0F && filters > 0) {
+    std::sort(level0_norms.begin(), level0_norms.end());
+    const auto index = static_cast<std::size_t>(
+        static_cast<double>(filters - 1) * config_.max_prune_fraction);
+    level0_cap_ = static_cast<float>(level0_norms[index]);
+  }
+  return out;
+}
+
+void FLightNNTransform::backward(const tensor::Tensor& w,
+                                 const tensor::Tensor& grad_wq,
+                                 tensor::Tensor& grad_w) {
+  // Straight-through for the weights themselves.
+  grad_w += grad_wq;
+
+  // Threshold gradients: for each filter and each threshold level j, run the
+  // recursion of Sec. 4.2 with STE on R(.) and hard indicator values
+  // (g_l = 1 on fired levels):
+  //   dr_j     = 0
+  //   dg_l     = sigma'(||r_l|| - t_l) * ((r_l / ||r_l||) . dr_l - [l == j])
+  //   dQ/dt_j += dg_l * R(r_l) + dr_l          (accumulated over levels l)
+  //   dr_{l+1} = -dg_l * R(r_l)                 (since g_l = 1)
+  const std::int64_t filters = filter_count(w, config_.per_layer);
+  const std::int64_t per_filter = w.numel() / filters;
+  const double temperature = config_.temperature;
+
+  for (std::int64_t i = 0; i < filters; ++i) {
+    const FilterTrace trace =
+        quantize_filter(w.data() + i * per_filter, per_filter, nullptr);
+    if (trace.k == 0) continue;
+    const float* grad_filter = grad_wq.data() + i * per_filter;
+
+    for (int j = 0; j < trace.k; ++j) {
+      // dr: derivative of the level-l residual w.r.t. t_j; zero until l = j.
+      std::vector<double> dr(static_cast<std::size_t>(per_filter), 0.0);
+      double grad_tj = 0.0;
+      for (int l = j; l < trace.k; ++l) {
+        const auto& r = trace.residuals[static_cast<std::size_t>(l)];
+        const auto& rr = trace.rounded[static_cast<std::size_t>(l)];
+        const double norm = trace.norms[static_cast<std::size_t>(l)];
+        // (r_l / ||r_l||) . dr_l
+        double dnorm = 0.0;
+        if (norm > 0.0) {
+          for (std::int64_t e = 0; e < per_filter; ++e) {
+            dnorm += static_cast<double>(r[static_cast<std::size_t>(e)]) *
+                     dr[static_cast<std::size_t>(e)];
+          }
+          dnorm /= norm;
+        }
+        const double sp = sigmoid_prime(
+            norm - thresholds_[static_cast<std::size_t>(l)], temperature);
+        const double dg = sp * (dnorm - (l == j ? 1.0 : 0.0));
+        // Accumulate (dL/dwq) . (dQ/dt_j) for this level and update dr.
+        for (std::int64_t e = 0; e < per_filter; ++e) {
+          const double dq = dg * rr[static_cast<std::size_t>(e)] +
+                            dr[static_cast<std::size_t>(e)];
+          grad_tj += static_cast<double>(grad_filter[e]) * dq;
+          dr[static_cast<std::size_t>(e)] = -dg * rr[static_cast<std::size_t>(e)];
+        }
+      }
+      threshold_grads_[static_cast<std::size_t>(j)] += static_cast<float>(grad_tj);
+    }
+  }
+}
+
+double FLightNNTransform::regularization(const tensor::Tensor& w,
+                                         tensor::Tensor* grad_w) {
+  // L_reg = sum_j lambda_j sum_i ||r_{i,j}||_2 over the *defined* residual
+  // levels (r_{i,0} = w_i always; deeper residuals only exist for levels the
+  // filter actually reached). Gradient treats the quantized part of each
+  // residual as locally constant (R(.) is piecewise constant), so
+  // d||r_{i,j}||/dw_i = r_{i,j} / ||r_{i,j}||.
+  const std::int64_t filters = filter_count(w, config_.per_layer);
+  const std::int64_t per_filter = w.numel() / filters;
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < filters; ++i) {
+    const float* filter = w.data() + i * per_filter;
+    std::vector<float> residual(filter, filter + per_filter);
+    for (int j = 0; j < config_.k_max; ++j) {
+      double norm_sq = 0.0;
+      for (float v : residual) norm_sq += static_cast<double>(v) * v;
+      const double norm = std::sqrt(norm_sq);
+      const double lambda = config_.lambdas[static_cast<std::size_t>(j)];
+      loss += lambda * norm;
+      if (grad_w != nullptr && norm > 0.0) {
+        float* g = grad_w->data() + i * per_filter;
+        const double scale = lambda / norm;
+        for (std::int64_t e = 0; e < per_filter; ++e) {
+          g[e] += static_cast<float>(scale * residual[static_cast<std::size_t>(e)]);
+        }
+      }
+      // Peel to the next residual level regardless of the threshold: the
+      // regularizer shapes residuals even for levels that did not fire, which
+      // is what pulls ||r_{i,j}|| below t_j over training.
+      for (std::int64_t e = 0; e < per_filter; ++e) {
+        auto& v = residual[static_cast<std::size_t>(e)];
+        v -= quant::round_to_pow2(v, config_.pow2).value();
+      }
+    }
+  }
+  return loss;
+}
+
+void FLightNNTransform::step_internal(float learning_rate) {
+  threshold_adam_.step(thresholds_, threshold_grads_, learning_rate);
+  // Negative thresholds are equivalent to 0 for the early-exit comparison
+  // (norms are non-negative) but would make the sigmoid relaxation drift;
+  // keep them in the meaningful range.
+  for (float& t : thresholds_) {
+    if (t < 0.0F) t = 0.0F;
+  }
+  // Keep-alive guard on whole-filter pruning (see FLightNNConfig).
+  if (!thresholds_.empty() && thresholds_[0] > level0_cap_) {
+    thresholds_[0] = level0_cap_;
+  }
+  zero_internal_grads();
+}
+
+void FLightNNTransform::zero_internal_grads() {
+  std::fill(threshold_grads_.begin(), threshold_grads_.end(), 0.0F);
+}
+
+std::string FLightNNTransform::describe() const {
+  return "flightnn[kmax=" + std::to_string(config_.k_max) + "]";
+}
+
+std::vector<int> FLightNNTransform::filter_k(const tensor::Tensor& w) const {
+  const std::int64_t filters = filter_count(w, config_.per_layer);
+  const std::int64_t per_filter = w.numel() / filters;
+  std::vector<int> ks(static_cast<std::size_t>(filters));
+  for (std::int64_t i = 0; i < filters; ++i) {
+    ks[static_cast<std::size_t>(i)] =
+        quantize_filter(w.data() + i * per_filter, per_filter, nullptr).k;
+  }
+  return ks;
+}
+
+double FLightNNTransform::mean_k(const tensor::Tensor& w) const {
+  const auto ks = filter_k(w);
+  double sum = 0.0;
+  for (int k : ks) sum += k;
+  return ks.empty() ? 0.0 : sum / static_cast<double>(ks.size());
+}
+
+void FLightNNTransform::set_thresholds(std::vector<float> thresholds) {
+  if (static_cast<int>(thresholds.size()) != config_.k_max) {
+    throw std::invalid_argument("set_thresholds: expected k_max values");
+  }
+  thresholds_ = std::move(thresholds);
+}
+
+}  // namespace flightnn::core

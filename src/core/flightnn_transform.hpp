@@ -1,0 +1,112 @@
+#pragma once
+
+// FLightNN weight quantization (Sec. 4): per-filter flexible k driven by
+// trainable per-level thresholds.
+//
+//   Q_k(w_i | t) = sum_{j=0}^{k-1} 1(||r_{i,j}||_2 > t_j) R(r_{i,j}),
+//   r_{i,0} = w_i,  r_{i,j+1} = r_{i,j} - R(r_{i,j})   (while levels fire)
+//
+// following the early-exit flow of Fig. 2: the first level whose residual
+// norm falls below its threshold stops the expansion, and the number of
+// levels that fired is the filter's k_i (k_i = 0 means the filter is pruned
+// to zero).
+//
+// Gradients (Sec. 4.2): straight-through for weights and for R(.); the
+// indicator is relaxed to a sigmoid when differentiating w.r.t. thresholds,
+// and the recursion of the paper's threshold-gradient formula is evaluated
+// exactly (all chain terms, not just the leading one).
+//
+// Regularization (Sec. 4.3): L_reg = sum_j lambda_j sum_i ||r_{i,j}||_2,
+// a sum of group-lasso terms; the j = 0 term is lambda_0 sum_i ||w_i||_2
+// (whole-filter pruning) and j > 0 terms shrink residuals so levels fall
+// under their thresholds (reducing k_i).
+
+#include <limits>
+#include <vector>
+
+#include "optim/optimizer.hpp"
+#include "quant/pow2.hpp"
+#include "quant/transform.hpp"
+
+namespace flightnn::core {
+
+struct FLightNNConfig {
+  // Maximum number of shift terms per filter (paper: 2).
+  int k_max = 2;
+  // Power-of-two term encoding shared with the LightNN baselines.
+  quant::Pow2Config pow2;
+  // Group-lasso coefficients, one per level; resized to k_max with the last
+  // value repeated if shorter. Paper's Fig. 4 example: {1e-5, 3e-5}.
+  std::vector<float> lambdas = {1e-5F, 3e-5F};
+  // Initial threshold value per level (paper initializes t to 0, which makes
+  // every filter start at k_i = k_max: gradual quantization).
+  float threshold_init = 0.0F;
+  // Temperature of the sigmoid relaxation: sigma((||r|| - t) / temperature).
+  // Smaller values sharpen the relaxation; 1.0 matches the paper's notation.
+  float temperature = 1.0F;
+  // Ablation knob: treat the whole weight tensor as a single group instead
+  // of one group per filter (per-layer k instead of the paper's per-filter
+  // k). Exercised by bench/ablation_granularity.
+  bool per_layer = false;
+  // Keep-alive guard: cap the level-0 threshold so that at most this
+  // fraction of the layer's filters is pruned. At the paper's training
+  // scale t_0 converges before it can prune a whole layer; at this
+  // reproduction's compressed schedules an unlucky threshold random walk
+  // can kill a layer (zero output => zero gradient => no recovery), so the
+  // guard bounds t_0 by the corresponding quantile of the filter norms seen
+  // in the most recent forward. Set to 1.0 to disable.
+  float max_prune_fraction = 0.25F;
+};
+
+class FLightNNTransform final : public quant::WeightTransform {
+ public:
+  explicit FLightNNTransform(FLightNNConfig config = {});
+
+  // --- WeightTransform interface -----------------------------------------
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& w) override;
+  void backward(const tensor::Tensor& w, const tensor::Tensor& grad_wq,
+                tensor::Tensor& grad_w) override;
+  double regularization(const tensor::Tensor& w, tensor::Tensor* grad_w) override;
+  void step_internal(float learning_rate) override;
+  void zero_internal_grads() override;
+  [[nodiscard]] std::string describe() const override;
+
+  // --- FLightNN-specific API ----------------------------------------------
+  // Number of shift terms each filter uses under the current thresholds.
+  [[nodiscard]] std::vector<int> filter_k(const tensor::Tensor& w) const;
+
+  // Mean k over filters (the per-layer "cost" used by the hardware models).
+  [[nodiscard]] double mean_k(const tensor::Tensor& w) const;
+
+  [[nodiscard]] const std::vector<float>& thresholds() const { return thresholds_; }
+  void set_thresholds(std::vector<float> thresholds);
+  [[nodiscard]] const std::vector<float>& threshold_grads() const {
+    return threshold_grads_;
+  }
+
+  [[nodiscard]] const FLightNNConfig& config() const { return config_; }
+
+ private:
+  // Residual trace of one filter's quantization: everything backward and
+  // the reporting helpers need.
+  struct FilterTrace {
+    std::vector<std::vector<float>> residuals;      // r_{i,j} per fired level
+    std::vector<std::vector<float>> rounded;        // R(r_{i,j}) per fired level
+    std::vector<double> norms;                      // ||r_{i,j}||_2 per fired level
+    int k = 0;                                      // number of fired levels
+  };
+
+  // Quantize one filter (writes the quantized values to `out` if non-null).
+  FilterTrace quantize_filter(const float* filter, std::int64_t count,
+                              float* out) const;
+
+  FLightNNConfig config_;
+  std::vector<float> thresholds_;
+  std::vector<float> threshold_grads_;
+  optim::ScalarAdam threshold_adam_;
+  // Keep-alive cap on t_0, refreshed by forward() from the filter norms
+  // (+infinity until the first forward or when the guard is disabled).
+  float level0_cap_ = std::numeric_limits<float>::infinity();
+};
+
+}  // namespace flightnn::core

@@ -1,0 +1,62 @@
+#include "core/quantize_model.hpp"
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+
+namespace flightnn::core {
+
+namespace {
+
+// Apply a transform-factory to every conv/linear layer in the tree.
+template <typename MakeTransform>
+void install(nn::Sequential& model, MakeTransform make) {
+  model.visit([&](nn::Layer& layer) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      conv->set_transform(make());
+    } else if (auto* linear = dynamic_cast<nn::Linear*>(&layer)) {
+      linear->set_transform(make());
+    }
+  });
+}
+
+}  // namespace
+
+void install_full_precision(nn::Sequential& model) {
+  install(model, [] { return quant::WeightTransformPtr(); });
+}
+
+void install_lightnn(nn::Sequential& model, int k, quant::Pow2Config config) {
+  install(model, [&] {
+    return std::make_shared<quant::LightNNTransform>(k, config);
+  });
+}
+
+void install_fixed_point(nn::Sequential& model, int bits) {
+  install(model, [&] {
+    return std::make_shared<quant::FixedPointTransform>(
+        quant::FixedPointConfig{bits});
+  });
+}
+
+std::vector<FLightNNTransform*> install_flightnn(nn::Sequential& model,
+                                                 const FLightNNConfig& config) {
+  std::vector<FLightNNTransform*> transforms;
+  install(model, [&] {
+    auto transform = std::make_shared<FLightNNTransform>(config);
+    transforms.push_back(transform.get());
+    return transform;
+  });
+  return transforms;
+}
+
+std::vector<QuantizableLayer> quantizable_layers(nn::Sequential& model) {
+  std::vector<QuantizableLayer> layers;
+  model.visit([&](nn::Layer& layer) {
+    if (auto* param = layer.quantized_parameter()) {
+      layers.push_back(QuantizableLayer{&layer, layer.weight_transform(), param});
+    }
+  });
+  return layers;
+}
+
+}  // namespace flightnn::core

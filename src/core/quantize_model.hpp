@@ -1,0 +1,42 @@
+#pragma once
+
+// Helpers that install weight transforms across every quantizable layer of a
+// model, producing the paper's model variants from one float architecture:
+// Full (no transform), FP_4W (fixed point), L-1 / L-2 (LightNN), and
+// FLightNN (per-filter flexible k). Each layer gets its own transform
+// instance so FLightNN thresholds are per-layer trainables.
+
+#include <vector>
+
+#include "core/flightnn_transform.hpp"
+#include "nn/sequential.hpp"
+#include "quant/fixedpoint.hpp"
+#include "quant/lightnn.hpp"
+
+namespace flightnn::core {
+
+// Remove all transforms (back to full precision).
+void install_full_precision(nn::Sequential& model);
+
+// LightNN-k on every conv/linear layer.
+void install_lightnn(nn::Sequential& model, int k, quant::Pow2Config config = {});
+
+// Fixed-point weights on every conv/linear layer.
+void install_fixed_point(nn::Sequential& model, int bits);
+
+// FLightNN on every conv/linear layer; returns the per-layer transforms
+// (non-owning; the layers own them) so callers can read thresholds / k.
+std::vector<FLightNNTransform*> install_flightnn(nn::Sequential& model,
+                                                 const FLightNNConfig& config);
+
+// Per-layer view of a quantizable layer: its transform (may be null) and its
+// weight parameter. Used by the hardware models and storage accounting.
+struct QuantizableLayer {
+  nn::Layer* layer = nullptr;
+  quant::WeightTransform* transform = nullptr;
+  nn::Parameter* weight = nullptr;
+};
+
+std::vector<QuantizableLayer> quantizable_layers(nn::Sequential& model);
+
+}  // namespace flightnn::core

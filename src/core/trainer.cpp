@@ -1,0 +1,154 @@
+#include "core/trainer.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace flightnn::core {
+
+Trainer::Trainer(nn::Sequential& model, TrainConfig config)
+    : model_(model),
+      config_(config),
+      rng_(config.seed),
+      adam_(model.parameters(), config.learning_rate, 0.9F, 0.999F, 1e-8F,
+            config.weight_decay) {}
+
+float Trainer::scheduled_learning_rate(int epoch) const {
+  switch (config_.schedule) {
+    case LrSchedule::kConstant:
+      return config_.learning_rate;
+    case LrSchedule::kStepDecay:
+      return config_.learning_rate *
+             std::pow(config_.lr_decay, static_cast<float>(epoch));
+    case LrSchedule::kCosine: {
+      if (config_.epochs <= 1) return config_.learning_rate;
+      const float progress =
+          static_cast<float>(epoch) / static_cast<float>(config_.epochs - 1);
+      const float cosine = 0.5F * (1.0F + std::cos(progress * static_cast<float>(M_PI)));
+      return config_.lr_min + (config_.learning_rate - config_.lr_min) * cosine;
+    }
+  }
+  return config_.learning_rate;
+}
+
+void Trainer::clip_gradients() {
+  if (config_.grad_clip_norm <= 0.0F) return;
+  double norm_sq = 0.0;
+  for (auto* param : adam_.parameters()) {
+    for (std::int64_t i = 0; i < param->grad.numel(); ++i) {
+      norm_sq += static_cast<double>(param->grad[i]) * param->grad[i];
+    }
+  }
+  const double norm = std::sqrt(norm_sq);
+  if (norm <= config_.grad_clip_norm) return;
+  const float scale = config_.grad_clip_norm / static_cast<float>(norm);
+  for (auto* param : adam_.parameters()) {
+    param->grad *= scale;
+  }
+}
+
+double Trainer::apply_regularization() {
+  double reg = 0.0;
+  model_.visit([&](nn::Layer& layer) {
+    auto* transform = layer.weight_transform();
+    auto* param = layer.quantized_parameter();
+    if (transform != nullptr && param != nullptr) {
+      reg += transform->regularization(param->value, &param->grad);
+    }
+  });
+  return reg;
+}
+
+EpochStats Trainer::train_epoch(const data::Dataset& train) {
+  data::BatchIterator batches(train, config_.batch_size, rng_, /*shuffle=*/true);
+  tensor::Tensor images;
+  std::vector<int> labels;
+
+  double loss_sum = 0.0, reg_sum = 0.0, acc_sum = 0.0;
+  std::int64_t batch_count = 0;
+
+  while (batches.next(images, labels)) {
+    adam_.zero_grad();
+    for (auto* transform : model_.transforms()) transform->zero_internal_grads();
+
+    // Steps 1-2 of Algorithm 1: the quantize-then-forward happens inside the
+    // layers (each quantizable layer runs its transform on its weights).
+    tensor::Tensor logits = model_.forward(images, /*training=*/true);
+    const float ce = loss_.forward(logits, labels);
+    // Step 3: backward through the network (STE routes dL/dwq to w and the
+    // FLightNN transforms accumulate threshold gradients), then add the
+    // regularization loss and its gradient on the full-precision weights.
+    model_.backward(loss_.backward());
+    const double reg = apply_regularization();
+    clip_gradients();
+
+    // Step 4: parameter and threshold updates.
+    adam_.step();
+    for (auto* transform : model_.transforms()) {
+      transform->step_internal(config_.threshold_learning_rate);
+    }
+
+    loss_sum += ce;
+    reg_sum += reg;
+    acc_sum += nn::top_k_accuracy(logits, labels, 1);
+    ++batch_count;
+  }
+
+  EpochStats stats;
+  if (batch_count > 0) {
+    stats.mean_loss = static_cast<float>(loss_sum / static_cast<double>(batch_count));
+    stats.mean_reg_loss =
+        static_cast<float>(reg_sum / static_cast<double>(batch_count));
+    stats.train_accuracy = acc_sum / static_cast<double>(batch_count);
+  }
+  return stats;
+}
+
+double Trainer::evaluate(const data::Dataset& dataset, int top_k,
+                         std::int64_t batch_size) {
+  support::Rng eval_rng(0);  // unused when shuffle is off
+  data::BatchIterator batches(dataset, batch_size, eval_rng, /*shuffle=*/false);
+  tensor::Tensor images;
+  std::vector<int> labels;
+  double hits = 0.0;
+  std::int64_t total = 0;
+  while (batches.next(images, labels)) {
+    tensor::Tensor logits = model_.forward(images, /*training=*/false);
+    const auto n = static_cast<std::int64_t>(labels.size());
+    hits += nn::top_k_accuracy(logits, labels, top_k) * static_cast<double>(n);
+    total += n;
+  }
+  return total > 0 ? hits / static_cast<double>(total) : 0.0;
+}
+
+FitResult Trainer::fit(const data::Dataset& train, const data::Dataset& test,
+                       int top_k) {
+  FitResult result;
+  double best_train_accuracy = -1.0;
+  int epochs_without_improvement = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    adam_.set_learning_rate(scheduled_learning_rate(epoch));
+    EpochStats stats = train_epoch(train);
+    result.epochs.push_back(stats);
+    if (config_.verbose) {
+      support::log_info() << "epoch " << (epoch + 1) << "/" << config_.epochs
+                          << " loss=" << stats.mean_loss
+                          << " reg=" << stats.mean_reg_loss
+                          << " train_acc=" << stats.train_accuracy
+                          << " lr=" << adam_.learning_rate();
+    }
+    if (config_.early_stop_patience > 0) {
+      if (stats.train_accuracy > best_train_accuracy + 1e-9) {
+        best_train_accuracy = stats.train_accuracy;
+        epochs_without_improvement = 0;
+      } else if (++epochs_without_improvement >= config_.early_stop_patience) {
+        result.stopped_early = true;
+        break;
+      }
+    }
+  }
+  result.test_accuracy = evaluate(test, top_k);
+  return result;
+}
+
+}  // namespace flightnn::core

@@ -1,0 +1,95 @@
+#pragma once
+
+// Algorithm 1 of the paper: per-mini-batch (1) quantize weights through the
+// installed transforms, (2) forward and total loss L_CE + L_reg,
+// (3) backward with STE + relaxed-indicator gradients, (4) Adam update of
+// weights/biases and of the thresholds. The trainer is quantizer-agnostic:
+// layers without transforms train full-precision, LightNN/fixed-point
+// transforms contribute no regularization or internal state, and FLightNN
+// transforms contribute both.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/loss.hpp"
+#include "nn/sequential.hpp"
+#include "optim/optimizer.hpp"
+#include "support/rng.hpp"
+
+namespace flightnn::core {
+
+enum class LrSchedule {
+  kConstant,
+  kStepDecay,  // lr *= lr_decay after each epoch
+  kCosine,     // cosine anneal from learning_rate to lr_min over all epochs
+};
+
+struct TrainConfig {
+  int epochs = 10;
+  std::int64_t batch_size = 32;
+  float learning_rate = 1e-3F;        // Adam, for weights and biases
+  float threshold_learning_rate = 1e-3F;  // Adam, for FLightNN thresholds
+  float weight_decay = 0.0F;
+  LrSchedule schedule = LrSchedule::kStepDecay;
+  // Multiplicative learning-rate decay applied after each epoch
+  // (kStepDecay only).
+  float lr_decay = 1.0F;
+  // Floor of the cosine anneal (kCosine only).
+  float lr_min = 1e-5F;
+  // Clip the global L2 norm of all parameter gradients per step; 0 = off.
+  float grad_clip_norm = 0.0F;
+  // Stop after this many epochs without train-accuracy improvement;
+  // 0 = off.
+  int early_stop_patience = 0;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  float mean_loss = 0.0F;       // CE component
+  float mean_reg_loss = 0.0F;   // regularization component
+  double train_accuracy = 0.0;  // top-1 on training batches (quantized fwd)
+};
+
+struct FitResult {
+  std::vector<EpochStats> epochs;
+  double test_accuracy = 0.0;   // top-1 after the last epoch
+  bool stopped_early = false;
+};
+
+class Trainer {
+ public:
+  Trainer(nn::Sequential& model, TrainConfig config);
+
+  // One pass over the training set.
+  EpochStats train_epoch(const data::Dataset& train);
+
+  // Top-k accuracy over a dataset with quantized forward (training = false).
+  double evaluate(const data::Dataset& dataset, int top_k = 1,
+                  std::int64_t batch_size = 64);
+
+  // Full fit: `epochs` passes, then a final test evaluation.
+  FitResult fit(const data::Dataset& train, const data::Dataset& test,
+                int top_k = 1);
+
+  [[nodiscard]] const TrainConfig& config() const { return config_; }
+
+  // Learning rate the schedule assigns to a given epoch index.
+  [[nodiscard]] float scheduled_learning_rate(int epoch) const;
+
+ private:
+  // Sum of transform->regularization over all quantizable layers, with
+  // gradients accumulated into the layers' weight grads.
+  double apply_regularization();
+
+  // Scale all gradients so their global L2 norm is at most grad_clip_norm.
+  void clip_gradients();
+
+  nn::Sequential& model_;
+  TrainConfig config_;
+  support::Rng rng_;
+  optim::Adam adam_;
+  nn::SoftmaxCrossEntropy loss_;
+};
+
+}  // namespace flightnn::core

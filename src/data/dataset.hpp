@@ -1,0 +1,92 @@
+#pragma once
+
+// Synthetic image-classification datasets standing in for CIFAR-10, SVHN,
+// CIFAR-100 and ImageNet (see DESIGN.md "Substitutions"). Each class is a
+// procedurally generated prototype (mixture of oriented gratings and
+// Gaussian blobs); samples are amplitude-jittered, translated, noisy draws
+// from their class prototype. Difficulty (noise / jitter levels) is tunable
+// so the accuracy gaps between quantizers are visible at small scale.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flightnn::data {
+
+struct DatasetSpec {
+  std::string name = "synthetic";
+  std::int64_t channels = 3;
+  std::int64_t height = 32;
+  std::int64_t width = 32;
+  int classes = 10;
+  std::int64_t train_size = 2000;
+  std::int64_t test_size = 500;
+  // Standard deviation of additive pixel noise relative to signal amplitude;
+  // the main difficulty knob.
+  float noise = 0.6F;
+  // Maximum random translation in pixels applied to each sample.
+  int max_shift = 2;
+  std::uint64_t seed = 42;
+};
+
+// An in-memory labelled image set. Images are NCHW, float in roughly
+// [-1, 1]; labels are class indices.
+struct Dataset {
+  DatasetSpec spec;
+  tensor::Tensor images;    // [N, C, H, W]
+  std::vector<int> labels;  // size N
+
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(labels.size());
+  }
+
+  // Copy one sample's image into a [1, C, H, W] tensor.
+  [[nodiscard]] tensor::Tensor image(std::int64_t index) const;
+};
+
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+// Generate the train/test pair for a spec. Deterministic in spec.seed; the
+// test set uses held-out draws from the same class prototypes.
+TrainTest make_synthetic(const DatasetSpec& spec);
+
+// Paper-dataset stand-ins. `scale` multiplies the default sample counts so
+// benches can trade fidelity for runtime (scale = 1 is the bench default).
+DatasetSpec cifar10_like(float scale = 1.0F, std::uint64_t seed = 42);
+DatasetSpec svhn_like(float scale = 1.0F, std::uint64_t seed = 43);
+DatasetSpec cifar100_like(float scale = 1.0F, std::uint64_t seed = 44);
+// ImageNet proxy: 50 classes at 32x32 (the paper's net 8 is a reduced-width
+// ResNet-10 precisely because full ImageNet was out of budget for them too).
+DatasetSpec imagenet_like(float scale = 1.0F, std::uint64_t seed = 45);
+
+// Mini-batch iterator with per-epoch shuffling.
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& dataset, std::int64_t batch_size,
+                support::Rng& rng, bool shuffle = true);
+
+  // Restart from the beginning (reshuffles when enabled).
+  void reset();
+
+  // Fetch the next batch; returns false at end of epoch. The final batch of
+  // an epoch may be smaller than batch_size.
+  bool next(tensor::Tensor& images, std::vector<int>& labels);
+
+  [[nodiscard]] std::int64_t batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  support::Rng& rng_;
+  bool shuffle_;
+  std::vector<std::size_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace flightnn::data

@@ -1,0 +1,159 @@
+#include "eval/experiment.hpp"
+
+#include <cmath>
+
+#include "core/quantize_model.hpp"
+#include "eval/storage.hpp"
+#include "support/logging.hpp"
+#include "support/table.hpp"
+
+namespace flightnn::eval {
+
+namespace {
+
+// Train one variant and fill in accuracy / storage / mean-k.
+VariantResult train_variant(Variant variant, const std::string& label,
+                            const ExperimentConfig& config,
+                            const data::TrainTest& split,
+                            const models::NetworkConfig& network,
+                            const FLightNNRecipe* recipe = nullptr) {
+  models::BuildOptions build = config.build;
+  build.in_channels = config.dataset.channels;
+  build.classes = config.dataset.classes;
+  build.seed = config.seed;
+  if (variant == Variant::kFull) build.act_bits = 0;
+
+  auto model = models::build_network(network, build);
+  switch (variant) {
+    case Variant::kFull:
+      break;
+    case Variant::kLightNN2:
+      core::install_lightnn(*model, 2);
+      break;
+    case Variant::kLightNN1:
+      core::install_lightnn(*model, 1);
+      break;
+    case Variant::kFixedPoint4:
+      core::install_fixed_point(*model, 4);
+      break;
+    case Variant::kFLightNN: {
+      core::FLightNNConfig fl;
+      fl.lambdas = recipe->lambdas;
+      core::install_flightnn(*model, fl);
+      break;
+    }
+  }
+
+  core::TrainConfig train = config.train;
+  train.seed = config.seed + static_cast<std::uint64_t>(variant) * 97;
+  if (recipe != nullptr) {
+    train.threshold_learning_rate = recipe->threshold_learning_rate;
+  }
+  core::Trainer trainer(*model, train);
+  support::log_info() << "net " << network.id << " [" << label << "] training "
+                      << train.epochs << " epochs on " << config.dataset.name;
+  VariantResult result;
+  result.variant = variant;
+  result.label = label;
+  result.fit = trainer.fit(split.train, split.test, config.top_k);
+  result.accuracy = result.fit.test_accuracy * 100.0;
+  result.storage_bytes = model_storage_bytes(*model);
+  result.mean_k = model_mean_k(*model);
+
+  switch (variant) {
+    case Variant::kFull:
+      result.spec = hw::QuantSpec::full();
+      break;
+    case Variant::kLightNN2:
+      result.spec = hw::QuantSpec::lightnn(2);
+      break;
+    case Variant::kLightNN1:
+      result.spec = hw::QuantSpec::lightnn(1);
+      break;
+    case Variant::kFixedPoint4:
+      result.spec = hw::QuantSpec::fixed_point(4, 8);
+      break;
+    case Variant::kFLightNN:
+      result.spec = hw::QuantSpec::flightnn(result.mean_k);
+      break;
+  }
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.config = config;
+  result.network = models::table1_network(config.network_id);
+
+  const data::TrainTest split = data::make_synthetic(config.dataset);
+
+  std::vector<VariantResult>& variants = result.variants;
+  if (config.include_full) {
+    variants.push_back(train_variant(Variant::kFull, "Full", config, split,
+                                     result.network));
+  }
+  variants.push_back(train_variant(Variant::kLightNN2, "L-2 8W8A", config,
+                                   split, result.network));
+  variants.push_back(train_variant(Variant::kLightNN1, "L-1 4W8A", config,
+                                   split, result.network));
+  if (config.include_fixed_point) {
+    variants.push_back(train_variant(Variant::kFixedPoint4, "FP 4W8A", config,
+                                     split, result.network));
+  }
+  const std::string id = std::to_string(config.network_id);
+  variants.push_back(train_variant(Variant::kFLightNN, "FL" + id + "a", config,
+                                   split, result.network, &config.recipe_a));
+  variants.push_back(train_variant(Variant::kFLightNN, "FL" + id + "b", config,
+                                   split, result.network, &config.recipe_b));
+
+  // Hardware models run on the unscaled topology: throughput and energy are
+  // properties of the paper-size network, independent of how small a proxy
+  // we trained.
+  models::BuildOptions full_size = config.build;
+  full_size.in_channels = config.dataset.channels;
+  full_size.classes = config.dataset.classes;
+  full_size.width_scale = 1.0F;
+  full_size.act_bits = 0;  // transform-free trace build
+  auto reference_model = models::build_network(result.network, full_size);
+  const hw::LayerCost layer = hw::largest_layer(
+      *reference_model,
+      tensor::Shape{1, config.dataset.channels, config.dataset.height,
+                    config.dataset.width});
+
+  const hw::FpgaModel fpga;
+  const hw::AsicModel asic;
+  for (auto& variant : variants) {
+    variant.fpga = fpga.evaluate(layer, variant.spec);
+    variant.energy_uj = asic.layer_energy_uj(layer, variant.spec);
+    // Report the paper-size network's storage (the proxy's mean k carries
+    // over as bits-per-weight).
+    variant.storage_bytes = reference_storage_bytes(*reference_model, variant.spec);
+  }
+
+  // Speedup column: relative to Full when present, else the first variant
+  // (L-2, matching Table 5's ImageNet baseline).
+  const double baseline = variants.front().fpga.throughput;
+  for (auto& variant : variants) {
+    variant.speedup = variant.fpga.throughput / baseline;
+  }
+  return result;
+}
+
+std::vector<std::vector<std::string>> table_rows(const ExperimentResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& variant : result.variants) {
+    rows.push_back({
+        std::to_string(result.network.id),
+        variant.label,
+        support::format_fixed(variant.accuracy, 2),
+        support::format_mb(variant.storage_bytes),
+        support::format_sci(variant.fpga.throughput),
+        support::format_speedup(variant.speedup),
+    });
+  }
+  return rows;
+}
+
+}  // namespace flightnn::eval

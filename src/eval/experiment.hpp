@@ -1,0 +1,77 @@
+#pragma once
+
+// The per-network experiment of Sec. 5: build one Table-1 topology, train
+// the paper's model variants on a dataset (Full, L-2, L-1, FP4, and two
+// FLightNNs at different regularization strengths), then attach storage,
+// FPGA throughput and ASIC energy to each -- everything Tables 2-5, Table 6
+// and Fig. 5 need.
+
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "hw/asic_model.hpp"
+#include "hw/fpga_model.hpp"
+#include "models/networks.hpp"
+
+namespace flightnn::eval {
+
+// Which paper model variant a result row describes.
+enum class Variant { kFull, kLightNN2, kLightNN1, kFixedPoint4, kFLightNN };
+
+struct VariantResult {
+  Variant variant = Variant::kFull;
+  std::string label;          // "Full", "L-2 8W8A", "FL7a", ...
+  double accuracy = 0.0;      // top-1 (or top-5 for the ImageNet proxy)
+  double storage_bytes = 0.0;
+  double mean_k = 1.0;        // shift terms per weight (shift-add variants)
+  hw::QuantSpec spec;         // hardware-model descriptor
+  hw::FpgaReport fpga;        // throughput + resources (largest layer)
+  double speedup = 0.0;       // vs the experiment's baseline variant
+  double energy_uj = 0.0;     // ASIC computational energy (largest layer)
+  core::FitResult fit;        // training curve
+};
+
+// One FLightNN training recipe: group-lasso coefficients plus the
+// threshold learning rate. The defaults below are calibrated (at the
+// benches' reduced scale) to land at the paper's two operating points.
+struct FLightNNRecipe {
+  std::vector<float> lambdas;
+  float threshold_learning_rate = 0.05F;
+};
+
+struct ExperimentConfig {
+  int network_id = 1;
+  data::DatasetSpec dataset;
+  core::TrainConfig train;
+  models::BuildOptions build;   // classes/in_channels set from dataset
+  int top_k = 1;
+  // The two FLightNN runs of each table: "a" drives most filters to one
+  // shift (L-1-like storage, higher accuracy via gradual quantization); "b"
+  // keeps a mix (storage between L-1 and L-2, accuracy near L-2).
+  FLightNNRecipe recipe_a{{1e-5F, 1e-3F}, 0.1F};
+  FLightNNRecipe recipe_b{{8e-5F, 2.4e-4F}, 0.02F};
+  // Tables 2-4 include Full and FP4; Table 5 (ImageNet) omits them.
+  bool include_full = true;
+  bool include_fixed_point = true;
+  // Baseline for the speedup column: Full when present, else L-2 (Table 5).
+  std::uint64_t seed = 1;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  models::NetworkConfig network;
+  std::vector<VariantResult> variants;
+};
+
+// Run the full variant sweep. Training happens at config.build.width_scale;
+// the hardware models are evaluated on the *unscaled* topology so
+// throughput/energy reflect the paper's network sizes.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+// Render an ExperimentResult as one block of a paper-style table
+// (columns: Model, Accuracy(%), Storage(MB), Throughput(images/s), Speedup).
+std::vector<std::vector<std::string>> table_rows(const ExperimentResult& result);
+
+}  // namespace flightnn::eval

@@ -1,0 +1,53 @@
+#include "eval/pareto.hpp"
+
+#include <algorithm>
+
+namespace flightnn::eval {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool no_worse = a.cost <= b.cost && a.quality >= b.quality;
+  const bool strictly_better = a.cost < b.cost || a.quality > b.quality;
+  return no_worse && strictly_better;
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  std::vector<ParetoPoint> front;
+  for (const auto& candidate : points) {
+    bool dominated = false;
+    for (const auto& other : points) {
+      if (&other != &candidate && dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    // Keep duplicates once.
+    const bool already = std::any_of(
+        front.begin(), front.end(), [&](const ParetoPoint& p) {
+          return p.cost == candidate.cost && p.quality == candidate.quality;
+        });
+    if (!already) front.push_back(candidate);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.cost < b.cost;
+            });
+  return front;
+}
+
+double hypervolume(const std::vector<ParetoPoint>& front, double ref_cost,
+                   double ref_quality) {
+  auto sorted = pareto_front(front);
+  double volume = 0.0;
+  double previous_cost = ref_cost;
+  // Sweep from the highest-cost point leftwards; each point contributes a
+  // rectangle up to the previous (more expensive) point's cost.
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (it->cost > ref_cost || it->quality < ref_quality) continue;
+    volume += (previous_cost - it->cost) * (it->quality - ref_quality);
+    previous_cost = it->cost;
+  }
+  return volume;
+}
+
+}  // namespace flightnn::eval

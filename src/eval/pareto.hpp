@@ -1,0 +1,31 @@
+#pragma once
+
+// Pareto-front extraction over (cost, quality) points, used for the Fig. 1 /
+// Fig. 6 analyses: lower cost is better, higher quality is better.
+
+#include <string>
+#include <vector>
+
+namespace flightnn::eval {
+
+struct ParetoPoint {
+  double cost = 0.0;     // energy, latency, or storage -- lower is better
+  double quality = 0.0;  // accuracy -- higher is better
+  std::string label;
+};
+
+// True if `a` dominates `b` (no worse on both axes, strictly better on one).
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+// The non-dominated subset, sorted by ascending cost. Duplicate points are
+// kept once.
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
+
+// Hypervolume indicator w.r.t. a reference point (ref_cost >= all costs,
+// ref_quality <= all qualities): the area dominated by the front. Larger is
+// better; used to compare the FLightNN front against the LightNN-only front
+// (Fig. 6's "upper bound" claim).
+double hypervolume(const std::vector<ParetoPoint>& front, double ref_cost,
+                   double ref_quality);
+
+}  // namespace flightnn::eval

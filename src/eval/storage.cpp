@@ -1,0 +1,102 @@
+#include "eval/storage.hpp"
+
+#include "core/flightnn_transform.hpp"
+#include "core/quantize_model.hpp"
+#include "quant/fixedpoint.hpp"
+#include "quant/lightnn.hpp"
+
+namespace flightnn::eval {
+
+namespace {
+
+// Bits consumed by one quantizable layer's weight tensor.
+double layer_weight_bits(const core::QuantizableLayer& layer) {
+  const auto& w = layer.weight->value;
+  const auto count = static_cast<double>(w.numel());
+  if (layer.transform == nullptr) return count * 32.0;
+  if (auto* lightnn = dynamic_cast<quant::LightNNTransform*>(layer.transform)) {
+    return count * static_cast<double>(lightnn->k() * kShiftTermBits);
+  }
+  if (auto* fxp = dynamic_cast<quant::FixedPointTransform*>(layer.transform)) {
+    return count * static_cast<double>(fxp->config().bits);
+  }
+  if (auto* fl = dynamic_cast<core::FLightNNTransform*>(layer.transform)) {
+    const auto ks = fl->filter_k(w);
+    const double per_filter_elems =
+        count / static_cast<double>(ks.empty() ? 1 : ks.size());
+    double bits = 0.0;
+    for (int k : ks) {
+      bits += per_filter_elems * k * kShiftTermBits + kFilterTagBits;
+    }
+    return bits;
+  }
+  return count * 32.0;  // unknown transform: assume full precision
+}
+
+}  // namespace
+
+double model_storage_bytes(nn::Sequential& model) {
+  double bits = 0.0;
+  // Quantizable weights at their encoded width.
+  const auto layers = core::quantizable_layers(model);
+  for (const auto& layer : layers) bits += layer_weight_bits(layer);
+  // Everything else (biases, batch-norm parameters) at 32 bits.
+  std::int64_t quantized_numel = 0;
+  for (const auto& layer : layers) quantized_numel += layer.weight->value.numel();
+  std::int64_t total_numel = 0;
+  for (auto* param : model.parameters()) total_numel += param->value.numel();
+  bits += static_cast<double>(total_numel - quantized_numel) * 32.0;
+  return bits / 8.0;
+}
+
+double reference_storage_bytes(nn::Sequential& reference_model,
+                               const hw::QuantSpec& spec) {
+  double bits_per_weight = 32.0;
+  switch (spec.kind) {
+    case hw::ArithKind::kFloat32:
+      bits_per_weight = 32.0;
+      break;
+    case hw::ArithKind::kFixedPoint:
+      bits_per_weight = spec.weight_bits;
+      break;
+    case hw::ArithKind::kShiftAdd:
+      bits_per_weight = spec.mean_k * spec.weight_bits;
+      break;
+  }
+  std::int64_t quantized_numel = 0;
+  const auto layers = core::quantizable_layers(reference_model);
+  for (const auto& layer : layers) quantized_numel += layer.weight->value.numel();
+  std::int64_t total_numel = 0;
+  for (auto* param : reference_model.parameters()) {
+    total_numel += param->value.numel();
+  }
+  double bits = static_cast<double>(quantized_numel) * bits_per_weight;
+  if (spec.kind == hw::ArithKind::kShiftAdd &&
+      spec.mean_k != static_cast<int>(spec.mean_k)) {
+    // FLightNN carries a small per-filter k tag.
+    for (const auto& layer : layers) {
+      bits += static_cast<double>(layer.weight->value.shape()[0]) * kFilterTagBits;
+    }
+  }
+  bits += static_cast<double>(total_numel - quantized_numel) * 32.0;
+  return bits / 8.0;
+}
+
+double model_mean_k(nn::Sequential& model) {
+  double weighted_k = 0.0, total = 0.0;
+  for (const auto& layer : core::quantizable_layers(model)) {
+    const auto count = static_cast<double>(layer.weight->value.numel());
+    double k = 1.0;
+    if (auto* lightnn = dynamic_cast<quant::LightNNTransform*>(layer.transform)) {
+      k = lightnn->k();
+    } else if (auto* fl =
+                   dynamic_cast<core::FLightNNTransform*>(layer.transform)) {
+      k = fl->mean_k(layer.weight->value);
+    }
+    weighted_k += k * count;
+    total += count;
+  }
+  return total > 0.0 ? weighted_k / total : 1.0;
+}
+
+}  // namespace flightnn::eval

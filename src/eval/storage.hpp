@@ -1,0 +1,37 @@
+#pragma once
+
+// Model storage accounting matching the paper's "Storage (MB)" columns:
+// each quantized weight costs its encoding width (4 bits per shift term for
+// (F)LightNNs -- 1 sign + 3 exponent bits -- 4 bits for FP4, 32 bits for
+// full precision), FLightNN filters additionally carry a 2-bit k tag, and
+// non-quantized parameters (biases, batch-norm) count at full precision.
+
+#include "hw/cost_model.hpp"
+#include "nn/sequential.hpp"
+
+namespace flightnn::eval {
+
+// Bits per shift term in the (F)LightNN encoding (sign + 3-bit exponent).
+inline constexpr int kShiftTermBits = 4;
+// Per-filter k tag for FLightNN (k in {0, 1, 2} needs 2 bits).
+inline constexpr int kFilterTagBits = 2;
+
+// Total storage of a model in bytes, honouring each layer's installed
+// transform. For FLightNN layers, the current weights' per-filter k values
+// determine the cost (so storage shrinks as training sparsifies filters).
+double model_storage_bytes(nn::Sequential& model);
+
+// Storage the *reference* (typically full-size) model would need under a
+// quantization spec: quantizable weights at the spec's bits per weight
+// (mean_k x 4 for shift-coded models), everything else at 32 bits. Used by
+// the table benches, which train reduced proxies but report the paper-size
+// network's storage.
+double reference_storage_bytes(nn::Sequential& reference_model,
+                               const hw::QuantSpec& spec);
+
+// Weighted mean shift count over all quantized weights in the model: k for
+// LightNN-k layers, mean k_i for FLightNN layers, 1 for everything else
+// (used as the FPGA/ASIC cost of the multiplier replacement).
+double model_mean_k(nn::Sequential& model);
+
+}  // namespace flightnn::eval

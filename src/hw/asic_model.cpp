@@ -1,0 +1,51 @@
+#include "hw/asic_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flightnn::hw {
+
+AsicModel::AsicModel(AsicEnergyConstants constants) : constants_(constants) {}
+
+double AsicModel::mac_energy_pj(const QuantSpec& spec) const {
+  const double add =
+      constants_.int_add_pj_per_bit * constants_.accumulator_bits;
+  switch (spec.kind) {
+    case ArithKind::kFloat32:
+      return constants_.fp32_mult_pj + constants_.fp32_add_pj;
+    case ArithKind::kFixedPoint:
+      return constants_.int_mult_pj_per_bit2 *
+                 static_cast<double>(spec.weight_bits) * spec.act_bits +
+             add;
+    case ArithKind::kShiftAdd:
+      // k shifts and k accumulator adds per original multiply (Fig. 3: one
+      // add folds each single-shift term's partial product in).
+      return spec.mean_k * (constants_.shift_pj + add);
+  }
+  throw std::logic_error("AsicModel::mac_energy_pj: unknown arithmetic kind");
+}
+
+double AsicModel::layer_energy_uj(const LayerCost& layer,
+                                  const QuantSpec& spec) const {
+  const double pj = static_cast<double>(layer.macs()) * mac_energy_pj(spec);
+  return pj * 1e-6;  // pJ -> uJ
+}
+
+double AsicModel::mac_area_um2(const QuantSpec& spec) const {
+  const double add = constants_.int_add_um2_per_bit * constants_.accumulator_bits;
+  switch (spec.kind) {
+    case ArithKind::kFloat32:
+      return constants_.fp32_mult_um2 + constants_.fp32_add_um2;
+    case ArithKind::kFixedPoint:
+      return constants_.int_mult_um2_per_bit2 *
+                 static_cast<double>(spec.weight_bits) * spec.act_bits +
+             add;
+    case ArithKind::kShiftAdd: {
+      const double depth = std::ceil(spec.mean_k);
+      return depth * (constants_.shift_um2 + add);
+    }
+  }
+  throw std::logic_error("AsicModel::mac_area_um2: unknown arithmetic kind");
+}
+
+}  // namespace flightnn::hw

@@ -1,0 +1,63 @@
+#pragma once
+
+// ASIC computational-energy model: the stand-in for the paper's 65 nm
+// Design Compiler + PrimeTime flow (Sec. 5.3). Energy of one layer =
+// op census x per-operation energy. The per-op constants are 65 nm-class
+// values in the spirit of published energy tables (Horowitz, ISSCC'14),
+// chosen so that the paper's orderings -- and, for the shift-based models,
+// roughly its absolute microjoule ranges -- are reproduced:
+//
+//   per-MAC energy: L-1 (1 shift + 1 add)   <  FP4W8A (4x8 mult + add)
+//                   <  L-2 (2 shifts + 2 adds)  <<  Full (fp32 mult + add)
+//
+// FLightNN sits between L-1 and L-2 in proportion to its mean k.
+
+#include "hw/cost_model.hpp"
+
+namespace flightnn::hw {
+
+struct AsicEnergyConstants {
+  // Energies in picojoules per operation, 65 nm-class.
+  double shift_pj = 0.012;        // 8-bit barrel shifter
+  double int_add_pj_per_bit = 0.0016;  // ripple-carry-class adder, per bit
+  double int_mult_pj_per_bit2 = 0.00065;  // array multiplier, per (bit x bit)
+  double fp32_mult_pj = 3.7;
+  double fp32_add_pj = 0.9;
+  // Accumulator width for integer datapaths (the adds in a MAC tree).
+  int accumulator_bits = 16;
+
+  // Cell areas in um^2, 65 nm-class (the paper's Sec. 2 claim that shifts
+  // are more area-efficient than multipliers).
+  double shift_um2 = 320.0;            // 8-bit barrel shifter
+  double int_add_um2_per_bit = 18.0;   // adder, per bit
+  double int_mult_um2_per_bit2 = 28.0; // array multiplier, per (bit x bit)
+  double fp32_mult_um2 = 30000.0;
+  double fp32_add_um2 = 12000.0;
+};
+
+class AsicModel {
+ public:
+  explicit AsicModel(AsicEnergyConstants constants = {});
+
+  // Energy of one multiply(-equivalent) + accumulate under a quantization
+  // style, in picojoules.
+  [[nodiscard]] double mac_energy_pj(const QuantSpec& spec) const;
+
+  // Computational energy of one layer for one image, in microjoules
+  // (Fig. 5's unit).
+  [[nodiscard]] double layer_energy_uj(const LayerCost& layer,
+                                       const QuantSpec& spec) const;
+
+  // Silicon area of one multiply(-equivalent)-accumulate datapath, in um^2.
+  // For shift-add styles the datapath is sized for ceil(mean_k) pipelined
+  // terms (a fractional mean k still needs the k_max-deep unit; the energy
+  // model, not the area model, is where fractional k pays off).
+  [[nodiscard]] double mac_area_um2(const QuantSpec& spec) const;
+
+  [[nodiscard]] const AsicEnergyConstants& constants() const { return constants_; }
+
+ private:
+  AsicEnergyConstants constants_;
+};
+
+}  // namespace flightnn::hw

@@ -1,0 +1,77 @@
+#include "hw/cost_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/conv2d.hpp"
+
+namespace flightnn::hw {
+
+std::vector<LayerCost> trace_conv_costs(nn::Sequential& model,
+                                        const tensor::Shape& input_shape) {
+  if (input_shape.rank() != 4 || input_shape[0] != 1) {
+    throw std::invalid_argument("trace_conv_costs: expected [1, C, H, W] input");
+  }
+  tensor::Tensor dummy(input_shape);
+  (void)model.forward(dummy, /*training=*/false);
+
+  std::vector<LayerCost> costs;
+  model.visit([&](nn::Layer& layer) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      const auto& g = conv->last_geometry();
+      LayerCost cost;
+      cost.out_channels = conv->out_channels();
+      cost.in_channels = conv->in_channels();
+      cost.kernel = conv->kernel();
+      cost.in_h = g.in_h;
+      cost.in_w = g.in_w;
+      cost.out_h = g.out_h();
+      cost.out_w = g.out_w();
+      costs.push_back(cost);
+    }
+  });
+  return costs;
+}
+
+LayerCost largest_layer(nn::Sequential& model, const tensor::Shape& input_shape) {
+  const auto costs = trace_conv_costs(model, input_shape);
+  if (costs.empty()) throw std::invalid_argument("largest_layer: no conv layers");
+  return *std::max_element(costs.begin(), costs.end(),
+                           [](const LayerCost& a, const LayerCost& b) {
+                             return a.macs() < b.macs();
+                           });
+}
+
+std::string QuantSpec::label() const {
+  switch (kind) {
+    case ArithKind::kFloat32:
+      return "Full";
+    case ArithKind::kFixedPoint:
+      return "FP" + std::to_string(weight_bits) + "W" + std::to_string(act_bits) + "A";
+    case ArithKind::kShiftAdd: {
+      if (mean_k == static_cast<int>(mean_k)) {
+        return "L-" + std::to_string(static_cast<int>(mean_k));
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "FL(k=%.2f)", mean_k);
+      return buf;
+    }
+  }
+  return "?";
+}
+
+QuantSpec QuantSpec::full() { return {ArithKind::kFloat32, 32, 32, 1.0}; }
+
+QuantSpec QuantSpec::fixed_point(int weight_bits, int act_bits) {
+  return {ArithKind::kFixedPoint, weight_bits, act_bits, 1.0};
+}
+
+QuantSpec QuantSpec::lightnn(int k, int act_bits) {
+  return {ArithKind::kShiftAdd, 4, act_bits, static_cast<double>(k)};
+}
+
+QuantSpec QuantSpec::flightnn(double mean_k, int act_bits) {
+  return {ArithKind::kShiftAdd, 4, act_bits, mean_k};
+}
+
+}  // namespace flightnn::hw

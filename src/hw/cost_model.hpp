@@ -1,0 +1,74 @@
+#pragma once
+
+// Layer op census and the quantization-style descriptor shared by the FPGA
+// and ASIC models. Following the paper's methodology (Sec. 5.2/5.3), the
+// hardware models cost the *largest convolutional layer* of each network --
+// convolutions take over 90% of CNN compute, so the largest layer determines
+// who wins and by how much.
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "tensor/shape.hpp"
+
+namespace flightnn::hw {
+
+// One convolution layer's compute geometry.
+struct LayerCost {
+  std::int64_t out_channels = 0;
+  std::int64_t in_channels = 0;
+  std::int64_t kernel = 0;
+  std::int64_t out_h = 0;
+  std::int64_t out_w = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+
+  // Multiply-accumulates per image.
+  [[nodiscard]] std::int64_t macs() const {
+    return out_channels * out_h * out_w * in_channels * kernel * kernel;
+  }
+  [[nodiscard]] std::int64_t weight_count() const {
+    return out_channels * in_channels * kernel * kernel;
+  }
+  // Input + output activations per image.
+  [[nodiscard]] std::int64_t activation_count() const {
+    return in_channels * in_h * in_w + out_channels * out_h * out_w;
+  }
+};
+
+// Trace every Conv2d in the model by running a single dummy image through
+// it (eval mode); geometry comes from the convolutions' recorded shapes.
+std::vector<LayerCost> trace_conv_costs(nn::Sequential& model,
+                                        const tensor::Shape& input_shape);
+
+// The layer with the most MACs (the FPGA/ASIC implementation target).
+LayerCost largest_layer(nn::Sequential& model, const tensor::Shape& input_shape);
+
+// Which arithmetic style a model variant uses.
+enum class ArithKind {
+  kFloat32,     // "Full"
+  kFixedPoint,  // "FP xW yA": integer multiplier
+  kShiftAdd,    // LightNN-k / FLightNN: barrel shift + add
+};
+
+// Quantization descriptor of a model variant, as consumed by the hardware
+// models and the storage accounting.
+struct QuantSpec {
+  ArithKind kind = ArithKind::kFloat32;
+  int weight_bits = 32;  // per shift term for kShiftAdd (4 = sign + 3-bit exp)
+  int act_bits = 32;
+  // Shift terms per weight: k for LightNN-k, the per-layer mean k_i for
+  // FLightNN (fractional), unused for other kinds.
+  double mean_k = 1.0;
+
+  [[nodiscard]] std::string label() const;
+
+  // Paper model shorthands.
+  static QuantSpec full();
+  static QuantSpec fixed_point(int weight_bits = 4, int act_bits = 8);
+  static QuantSpec lightnn(int k, int act_bits = 8);
+  static QuantSpec flightnn(double mean_k, int act_bits = 8);
+};
+
+}  // namespace flightnn::hw

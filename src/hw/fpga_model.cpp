@@ -1,0 +1,131 @@
+#include "hw/fpga_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flightnn::hw {
+
+namespace {
+constexpr std::int64_t kBram18Bits = 18 * 1024;
+// Pipeline fill penalty in image-equivalents: the cost a small batch pays.
+constexpr double kPipelineFill = 32.0;
+// Per-filter k tag bits FLightNN stores alongside the shift terms.
+constexpr double kFilterTagBits = 2.0;
+}  // namespace
+
+FpgaModel::FpgaModel(FpgaResources resources, PeCosts costs)
+    : resources_(resources), costs_(costs) {}
+
+FpgaReport FpgaModel::evaluate(const LayerCost& layer,
+                               const QuantSpec& spec) const {
+  FpgaReport report;
+
+  // --- Per-PE cost by arithmetic style -----------------------------------
+  std::int64_t pe_dsp = 0, pe_lut = 0, pe_ff = 0;
+  switch (spec.kind) {
+    case ArithKind::kFloat32:
+      pe_dsp = costs_.fp32_dsp;
+      pe_lut = costs_.fp32_lut;
+      pe_ff = costs_.fp32_ff;
+      break;
+    case ArithKind::kFixedPoint:
+      pe_dsp = costs_.fxp_dsp;
+      pe_lut = costs_.fxp_lut;
+      pe_ff = costs_.fxp_ff;
+      break;
+    case ArithKind::kShiftAdd:
+      pe_dsp = costs_.shift_dsp;
+      pe_lut = costs_.shift_lut;
+      pe_ff = costs_.shift_ff;
+      break;
+  }
+
+  const auto cap = [&](std::int64_t amount) {
+    return static_cast<std::int64_t>(
+        std::floor(static_cast<double>(amount) * resources_.utilization_cap));
+  };
+
+  // --- Parallel unit count: tightest of DSP / LUT / FF -------------------
+  std::int64_t pe_count = std::numeric_limits<std::int64_t>::max();
+  report.compute_bound = "none";
+  const auto consider = [&](std::int64_t avail, std::int64_t base,
+                            std::int64_t per_pe, const char* label) {
+    if (per_pe <= 0) return;
+    const std::int64_t limit = std::max<std::int64_t>(0, cap(avail) - base) / per_pe;
+    if (limit < pe_count) {
+      pe_count = limit;
+      report.compute_bound = label;
+    }
+  };
+  consider(resources_.dsp, costs_.base_dsp, pe_dsp, "DSP");
+  consider(resources_.lut, costs_.base_lut, pe_lut, "LUT");
+  consider(resources_.ff, costs_.base_ff, pe_ff, "FF");
+  if (pe_count < 1) {
+    throw std::logic_error("FpgaModel: layer does not fit (no PE budget)");
+  }
+  // No point instantiating more PEs than output-pixel parallelism allows.
+  pe_count = std::min(pe_count, layer.macs());
+  report.pe_count = pe_count;
+
+  // --- BRAM budget: weights first, then the largest batch that fits ------
+  const double weight_bits_per_value =
+      spec.kind == ArithKind::kShiftAdd
+          ? spec.mean_k * spec.weight_bits +
+                kFilterTagBits / std::max<double>(1.0, static_cast<double>(
+                                                           layer.weight_count() /
+                                                           layer.out_channels))
+          : static_cast<double>(spec.weight_bits);
+  const double weight_bits_total =
+      static_cast<double>(layer.weight_count()) * weight_bits_per_value;
+  const double act_bits_per_image =
+      static_cast<double>(layer.activation_count()) * spec.act_bits;
+  const double bram_bits = static_cast<double>(cap(resources_.bram18)) * kBram18Bits;
+
+  std::int64_t batch = 1;
+  if (weight_bits_total + act_bits_per_image > bram_bits) {
+    report.bram_bound = true;  // even batch 1 streams; keep batch = 1
+  } else {
+    batch = static_cast<std::int64_t>(
+        std::floor((bram_bits - weight_bits_total) / act_bits_per_image));
+    batch = std::clamp<std::int64_t>(batch, 1, 1024);
+    report.bram_bound = batch < 1024;
+  }
+  report.batch = batch;
+
+  // --- Throughput ---------------------------------------------------------
+  const double ops_per_image =
+      static_cast<double>(layer.macs()) *
+      (spec.kind == ArithKind::kShiftAdd ? spec.mean_k : 1.0);
+  const double utilization =
+      static_cast<double>(batch) / (static_cast<double>(batch) + kPipelineFill);
+  report.throughput = resources_.freq_mhz * 1e6 *
+                      static_cast<double>(pe_count) * utilization / ops_per_image;
+
+  // --- Resource usage (Table 6 columns) -----------------------------------
+  const double used_bits =
+      weight_bits_total + static_cast<double>(batch) * act_bits_per_image;
+  report.bram_used = std::min<std::int64_t>(
+      resources_.bram18,
+      static_cast<std::int64_t>(std::ceil(used_bits / kBram18Bits)));
+  report.dsp_used = costs_.base_dsp + pe_count * pe_dsp;
+  report.lut_used = costs_.base_lut + pe_count * pe_lut;
+  report.ff_used = costs_.base_ff + pe_count * pe_ff;
+  return report;
+}
+
+double network_throughput(const FpgaModel& fpga,
+                          const std::vector<LayerCost>& layers,
+                          const QuantSpec& spec) {
+  if (layers.empty()) {
+    throw std::invalid_argument("network_throughput: no layers");
+  }
+  double seconds_per_image = 0.0;
+  for (const auto& layer : layers) {
+    seconds_per_image += 1.0 / fpga.evaluate(layer, spec).throughput;
+  }
+  return 1.0 / seconds_per_image;
+}
+
+}  // namespace flightnn::hw

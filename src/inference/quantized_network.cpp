@@ -1,0 +1,493 @@
+#include "inference/quantized_network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/flightnn_transform.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+#include "quant/lightnn.hpp"
+
+namespace flightnn::inference {
+
+namespace {
+
+using Step = QuantizedNetwork::Step;
+using StepPtr = std::unique_ptr<Step>;
+
+// --- Steps --------------------------------------------------------------------
+
+class QuantizeActStep final : public Step {
+ public:
+  explicit QuantizeActStep(int bits) : bits_(bits) {}
+  tensor::Tensor run(const tensor::Tensor& input,
+                     NetworkOpCounts* /*counts*/) const override {
+    return dequantize(quantize_tensor(input, bits_));
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "quant(" + std::to_string(bits_) + "b)";
+  }
+
+ private:
+  int bits_;
+};
+
+class ShiftConvStep final : public Step {
+ public:
+  ShiftConvStep(ShiftConv2d engine, int act_bits)
+      : engine_(std::move(engine)), act_bits_(act_bits) {}
+  tensor::Tensor run(const tensor::Tensor& input,
+                     NetworkOpCounts* counts) const override {
+    // Inputs arriving here are already on the activation-quantizer grid, so
+    // this re-quantization is lossless (same abs-max-driven pow2 scale).
+    const auto q = quantize_image(input, act_bits_);
+    OpCounts ops{};
+    tensor::Tensor out = engine_.run(q, &ops);
+    if (counts != nullptr) {
+      counts->shifts += ops.shifts;
+      counts->adds += ops.adds;
+    }
+    return out;
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "shift_conv[" + std::to_string(engine_.out_channels()) + "f/" +
+           std::to_string(engine_.term_count()) + "t]";
+  }
+
+ private:
+  ShiftConv2d engine_;
+  int act_bits_;
+};
+
+class FloatConvStep final : public Step {
+ public:
+  FloatConvStep(tensor::Tensor weights, tensor::Tensor bias, std::int64_t stride,
+                std::int64_t padding)
+      : weights_(std::move(weights)),
+        bias_(std::move(bias)),
+        stride_(stride),
+        padding_(padding) {}
+  tensor::Tensor run(const tensor::Tensor& input,
+                     NetworkOpCounts* counts) const override {
+    if (counts != nullptr) {
+      const auto& ws = weights_.shape();
+      const std::int64_t out_h =
+          (input.shape()[1] + 2 * padding_ - ws[2]) / stride_ + 1;
+      const std::int64_t out_w =
+          (input.shape()[2] + 2 * padding_ - ws[3]) / stride_ + 1;
+      counts->float_macs += ws[0] * ws[1] * ws[2] * ws[3] * out_h * out_w;
+    }
+    return reference_conv(weights_, input, stride_, padding_, bias_);
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "float_conv[" + std::to_string(weights_.shape()[0]) + "f]";
+  }
+
+ private:
+  tensor::Tensor weights_, bias_;
+  std::int64_t stride_, padding_;
+};
+
+// Per-channel y = scale[c] * x + bias[c] (folded batch norm).
+class AffineStep final : public Step {
+ public:
+  AffineStep(std::vector<float> scale, std::vector<float> bias)
+      : scale_(std::move(scale)), bias_(std::move(bias)) {}
+  tensor::Tensor run(const tensor::Tensor& input,
+                     NetworkOpCounts* /*counts*/) const override {
+    const auto& s = input.shape();
+    if (s.rank() != 3 ||
+        s[0] != static_cast<std::int64_t>(scale_.size())) {
+      throw std::invalid_argument("AffineStep: bad input shape");
+    }
+    tensor::Tensor out(s);
+    const std::int64_t hw = s[1] * s[2];
+    for (std::size_t c = 0; c < scale_.size(); ++c) {
+      const float* in_plane = input.data() + static_cast<std::int64_t>(c) * hw;
+      float* out_plane = out.data() + static_cast<std::int64_t>(c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        out_plane[i] = scale_[c] * in_plane[i] + bias_[c];
+      }
+    }
+    return out;
+  }
+  [[nodiscard]] std::string describe() const override { return "affine"; }
+
+ private:
+  std::vector<float> scale_, bias_;
+};
+
+class LeakyReLUStep final : public Step {
+ public:
+  explicit LeakyReLUStep(float slope) : slope_(slope) {}
+  tensor::Tensor run(const tensor::Tensor& input,
+                     NetworkOpCounts* /*counts*/) const override {
+    tensor::Tensor out(input.shape());
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+      const float v = input[i];
+      out[i] = v > 0.0F ? v : slope_ * v;
+    }
+    return out;
+  }
+  [[nodiscard]] std::string describe() const override { return "leaky_relu"; }
+
+ private:
+  float slope_;
+};
+
+class MaxPoolStep final : public Step {
+ public:
+  MaxPoolStep(std::int64_t window, std::int64_t stride)
+      : window_(window), stride_(stride) {}
+  tensor::Tensor run(const tensor::Tensor& input,
+                     NetworkOpCounts* /*counts*/) const override {
+    const auto& s = input.shape();
+    if (s.rank() != 3) throw std::invalid_argument("MaxPoolStep: CHW expected");
+    const std::int64_t channels = s[0], in_h = s[1], in_w = s[2];
+    const std::int64_t out_h = (in_h - window_) / stride_ + 1;
+    const std::int64_t out_w = (in_w - window_) / stride_ + 1;
+    tensor::Tensor out(tensor::Shape{channels, out_h, out_w});
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float* plane = input.data() + c * in_h * in_w;
+      float* out_plane = out.data() + c * out_h * out_w;
+      for (std::int64_t oy = 0; oy < out_h; ++oy) {
+        for (std::int64_t ox = 0; ox < out_w; ++ox) {
+          float best = plane[(oy * stride_) * in_w + ox * stride_];
+          for (std::int64_t ky = 0; ky < window_; ++ky) {
+            for (std::int64_t kx = 0; kx < window_; ++kx) {
+              best = std::max(best, plane[(oy * stride_ + ky) * in_w +
+                                          ox * stride_ + kx]);
+            }
+          }
+          out_plane[oy * out_w + ox] = best;
+        }
+      }
+    }
+    return out;
+  }
+  [[nodiscard]] std::string describe() const override { return "maxpool"; }
+
+ private:
+  std::int64_t window_, stride_;
+};
+
+class GapStep final : public Step {
+ public:
+  tensor::Tensor run(const tensor::Tensor& input,
+                     NetworkOpCounts* /*counts*/) const override {
+    const auto& s = input.shape();
+    if (s.rank() != 3) throw std::invalid_argument("GapStep: CHW expected");
+    const std::int64_t channels = s[0], hw = s[1] * s[2];
+    tensor::Tensor out(tensor::Shape{channels});
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float* plane = input.data() + c * hw;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+      out[c] = static_cast<float>(acc / static_cast<double>(hw));
+    }
+    return out;
+  }
+  [[nodiscard]] std::string describe() const override { return "gap"; }
+};
+
+class FlattenStep final : public Step {
+ public:
+  tensor::Tensor run(const tensor::Tensor& input,
+                     NetworkOpCounts* /*counts*/) const override {
+    return input.reshaped(tensor::Shape{input.numel()});
+  }
+  [[nodiscard]] std::string describe() const override { return "flatten"; }
+};
+
+class ShiftLinearStep final : public Step {
+ public:
+  ShiftLinearStep(ShiftLinear engine, int act_bits)
+      : engine_(std::move(engine)), act_bits_(act_bits) {}
+  tensor::Tensor run(const tensor::Tensor& input,
+                     NetworkOpCounts* counts) const override {
+    tensor::Tensor flat = input.shape().rank() == 1
+                              ? input
+                              : input.reshaped(tensor::Shape{input.numel()});
+    const auto q = quantize_tensor(flat, act_bits_);
+    OpCounts ops{};
+    tensor::Tensor out = engine_.run(q, &ops);
+    if (counts != nullptr) {
+      counts->shifts += ops.shifts;
+      counts->adds += ops.adds;
+    }
+    return out;
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "shift_linear[" + std::to_string(engine_.out_features()) + "]";
+  }
+
+ private:
+  ShiftLinear engine_;
+  int act_bits_;
+};
+
+class FloatLinearStep final : public Step {
+ public:
+  FloatLinearStep(tensor::Tensor weights, tensor::Tensor bias)
+      : weights_(std::move(weights)), bias_(std::move(bias)) {}
+  tensor::Tensor run(const tensor::Tensor& input,
+                     NetworkOpCounts* counts) const override {
+    const std::int64_t out_features = weights_.shape()[0];
+    const std::int64_t in_features = weights_.shape()[1];
+    tensor::Tensor flat = input.shape().rank() == 1
+                              ? input
+                              : input.reshaped(tensor::Shape{input.numel()});
+    if (flat.numel() != in_features) {
+      throw std::invalid_argument("FloatLinearStep: bad input size");
+    }
+    if (counts != nullptr) counts->float_macs += out_features * in_features;
+    tensor::Tensor out(tensor::Shape{out_features});
+    for (std::int64_t o = 0; o < out_features; ++o) {
+      double acc = bias_.empty() ? 0.0 : bias_[o];
+      const float* row = weights_.data() + o * in_features;
+      for (std::int64_t e = 0; e < in_features; ++e) {
+        acc += static_cast<double>(row[e]) * flat[e];
+      }
+      out[o] = static_cast<float>(acc);
+    }
+    return out;
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "float_linear[" + std::to_string(weights_.shape()[0]) + "]";
+  }
+
+ private:
+  tensor::Tensor weights_, bias_;
+};
+
+class ResidualStep final : public Step {
+ public:
+  ResidualStep(std::vector<StepPtr> main_steps, std::vector<StepPtr> shortcut_steps,
+               bool has_shortcut, std::vector<StepPtr> post_steps)
+      : main_(std::move(main_steps)),
+        shortcut_(std::move(shortcut_steps)),
+        has_shortcut_(has_shortcut),
+        post_(std::move(post_steps)) {}
+
+  tensor::Tensor run(const tensor::Tensor& input,
+                     NetworkOpCounts* counts) const override {
+    tensor::Tensor main_out = run_chain(main_, input, counts);
+    tensor::Tensor skip_out =
+        has_shortcut_ ? run_chain(shortcut_, input, counts) : input;
+    main_out += skip_out;
+    return run_chain(post_, main_out, counts);
+  }
+  [[nodiscard]] std::string describe() const override { return "residual"; }
+
+ private:
+  static tensor::Tensor run_chain(const std::vector<StepPtr>& steps,
+                                  const tensor::Tensor& input,
+                                  NetworkOpCounts* counts) {
+    tensor::Tensor current = input;
+    for (const auto& step : steps) current = step->run(current, counts);
+    return current;
+  }
+
+  std::vector<StepPtr> main_, shortcut_;
+  bool has_shortcut_;
+  std::vector<StepPtr> post_;
+};
+
+// --- Compilation ----------------------------------------------------------------
+
+struct CompileState {
+  const CompileOptions* options;
+  int current_act_bits;  // bits of the most recent activation quantizer
+};
+
+void compile_into(nn::Sequential& seq, CompileState& state,
+                  std::vector<StepPtr>& steps);
+
+void compile_layer(nn::Layer& layer, CompileState& state,
+                   std::vector<StepPtr>& steps) {
+  if (auto* seq = dynamic_cast<nn::Sequential*>(&layer)) {
+    compile_into(*seq, state, steps);
+    return;
+  }
+  if (auto* aq = dynamic_cast<nn::ActivationQuant*>(&layer)) {
+    state.current_act_bits = aq->bits();
+    steps.push_back(std::make_unique<QuantizeActStep>(aq->bits()));
+    return;
+  }
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+    tensor::Tensor wq = conv->quantized_weight();
+    tensor::Tensor bias =
+        conv->has_bias() ? conv->bias().value : tensor::Tensor();
+    int k_max = 0;
+    quant::Pow2Config pow2 = state.options->pow2;
+    if (auto* lightnn =
+            dynamic_cast<quant::LightNNTransform*>(conv->weight_transform())) {
+      k_max = lightnn->k();
+      pow2 = lightnn->config();
+    } else if (auto* fl = dynamic_cast<core::FLightNNTransform*>(
+                   conv->weight_transform())) {
+      k_max = fl->config().k_max;
+      pow2 = fl->config().pow2;
+    }
+    if (k_max > 0) {
+      steps.push_back(std::make_unique<ShiftConvStep>(
+          ShiftConv2d(wq, k_max, pow2, conv->stride(), conv->padding(),
+                      std::move(bias)),
+          state.current_act_bits));
+    } else {
+      steps.push_back(std::make_unique<FloatConvStep>(
+          std::move(wq), std::move(bias), conv->stride(), conv->padding()));
+    }
+    return;
+  }
+  if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&layer)) {
+    const auto& mean = bn->running_mean();
+    const auto& var = bn->running_var();
+    const auto channels = static_cast<std::size_t>(mean.numel());
+    std::vector<float> scale(channels), bias(channels);
+    for (std::size_t c = 0; c < channels; ++c) {
+      const auto i = static_cast<std::int64_t>(c);
+      const float inv_std = 1.0F / std::sqrt(var[i] + 1e-5F);
+      scale[c] = bn->gamma().value[i] * inv_std;
+      bias[c] = bn->beta().value[i] - mean[i] * scale[c];
+    }
+    steps.push_back(std::make_unique<AffineStep>(std::move(scale), std::move(bias)));
+    return;
+  }
+  if (auto* act = dynamic_cast<nn::LeakyReLU*>(&layer)) {
+    steps.push_back(std::make_unique<LeakyReLUStep>(act->negative_slope()));
+    return;
+  }
+  if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
+    steps.push_back(std::make_unique<MaxPoolStep>(pool->window(), pool->stride()));
+    return;
+  }
+  if (dynamic_cast<nn::GlobalAvgPool*>(&layer) != nullptr) {
+    steps.push_back(std::make_unique<GapStep>());
+    return;
+  }
+  if (dynamic_cast<nn::Flatten*>(&layer) != nullptr) {
+    steps.push_back(std::make_unique<FlattenStep>());
+    return;
+  }
+  if (auto* linear = dynamic_cast<nn::Linear*>(&layer)) {
+    tensor::Tensor wq = linear->quantized_weight();
+    tensor::Tensor bias = linear->bias().value;
+    int k_max = 0;
+    quant::Pow2Config pow2 = state.options->pow2;
+    if (auto* lightnn =
+            dynamic_cast<quant::LightNNTransform*>(linear->weight_transform())) {
+      k_max = lightnn->k();
+      pow2 = lightnn->config();
+    } else if (auto* fl = dynamic_cast<core::FLightNNTransform*>(
+                   linear->weight_transform())) {
+      k_max = fl->config().k_max;
+      pow2 = fl->config().pow2;
+    }
+    if (k_max > 0) {
+      steps.push_back(std::make_unique<ShiftLinearStep>(
+          ShiftLinear(wq, k_max, pow2, std::move(bias)),
+          state.current_act_bits));
+    } else {
+      steps.push_back(
+          std::make_unique<FloatLinearStep>(std::move(wq), std::move(bias)));
+    }
+    return;
+  }
+  if (auto* block = dynamic_cast<nn::ResidualBlock*>(&layer)) {
+    // Each branch sees the same incoming activation-quantization state.
+    std::vector<StepPtr> main_steps, shortcut_steps, post_steps;
+    CompileState main_state = state;
+    compile_into(block->main_path(), main_state, main_steps);
+    CompileState skip_state = state;
+    const bool has_shortcut = block->shortcut() != nullptr;
+    if (has_shortcut) {
+      compile_into(*block->shortcut(), skip_state, shortcut_steps);
+    }
+    CompileState post_state = main_state;
+    compile_into(block->post(), post_state, post_steps);
+    state = post_state;
+    steps.push_back(std::make_unique<ResidualStep>(
+        std::move(main_steps), std::move(shortcut_steps), has_shortcut,
+        std::move(post_steps)));
+    return;
+  }
+  throw std::invalid_argument("QuantizedNetwork: unsupported layer '" +
+                              layer.name() + "'");
+}
+
+void compile_into(nn::Sequential& seq, CompileState& state,
+                  std::vector<StepPtr>& steps) {
+  for (const auto& layer : seq.layers()) {
+    compile_layer(*layer, state, steps);
+  }
+}
+
+}  // namespace
+
+QuantizedNetwork QuantizedNetwork::compile(nn::Sequential& model,
+                                           const tensor::Shape& input_shape,
+                                           const CompileOptions& options) {
+  if (input_shape.rank() != 4 || input_shape[0] != 1) {
+    throw std::invalid_argument("QuantizedNetwork: expected [1, C, H, W]");
+  }
+  // One eval forward so batch-norm statistics and conv geometry are final.
+  tensor::Tensor dummy(input_shape);
+  (void)model.forward(dummy, /*training=*/false);
+
+  QuantizedNetwork network;
+  CompileState state{&options, options.act_bits};
+  compile_into(model, state, network.steps_);
+  return network;
+}
+
+tensor::Tensor QuantizedNetwork::run(const tensor::Tensor& image,
+                                     NetworkOpCounts* counts) const {
+  tensor::Tensor current;
+  const auto& s = image.shape();
+  if (s.rank() == 3) {
+    current = image;
+  } else if (s.rank() == 4 && s[0] == 1) {
+    current = image.reshaped(tensor::Shape{s[1], s[2], s[3]});
+  } else {
+    throw std::invalid_argument("QuantizedNetwork::run: expected [C,H,W]");
+  }
+  for (const auto& step : steps_) {
+    current = step->run(current, counts);
+  }
+  if (counts != nullptr) ++counts->images;
+  return current;
+}
+
+double QuantizedNetwork::evaluate(const data::Dataset& dataset, int top_k,
+                                  NetworkOpCounts* counts) const {
+  std::int64_t hits = 0;
+  for (std::int64_t n = 0; n < dataset.size(); ++n) {
+    tensor::Tensor logits = run(dataset.image(n), counts);
+    const tensor::Tensor row =
+        logits.reshaped(tensor::Shape{1, logits.numel()});
+    hits += nn::top_k_accuracy(row, {dataset.labels[static_cast<std::size_t>(n)]},
+                               top_k) > 0.5
+                ? 1
+                : 0;
+  }
+  return dataset.size() > 0
+             ? static_cast<double>(hits) / static_cast<double>(dataset.size())
+             : 0.0;
+}
+
+std::string QuantizedNetwork::describe() const {
+  std::string out;
+  for (const auto& step : steps_) {
+    if (!out.empty()) out += " -> ";
+    out += step->describe();
+  }
+  return out;
+}
+
+}  // namespace flightnn::inference

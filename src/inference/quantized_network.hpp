@@ -1,0 +1,87 @@
+#pragma once
+
+// Whole-network integer inference: compile a trained model into an
+// execution plan whose convolutions and fully-connected layers run on the
+// shift-add integer engine (Fig. 3's LightNN-1 datapath), with batch norm
+// folded into per-channel affine steps and activations re-quantized to
+// fixed point between layers -- the structure of a pipelined (F)LightNN
+// accelerator where shifts/adds are the datapath and the per-channel scale
+// is a fixed-function stage.
+//
+// The plan mirrors the model's eval-mode forward pass: the same
+// quantization points (the model's ActivationQuant layers), the same
+// quantized weights, the same folded statistics. One deliberate addition:
+// inputs to shift-coded layers are always re-quantized (hardware feeds the
+// integer datapath integer codes), which adds a quantization point before
+// the classifier that the float model lacks -- logits agree to that step's
+// 8-bit granularity, convolution outputs bit-exactly.
+//
+// Layers with shift-codable weights (LightNN-k / FLightNN transforms, or
+// full-precision weights after `quantize_weights_to(k)`) run on the
+// integer engine; fixed-point / full-precision layers fall back to float
+// math on their (quantized) weights so that any model variant can be
+// compiled and compared.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "inference/shift_engine.hpp"
+#include "nn/sequential.hpp"
+
+namespace flightnn::inference {
+
+struct CompileOptions {
+  // Activation bit width used where the model has no explicit quantizer.
+  int act_bits = 8;
+  // Maximum shift terms expected per weight (for decomposition).
+  int k_max = 2;
+  quant::Pow2Config pow2;
+};
+
+struct NetworkOpCounts {
+  std::int64_t shifts = 0;
+  std::int64_t adds = 0;
+  // MAC-equivalents executed in float fallback (non-shift layers).
+  std::int64_t float_macs = 0;
+  std::int64_t images = 0;
+};
+
+class QuantizedNetwork {
+ public:
+  // Compile a trained model. Walks the layer tree in execution order;
+  // throws on layer types it does not understand. The model is used in
+  // eval mode during compilation (one dummy forward fixes geometry).
+  static QuantizedNetwork compile(nn::Sequential& model,
+                                  const tensor::Shape& input_shape,
+                                  const CompileOptions& options = {});
+
+  // Run one image [C, H, W] (or [1, C, H, W]) to logits.
+  [[nodiscard]] tensor::Tensor run(const tensor::Tensor& image,
+                                   NetworkOpCounts* counts = nullptr) const;
+
+  // Top-k classification accuracy over a dataset.
+  [[nodiscard]] double evaluate(const data::Dataset& dataset, int top_k = 1,
+                                NetworkOpCounts* counts = nullptr) const;
+
+  // Number of executable steps (for introspection / tests).
+  [[nodiscard]] std::size_t step_count() const { return steps_.size(); }
+
+  // Human-readable plan ("quant(8b) -> shift_conv[16f/25t] -> affine ...").
+  [[nodiscard]] std::string describe() const;
+
+  // One step of the compiled plan. Public so tests can extend/inspect.
+  class Step {
+   public:
+    virtual ~Step() = default;
+    virtual tensor::Tensor run(const tensor::Tensor& input,
+                               NetworkOpCounts* counts) const = 0;
+    [[nodiscard]] virtual std::string describe() const = 0;
+  };
+
+ private:
+  std::vector<std::unique_ptr<Step>> steps_;
+};
+
+}  // namespace flightnn::inference

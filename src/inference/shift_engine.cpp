@@ -1,0 +1,245 @@
+#include "inference/shift_engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flightnn::inference {
+
+QuantizedActivations quantize_image(const tensor::Tensor& image, int bits) {
+  const auto& s = image.shape();
+  tensor::Shape chw;
+  const float* data = image.data();
+  if (s.rank() == 3) {
+    chw = s;
+  } else if (s.rank() == 4 && s[0] == 1) {
+    chw = tensor::Shape{s[1], s[2], s[3]};
+  } else {
+    throw std::invalid_argument("quantize_image: expected [C,H,W] or [1,C,H,W]");
+  }
+  if (bits < 2 || bits > 16) throw std::invalid_argument("quantize_image: bad bits");
+
+  const std::int64_t q_max = (1LL << (bits - 1)) - 1;
+  const float abs_max = image.abs_max();
+  int scale_exp = 0;
+  if (abs_max > 0.0F) {
+    scale_exp = static_cast<int>(
+        std::ceil(std::log2(abs_max / static_cast<float>(q_max))));
+  }
+  const float scale = std::ldexp(1.0F, scale_exp);
+
+  QuantizedActivations out;
+  out.scale_exp = scale_exp;
+  out.shape = chw;
+  out.values.resize(static_cast<std::size_t>(chw.numel()));
+  for (std::int64_t i = 0; i < chw.numel(); ++i) {
+    auto q = static_cast<std::int64_t>(std::nearbyint(data[i] / scale));
+    q = std::min(q_max, std::max(-q_max, q));
+    out.values[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(q);
+  }
+  return out;
+}
+
+QuantizedActivations quantize_tensor(const tensor::Tensor& x, int bits) {
+  if (bits < 2 || bits > 16) throw std::invalid_argument("quantize_tensor: bad bits");
+  const std::int64_t q_max = (1LL << (bits - 1)) - 1;
+  const float abs_max = x.abs_max();
+  int scale_exp = 0;
+  if (abs_max > 0.0F) {
+    scale_exp = static_cast<int>(
+        std::ceil(std::log2(abs_max / static_cast<float>(q_max))));
+  }
+  const float scale = std::ldexp(1.0F, scale_exp);
+
+  QuantizedActivations out;
+  out.scale_exp = scale_exp;
+  out.shape = x.shape();
+  out.values.resize(static_cast<std::size_t>(x.numel()));
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    auto q = static_cast<std::int64_t>(std::nearbyint(x[i] / scale));
+    q = std::min(q_max, std::max(-q_max, q));
+    out.values[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(q);
+  }
+  return out;
+}
+
+tensor::Tensor dequantize(const QuantizedActivations& activations) {
+  tensor::Tensor out(activations.shape);
+  const float scale = std::ldexp(1.0F, activations.scale_exp);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = static_cast<float>(activations.values[static_cast<std::size_t>(i)]) * scale;
+  }
+  return out;
+}
+
+ShiftConv2d::ShiftConv2d(const tensor::Tensor& quantized_weights, int k_max,
+                         const quant::Pow2Config& config, std::int64_t stride,
+                         std::int64_t padding, tensor::Tensor bias)
+    : decomposition_(core::decompose_to_lightnn1(quantized_weights, k_max, config)),
+      config_(config),
+      stride_(stride),
+      padding_(padding),
+      bias_(std::move(bias)) {
+  const auto& s = quantized_weights.shape();
+  if (s.rank() != 4) throw std::invalid_argument("ShiftConv2d: OIHW weights required");
+  out_channels_ = s[0];
+  in_channels_ = s[1];
+  kernel_ = s[2];
+  if (s[2] != s[3]) throw std::invalid_argument("ShiftConv2d: square kernels only");
+  if (!bias_.empty() && bias_.numel() != out_channels_) {
+    throw std::invalid_argument("ShiftConv2d: bias size mismatch");
+  }
+}
+
+tensor::Tensor ShiftConv2d::run(const QuantizedActivations& input,
+                                OpCounts* counts) const {
+  if (input.shape.rank() != 3 || input.shape[0] != in_channels_) {
+    throw std::invalid_argument("ShiftConv2d::run: bad input shape");
+  }
+  const std::int64_t in_h = input.shape[1], in_w = input.shape[2];
+  const tensor::ConvGeometry geom{in_channels_, in_h, in_w, kernel_, stride_,
+                                  padding_};
+  const std::int64_t out_h = geom.out_h(), out_w = geom.out_w();
+
+  // Integer accumulators at scale 2^(input.scale_exp + e_min): each weight
+  // term sign * 2^e contributes sign * (q << (e - e_min)), a non-negative
+  // left shift since e >= e_min.
+  std::vector<std::int64_t> accumulator(
+      static_cast<std::size_t>(out_channels_ * out_h * out_w), 0);
+
+  OpCounts local{};
+  for (const auto& term : decomposition_.terms) {
+    std::int64_t* out_plane =
+        accumulator.data() + term.filter * out_h * out_w;
+    // Walk the filter elements; each nonzero element is one shifter lane.
+    std::int64_t e = 0;
+    for (std::int64_t c = 0; c < in_channels_; ++c) {
+      const std::int32_t* in_plane = input.values.data() + c * in_h * in_w;
+      for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+        for (std::int64_t kx = 0; kx < kernel_; ++kx, ++e) {
+          const quant::Pow2Term w = term.elements[static_cast<std::size_t>(e)];
+          if (w.sign == 0) continue;
+          const int shift = static_cast<int>(w.exponent) - config_.e_min;
+          for (std::int64_t oy = 0; oy < out_h; ++oy) {
+            const std::int64_t iy = oy * stride_ + ky - padding_;
+            if (iy < 0 || iy >= in_h) continue;
+            for (std::int64_t ox = 0; ox < out_w; ++ox) {
+              const std::int64_t ix = ox * stride_ + kx - padding_;
+              if (ix < 0 || ix >= in_w) continue;
+              const std::int64_t q = in_plane[iy * in_w + ix];
+              const std::int64_t contribution =
+                  (w.sign > 0 ? q : -q) << shift;
+              out_plane[oy * out_w + ox] += contribution;
+              ++local.shifts;
+              ++local.adds;
+            }
+          }
+        }
+      }
+    }
+  }
+  if (counts != nullptr) {
+    counts->shifts += local.shifts;
+    counts->adds += local.adds;
+  }
+
+  // Dequantize and fold in the float bias.
+  const float scale = std::ldexp(1.0F, input.scale_exp + config_.e_min);
+  tensor::Tensor output(tensor::Shape{out_channels_, out_h, out_w});
+  for (std::int64_t o = 0; o < out_channels_; ++o) {
+    const float b = bias_.empty() ? 0.0F : bias_[o];
+    const std::int64_t* acc = accumulator.data() + o * out_h * out_w;
+    float* out_plane = output.data() + o * out_h * out_w;
+    for (std::int64_t i = 0; i < out_h * out_w; ++i) {
+      out_plane[i] = static_cast<float>(acc[i]) * scale + b;
+    }
+  }
+  return output;
+}
+
+ShiftLinear::ShiftLinear(const tensor::Tensor& quantized_weights, int k_max,
+                         const quant::Pow2Config& config, tensor::Tensor bias)
+    : decomposition_(core::decompose_to_lightnn1(quantized_weights, k_max, config)),
+      config_(config),
+      bias_(std::move(bias)) {
+  const auto& s = quantized_weights.shape();
+  if (s.rank() != 2) throw std::invalid_argument("ShiftLinear: [out, in] weights");
+  out_features_ = s[0];
+  in_features_ = s[1];
+  if (!bias_.empty() && bias_.numel() != out_features_) {
+    throw std::invalid_argument("ShiftLinear: bias size mismatch");
+  }
+}
+
+tensor::Tensor ShiftLinear::run(const QuantizedActivations& input,
+                                OpCounts* counts) const {
+  if (input.shape.numel() != in_features_) {
+    throw std::invalid_argument("ShiftLinear::run: bad input size");
+  }
+  std::vector<std::int64_t> accumulator(static_cast<std::size_t>(out_features_), 0);
+  OpCounts local{};
+  for (const auto& term : decomposition_.terms) {
+    std::int64_t acc = 0;
+    for (std::int64_t e = 0; e < in_features_; ++e) {
+      const quant::Pow2Term w = term.elements[static_cast<std::size_t>(e)];
+      if (w.sign == 0) continue;
+      const int shift = static_cast<int>(w.exponent) - config_.e_min;
+      const std::int64_t q = input.values[static_cast<std::size_t>(e)];
+      acc += (w.sign > 0 ? q : -q) << shift;
+      ++local.shifts;
+      ++local.adds;
+    }
+    accumulator[static_cast<std::size_t>(term.filter)] += acc;
+  }
+  if (counts != nullptr) {
+    counts->shifts += local.shifts;
+    counts->adds += local.adds;
+  }
+  const float scale = std::ldexp(1.0F, input.scale_exp + config_.e_min);
+  tensor::Tensor output(tensor::Shape{out_features_});
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    const float b = bias_.empty() ? 0.0F : bias_[o];
+    output[o] = static_cast<float>(accumulator[static_cast<std::size_t>(o)]) * scale + b;
+  }
+  return output;
+}
+
+tensor::Tensor reference_conv(const tensor::Tensor& weights,
+                              const tensor::Tensor& image, std::int64_t stride,
+                              std::int64_t padding, const tensor::Tensor& bias) {
+  const auto& ws = weights.shape();
+  const auto& is = image.shape();
+  if (ws.rank() != 4 || is.rank() != 3 || ws[1] != is[0] || ws[2] != ws[3]) {
+    throw std::invalid_argument("reference_conv: bad shapes");
+  }
+  const std::int64_t out_ch = ws[0], in_ch = ws[1], kernel = ws[2];
+  const std::int64_t in_h = is[1], in_w = is[2];
+  const tensor::ConvGeometry geom{in_ch, in_h, in_w, kernel, stride, padding};
+  const std::int64_t out_h = geom.out_h(), out_w = geom.out_w();
+
+  tensor::Tensor output(tensor::Shape{out_ch, out_h, out_w});
+  for (std::int64_t o = 0; o < out_ch; ++o) {
+    const float b = bias.empty() ? 0.0F : bias[o];
+    for (std::int64_t oy = 0; oy < out_h; ++oy) {
+      for (std::int64_t ox = 0; ox < out_w; ++ox) {
+        double acc = b;
+        for (std::int64_t c = 0; c < in_ch; ++c) {
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            const std::int64_t iy = oy * stride + ky - padding;
+            if (iy < 0 || iy >= in_h) continue;
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t ix = ox * stride + kx - padding;
+              if (ix < 0 || ix >= in_w) continue;
+              acc += static_cast<double>(
+                         weights[((o * in_ch + c) * kernel + ky) * kernel + kx]) *
+                     image[(c * in_h + iy) * in_w + ix];
+            }
+          }
+        }
+        output[(o * out_h + oy) * out_w + ox] = static_cast<float>(acc);
+      }
+    }
+  }
+  return output;
+}
+
+}  // namespace flightnn::inference

@@ -1,0 +1,110 @@
+#pragma once
+
+// Integer shift-add inference engine: the CPU realization of the hardware
+// the paper maps (F)LightNNs onto. Activations are 8-bit fixed point with a
+// power-of-two scale; weights are decomposed into single power-of-two terms
+// (Fig. 3), so every multiply is a barrel shift and the accumulation is
+// integer adds -- exactly the LightNN-1 datapath plus per-layer feature-map
+// summation. The engine is bit-exact: its dequantized output equals the
+// real-arithmetic convolution of the quantized operands.
+//
+// Like the paper's FPGA evaluation (Sec. 5.2), the engine operates at layer
+// granularity -- convolutions dominate >90% of CNN compute, so the largest
+// conv layer is the implementation target.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decompose.hpp"
+#include "quant/pow2.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flightnn::inference {
+
+// Activations quantized to signed integers with scale 2^scale_exp.
+struct QuantizedActivations {
+  std::vector<std::int32_t> values;  // q; real value = q * 2^scale_exp
+  int scale_exp = 0;
+  tensor::Shape shape;  // [C, H, W] (single image)
+};
+
+// Symmetric `bits`-bit quantization with a power-of-two scale covering the
+// abs-max. `image` must be [C, H, W] or [1, C, H, W].
+QuantizedActivations quantize_image(const tensor::Tensor& image, int bits = 8);
+
+// Same quantization for a tensor of any shape (rank preserved); used for
+// the flat feature vectors feeding linear layers.
+QuantizedActivations quantize_tensor(const tensor::Tensor& x, int bits = 8);
+
+// Dequantize back to float (for comparisons).
+tensor::Tensor dequantize(const QuantizedActivations& activations);
+
+// Operation census of one engine run.
+struct OpCounts {
+  std::int64_t shifts = 0;  // one per nonzero weight term element per output
+  std::int64_t adds = 0;    // accumulator additions
+};
+
+// A convolution compiled to the single-shift datapath.
+class ShiftConv2d {
+ public:
+  // `quantized_weights` is an OIHW tensor whose elements are sums of at most
+  // `k_max` powers of two (output of LightNN-k / FLightNN quantization).
+  // `bias` may be empty.
+  ShiftConv2d(const tensor::Tensor& quantized_weights, int k_max,
+              const quant::Pow2Config& config, std::int64_t stride,
+              std::int64_t padding, tensor::Tensor bias = {});
+
+  // Run on one quantized image; returns the dequantized float output
+  // [out_channels, out_h, out_w]. Accumulates op counts into `counts` if
+  // non-null.
+  [[nodiscard]] tensor::Tensor run(const QuantizedActivations& input,
+                                   OpCounts* counts = nullptr) const;
+
+  // Number of single-shift filter terms (the LightNN-1 engine's workload).
+  [[nodiscard]] std::int64_t term_count() const { return decomposition_.term_count(); }
+  [[nodiscard]] const std::vector<int>& filter_k() const {
+    return decomposition_.filter_k;
+  }
+  [[nodiscard]] std::int64_t out_channels() const { return out_channels_; }
+
+ private:
+  core::Decomposition decomposition_;
+  quant::Pow2Config config_;
+  std::int64_t out_channels_, in_channels_, kernel_, stride_, padding_;
+  tensor::Tensor bias_;  // float; folded in after dequantization
+};
+
+// A fully-connected layer compiled to the single-shift datapath: weights
+// [out, in] decomposed into power-of-two terms, input a quantized flat
+// vector, accumulation in int64.
+class ShiftLinear {
+ public:
+  ShiftLinear(const tensor::Tensor& quantized_weights, int k_max,
+              const quant::Pow2Config& config, tensor::Tensor bias = {});
+
+  // `input.shape` must be rank-1 [in_features]. Returns the dequantized
+  // float output [out_features].
+  [[nodiscard]] tensor::Tensor run(const QuantizedActivations& input,
+                                   OpCounts* counts = nullptr) const;
+
+  [[nodiscard]] std::int64_t term_count() const { return decomposition_.term_count(); }
+  [[nodiscard]] std::int64_t out_features() const { return out_features_; }
+
+ private:
+  core::Decomposition decomposition_;
+  quant::Pow2Config config_;
+  std::int64_t out_features_, in_features_;
+  tensor::Tensor bias_;
+};
+
+// Reference float convolution of one image (for bit-exactness tests):
+// weights [O, I, K, K], image [C, H, W] -> [O, OH, OW]. Accumulates in
+// double so it serves as the "real arithmetic" oracle.
+tensor::Tensor reference_conv(const tensor::Tensor& weights,
+                              const tensor::Tensor& image, std::int64_t stride,
+                              std::int64_t padding,
+                              const tensor::Tensor& bias = {});
+
+}  // namespace flightnn::inference

@@ -1,0 +1,176 @@
+#include "models/networks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+
+namespace flightnn::models {
+
+namespace {
+
+std::int64_t scale_width(std::int64_t width, float scale) {
+  const auto scaled = static_cast<std::int64_t>(
+      std::lround(static_cast<double>(width) * scale));
+  return std::max<std::int64_t>(4, scaled);
+}
+
+void add_conv_bn_act(nn::Sequential& seq, std::int64_t in_ch, std::int64_t out_ch,
+                     std::int64_t stride, const BuildOptions& opt,
+                     support::Rng& rng) {
+  seq.emplace<nn::Conv2d>(in_ch, out_ch, 3, stride, 1, /*with_bias=*/false, rng);
+  seq.emplace<nn::BatchNorm2d>(out_ch);
+  seq.emplace<nn::LeakyReLU>(opt.leaky_slope);
+  if (opt.act_bits > 0) seq.emplace<nn::ActivationQuant>(opt.act_bits);
+}
+
+std::unique_ptr<nn::Sequential> build_vgg(const NetworkConfig& config,
+                                          const BuildOptions& opt,
+                                          support::Rng& rng) {
+  auto model = std::make_unique<nn::Sequential>();
+  if (opt.act_bits > 0) model->emplace<nn::ActivationQuant>(opt.act_bits);
+
+  const auto widths = conv_widths(config);
+  std::int64_t in_ch = opt.in_channels;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const std::int64_t out_ch = scale_width(widths[i], opt.width_scale);
+    add_conv_bn_act(*model, in_ch, out_ch, /*stride=*/1, opt, rng);
+    in_ch = out_ch;
+    // Downsample after every second conv (and after the first conv for the
+    // shallow VGG-4 nets so the head sees a small map).
+    const bool pool = (config.depth >= 7) ? (i % 2 == 1) : (i + 1 < widths.size());
+    if (pool) model->emplace<nn::MaxPool2d>(2);
+  }
+  model->emplace<nn::GlobalAvgPool>();
+  model->emplace<nn::Linear>(in_ch, opt.classes, /*with_bias=*/true, rng);
+  return model;
+}
+
+std::unique_ptr<nn::Sequential> make_branch() {
+  return std::make_unique<nn::Sequential>();
+}
+
+void add_residual_block(nn::Sequential& seq, std::int64_t in_ch,
+                        std::int64_t out_ch, std::int64_t stride,
+                        const BuildOptions& opt, support::Rng& rng) {
+  auto main_path = make_branch();
+  main_path->emplace<nn::Conv2d>(in_ch, out_ch, 3, stride, 1, false, rng);
+  main_path->emplace<nn::BatchNorm2d>(out_ch);
+  main_path->emplace<nn::LeakyReLU>(opt.leaky_slope);
+  if (opt.act_bits > 0) main_path->emplace<nn::ActivationQuant>(opt.act_bits);
+  main_path->emplace<nn::Conv2d>(out_ch, out_ch, 3, 1, 1, false, rng);
+  main_path->emplace<nn::BatchNorm2d>(out_ch);
+
+  std::unique_ptr<nn::Sequential> shortcut;
+  if (stride != 1 || in_ch != out_ch) {
+    shortcut = make_branch();
+    shortcut->emplace<nn::Conv2d>(in_ch, out_ch, 1, stride, 0, false, rng);
+    shortcut->emplace<nn::BatchNorm2d>(out_ch);
+  }
+
+  auto post = make_branch();
+  post->emplace<nn::LeakyReLU>(opt.leaky_slope);
+  if (opt.act_bits > 0) post->emplace<nn::ActivationQuant>(opt.act_bits);
+
+  seq.emplace<nn::ResidualBlock>(std::move(main_path), std::move(shortcut),
+                                 std::move(post));
+}
+
+std::unique_ptr<nn::Sequential> build_resnet(const NetworkConfig& config,
+                                             const BuildOptions& opt,
+                                             support::Rng& rng) {
+  auto model = std::make_unique<nn::Sequential>();
+  if (opt.act_bits > 0) model->emplace<nn::ActivationQuant>(opt.act_bits);
+
+  // Stage widths w/8, w/4, w/2, w; ResNet-18 has 2 blocks per stage
+  // (1 + 8*2 = 17 convs in the main trunk), ResNet-10 has 1 (1 + 4*2 = 9).
+  const int blocks_per_stage = config.depth >= 18 ? 2 : 1;
+  const std::int64_t w = config.width;
+  const std::int64_t stem = scale_width(w / 8, opt.width_scale);
+  add_conv_bn_act(*model, opt.in_channels, stem, 1, opt, rng);
+
+  std::int64_t in_ch = stem;
+  const std::int64_t stage_widths[4] = {w / 8, w / 4, w / 2, w};
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t out_ch = scale_width(stage_widths[stage], opt.width_scale);
+    for (int block = 0; block < blocks_per_stage; ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      add_residual_block(*model, in_ch, out_ch, stride, opt, rng);
+      in_ch = out_ch;
+    }
+  }
+  model->emplace<nn::GlobalAvgPool>();
+  model->emplace<nn::Linear>(in_ch, opt.classes, /*with_bias=*/true, rng);
+  return model;
+}
+
+}  // namespace
+
+NetworkConfig table1_network(int id) {
+  switch (id) {
+    case 1: return {1, Structure::kVgg, 7, 64, 0.08, "CIFAR-10"};
+    case 2: return {2, Structure::kResNet, 18, 128, 0.7, "CIFAR-10"};
+    case 3: return {3, Structure::kVgg, 7, 512, 4.6, "CIFAR-10"};
+    case 4: return {4, Structure::kVgg, 4, 64, 0.03, "SVHN"};
+    case 5: return {5, Structure::kVgg, 4, 128, 0.1, "SVHN"};
+    case 6: return {6, Structure::kResNet, 18, 128, 0.7, "CIFAR-100"};
+    case 7: return {7, Structure::kResNet, 18, 256, 2.8, "CIFAR-100"};
+    case 8: return {8, Structure::kResNet, 10, 256, 1.8, "ImageNet"};
+    default:
+      throw std::invalid_argument("table1_network: id must be in [1, 8]");
+  }
+}
+
+std::vector<NetworkConfig> table1_all() {
+  std::vector<NetworkConfig> configs;
+  configs.reserve(8);
+  for (int id = 1; id <= 8; ++id) configs.push_back(table1_network(id));
+  return configs;
+}
+
+std::vector<std::int64_t> conv_widths(const NetworkConfig& config) {
+  const std::int64_t w = config.width;
+  if (config.structure == Structure::kVgg) {
+    if (config.depth == 7) {
+      return {w / 8, w / 4, w / 4, w / 2, w / 2, w, w};
+    }
+    if (config.depth == 4) {
+      return {w / 4, w / 2, w / 2, w};
+    }
+    throw std::invalid_argument("conv_widths: unsupported VGG depth");
+  }
+  // ResNet: stem + per-block conv pairs.
+  const int blocks_per_stage = config.depth >= 18 ? 2 : 1;
+  std::vector<std::int64_t> widths{w / 8};
+  const std::int64_t stage_widths[4] = {w / 8, w / 4, w / 2, w};
+  for (const auto sw : stage_widths) {
+    for (int b = 0; b < blocks_per_stage; ++b) {
+      widths.push_back(sw);
+      widths.push_back(sw);
+    }
+  }
+  return widths;
+}
+
+std::unique_ptr<nn::Sequential> build_network(const NetworkConfig& config,
+                                              const BuildOptions& options) {
+  support::Rng rng(options.seed);
+  if (config.structure == Structure::kVgg) {
+    return build_vgg(config, options, rng);
+  }
+  return build_resnet(config, options, rng);
+}
+
+std::int64_t parameter_count(nn::Sequential& model) {
+  std::int64_t count = 0;
+  for (auto* param : model.parameters()) count += param->value.numel();
+  return count;
+}
+
+}  // namespace flightnn::models

@@ -1,0 +1,70 @@
+#pragma once
+
+// Builders for the paper's eight network configurations (Table 1). Channel
+// progressions are chosen to match the reported parameter counts:
+//
+//   ID  Structure  Depth  Width  Params   Dataset (paper)
+//   1   VGG        7      64     0.08M    CIFAR-10
+//   2   ResNet     18     128    0.7M     CIFAR-10
+//   3   VGG        7      512    4.6M     CIFAR-10
+//   4   VGG        4      64     0.03M    SVHN
+//   5   VGG        4      128    0.1M     SVHN
+//   6   ResNet     18     128    0.7M     CIFAR-100
+//   7   ResNet     18     256    2.8M     CIFAR-100
+//   8   ResNet     10     256    1.8M     ImageNet
+//
+// Every convolution is followed by batch norm and LeakyReLU (Sec. 5.1);
+// quantized variants add an 8-bit activation quantizer after each
+// activation. Heads are global-average-pool + linear.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace flightnn::models {
+
+enum class Structure { kVgg, kResNet };
+
+struct NetworkConfig {
+  int id = 0;
+  Structure structure = Structure::kVgg;
+  int depth = 0;           // number of convolutional layers
+  int width = 0;           // widest layer's filter count
+  double params_approx_m = 0.0;  // paper-reported parameter count, millions
+  std::string paper_dataset;     // which dataset the paper pairs it with
+};
+
+// The Table-1 configuration for a network id in [1, 8].
+NetworkConfig table1_network(int id);
+
+// All eight configurations in order.
+std::vector<NetworkConfig> table1_all();
+
+struct BuildOptions {
+  std::int64_t in_channels = 3;
+  int classes = 10;
+  // Activation quantization bit width; 0 disables (full-precision model).
+  int act_bits = 8;
+  // Multiplies every channel count (floor 4) so benches can train reduced
+  // versions of the real topologies; 1.0 is the paper-faithful size.
+  float width_scale = 1.0F;
+  float leaky_slope = 0.01F;
+  std::uint64_t seed = 1;
+};
+
+// Construct the network. The result owns all layers; install quantizers via
+// core::install_* afterwards.
+std::unique_ptr<nn::Sequential> build_network(const NetworkConfig& config,
+                                              const BuildOptions& options);
+
+// Total parameter count of a model (weights + biases + norm parameters).
+std::int64_t parameter_count(nn::Sequential& model);
+
+// The per-conv-layer output channel progression used by `build_network`
+// (before width scaling); exposed for the hardware models, which cost the
+// largest layer of each network (Sec. 5.2).
+std::vector<std::int64_t> conv_widths(const NetworkConfig& config);
+
+}  // namespace flightnn::models

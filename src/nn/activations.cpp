@@ -1,0 +1,60 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "quant/fixedpoint.hpp"
+
+namespace flightnn::nn {
+
+tensor::Tensor LeakyReLU::forward(const tensor::Tensor& input, bool training) {
+  if (training) input_cache_ = input;
+  tensor::Tensor output(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const float v = input[i];
+    output[i] = v > 0.0F ? v : negative_slope_ * v;
+  }
+  return output;
+}
+
+tensor::Tensor LeakyReLU::backward(const tensor::Tensor& grad_output) {
+  if (input_cache_.empty()) {
+    throw std::logic_error("LeakyReLU::backward before forward(training=true)");
+  }
+  tensor::Tensor grad_input(grad_output.shape());
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[i] =
+        grad_output[i] * (input_cache_[i] > 0.0F ? 1.0F : negative_slope_);
+  }
+  return grad_input;
+}
+
+ActivationQuant::ActivationQuant(int bits) : bits_(bits) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("ActivationQuant: bits out of [2, 16]");
+  }
+}
+
+tensor::Tensor ActivationQuant::forward(const tensor::Tensor& input,
+                                        bool training) {
+  const quant::FixedPointConfig config{bits_};
+  last_scale_ = quant::choose_pow2_scale(input, config);
+  if (training) input_cache_ = input;
+  return quant::quantize_fixed_point(input, last_scale_, config);
+}
+
+tensor::Tensor ActivationQuant::backward(const tensor::Tensor& grad_output) {
+  if (input_cache_.empty()) {
+    throw std::logic_error("ActivationQuant::backward before forward(training=true)");
+  }
+  const quant::FixedPointConfig config{bits_};
+  const float limit = last_scale_ * static_cast<float>(config.q_max());
+  tensor::Tensor grad_input(grad_output.shape());
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
+    const bool saturated = std::fabs(input_cache_[i]) > limit;
+    grad_input[i] = saturated ? 0.0F : grad_output[i];
+  }
+  return grad_input;
+}
+
+}  // namespace flightnn::nn

@@ -1,0 +1,50 @@
+#pragma once
+
+// Pointwise layers: LeakyReLU (the paper's activation, Sec. 5.1) and the
+// 8-bit activation fake-quantizer applied in every quantized model. The
+// quantizer uses a straight-through gradient with saturation clipping.
+
+#include "nn/layer.hpp"
+
+namespace flightnn::nn {
+
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.01F)
+      : negative_slope_(negative_slope) {}
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "leaky_relu"; }
+
+  [[nodiscard]] float negative_slope() const { return negative_slope_; }
+
+ private:
+  float negative_slope_;
+  tensor::Tensor input_cache_;
+};
+
+// Symmetric fixed-point fake-quantization of activations with a dynamic
+// per-tensor power-of-two scale. Backward is straight-through inside the
+// representable range and zero outside it (saturated values carry no
+// gradient).
+class ActivationQuant final : public Layer {
+ public:
+  explicit ActivationQuant(int bits = 8);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "act_quant"; }
+
+  [[nodiscard]] int bits() const { return bits_; }
+  // Scale used by the most recent forward (for export to the integer
+  // inference engine).
+  [[nodiscard]] float last_scale() const { return last_scale_; }
+
+ private:
+  int bits_;
+  float last_scale_ = 1.0F;
+  tensor::Tensor input_cache_;
+};
+
+}  // namespace flightnn::nn

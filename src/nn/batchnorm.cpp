@@ -1,0 +1,134 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flightnn::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(tensor::Tensor(tensor::Shape{channels}, 1.0F), "bn.gamma",
+             /*apply_decay=*/false),
+      beta_(tensor::Tensor(tensor::Shape{channels}), "bn.beta",
+            /*apply_decay=*/false),
+      running_mean_(tensor::Shape{channels}),
+      running_var_(tensor::Shape{channels}, 1.0F) {
+  if (channels <= 0) throw std::invalid_argument("BatchNorm2d: channels <= 0");
+}
+
+tensor::Tensor BatchNorm2d::forward(const tensor::Tensor& input, bool training) {
+  const auto& s = input.shape();
+  if (s.rank() != 4 || s[1] != channels_) {
+    throw std::invalid_argument("BatchNorm2d::forward: bad input shape " +
+                                s.to_string());
+  }
+  const std::int64_t batch = s[0], hw = s[2] * s[3];
+  const std::int64_t plane = hw;
+  const std::int64_t image = channels_ * hw;
+  const double count = static_cast<double>(batch * hw);
+
+  tensor::Tensor output(s);
+  batch_mean_.assign(static_cast<std::size_t>(channels_), 0.0F);
+  batch_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0F);
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double mean = 0.0, var = 0.0;
+    if (training) {
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* p = input.data() + n * image + c * plane;
+        for (std::int64_t i = 0; i < hw; ++i) mean += p[i];
+      }
+      mean /= count;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* p = input.data() + n * image + c * plane;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          const double d = p[i] - mean;
+          var += d * d;
+        }
+      }
+      var /= count;
+      running_mean_[c] = (1.0F - momentum_) * running_mean_[c] +
+                         momentum_ * static_cast<float>(mean);
+      running_var_[c] = (1.0F - momentum_) * running_var_[c] +
+                        momentum_ * static_cast<float>(var);
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const float inv_std = 1.0F / std::sqrt(static_cast<float>(var) + epsilon_);
+    batch_mean_[static_cast<std::size_t>(c)] = static_cast<float>(mean);
+    batch_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+    const float g = gamma_.value[c], b = beta_.value[c];
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* in_p = input.data() + n * image + c * plane;
+      float* out_p = output.data() + n * image + c * plane;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        out_p[i] = g * (in_p[i] - static_cast<float>(mean)) * inv_std + b;
+      }
+    }
+  }
+
+  if (training) {
+    input_cache_ = input;
+    // Store normalized values to avoid recomputing in backward.
+    normalized_cache_ = tensor::Tensor(s);
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float mean = batch_mean_[static_cast<std::size_t>(c)];
+      const float inv_std = batch_inv_std_[static_cast<std::size_t>(c)];
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* in_p = input.data() + n * image + c * plane;
+        float* x_hat = normalized_cache_.data() + n * image + c * plane;
+        for (std::int64_t i = 0; i < hw; ++i) x_hat[i] = (in_p[i] - mean) * inv_std;
+      }
+    }
+  }
+  return output;
+}
+
+tensor::Tensor BatchNorm2d::backward(const tensor::Tensor& grad_output) {
+  if (input_cache_.empty()) {
+    throw std::logic_error("BatchNorm2d::backward before forward(training=true)");
+  }
+  const auto& s = input_cache_.shape();
+  const std::int64_t batch = s[0], hw = s[2] * s[3];
+  const std::int64_t plane = hw, image = channels_ * hw;
+  const double count = static_cast<double>(batch * hw);
+
+  tensor::Tensor grad_input(s);
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Standard batch-norm backward:
+    // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - x_hat * sum(dy*x_hat))
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* dy = grad_output.data() + n * image + c * plane;
+      const float* x_hat = normalized_cache_.data() + n * image + c * plane;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * x_hat[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+
+    const float g = gamma_.value[c];
+    const float inv_std = batch_inv_std_[static_cast<std::size_t>(c)];
+    const float scale = g * inv_std / static_cast<float>(count);
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* dy = grad_output.data() + n * image + c * plane;
+      const float* x_hat = normalized_cache_.data() + n * image + c * plane;
+      float* dx = grad_input.data() + n * image + c * plane;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        dx[i] = scale * (static_cast<float>(count) * dy[i] -
+                         static_cast<float>(sum_dy) -
+                         x_hat[i] * static_cast<float>(sum_dy_xhat));
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> BatchNorm2d::parameters() { return {&gamma_, &beta_}; }
+
+}  // namespace flightnn::nn

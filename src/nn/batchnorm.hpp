@@ -1,0 +1,39 @@
+#pragma once
+
+// Batch normalization over NCHW activations (per-channel statistics), as
+// used after every convolution in the paper's networks (Sec. 5.1).
+
+#include "nn/layer.hpp"
+
+namespace flightnn::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1F,
+                       float epsilon = 1e-5F);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "batchnorm2d"; }
+
+  [[nodiscard]] Parameter& gamma() { return gamma_; }
+  [[nodiscard]] Parameter& beta() { return beta_; }
+  [[nodiscard]] const tensor::Tensor& running_mean() const { return running_mean_; }
+  [[nodiscard]] const tensor::Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_, epsilon_;
+  Parameter gamma_;  // scale, init 1
+  Parameter beta_;   // shift, init 0
+  tensor::Tensor running_mean_;
+  tensor::Tensor running_var_;
+
+  // Cached batch statistics and normalized input for backward.
+  tensor::Tensor input_cache_;
+  tensor::Tensor normalized_cache_;
+  std::vector<float> batch_mean_, batch_inv_std_;
+};
+
+}  // namespace flightnn::nn

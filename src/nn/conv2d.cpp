@@ -1,0 +1,152 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flightnn::nn {
+
+namespace {
+// He-normal initialization, the conventional choice for (leaky) ReLU nets.
+tensor::Tensor he_init(tensor::Shape shape, std::int64_t fan_in,
+                       support::Rng& rng) {
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  return tensor::Tensor::randn(std::move(shape), rng, 0.0F, stddev);
+}
+}  // namespace
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               bool with_bias, support::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(with_bias),
+      weight_(he_init(tensor::Shape{out_channels, in_channels, kernel, kernel},
+                      in_channels * kernel * kernel, rng),
+              "conv.weight"),
+      bias_(tensor::Tensor(tensor::Shape{out_channels}), "conv.bias",
+            /*apply_decay=*/false) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 ||
+      padding < 0) {
+    throw std::invalid_argument("Conv2d: invalid geometry");
+  }
+}
+
+tensor::Tensor Conv2d::quantized_weight() {
+  return transform_ ? transform_->forward(weight_.value) : weight_.value;
+}
+
+tensor::Tensor Conv2d::forward(const tensor::Tensor& input, bool training) {
+  const auto& s = input.shape();
+  if (s.rank() != 4 || s[1] != in_channels_) {
+    throw std::invalid_argument("Conv2d::forward: bad input shape " + s.to_string());
+  }
+  geometry_ = tensor::ConvGeometry{in_channels_, s[2], s[3], kernel_, stride_,
+                                   padding_};
+  const std::int64_t batch = s[0];
+  const std::int64_t out_h = geometry_.out_h();
+  const std::int64_t out_w = geometry_.out_w();
+  const std::int64_t out_hw = out_h * out_w;
+  const std::int64_t patch = geometry_.patch_size();
+
+  effective_weight_ = quantized_weight();
+  if (training) input_cache_ = input;
+
+  tensor::Tensor output(tensor::Shape{batch, out_channels_, out_h, out_w});
+  std::vector<float> columns(static_cast<std::size_t>(patch * out_hw));
+  const std::int64_t in_image = in_channels_ * s[2] * s[3];
+  const std::int64_t out_image = out_channels_ * out_hw;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    tensor::im2col(input.data() + n * in_image, geometry_, columns.data());
+    // [out_ch, patch] x [patch, out_hw]
+    tensor::gemm(effective_weight_.data(), columns.data(),
+                 output.data() + n * out_image, out_channels_, patch, out_hw);
+  }
+  if (has_bias_) {
+    for (std::int64_t n = 0; n < batch; ++n) {
+      for (std::int64_t o = 0; o < out_channels_; ++o) {
+        float* plane = output.data() + n * out_image + o * out_hw;
+        const float b = bias_.value[o];
+        for (std::int64_t i = 0; i < out_hw; ++i) plane[i] += b;
+      }
+    }
+  }
+  return output;
+}
+
+tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
+  if (input_cache_.empty()) {
+    throw std::logic_error("Conv2d::backward before forward(training=true)");
+  }
+  const auto& in_shape = input_cache_.shape();
+  const std::int64_t batch = in_shape[0];
+  const std::int64_t out_h = geometry_.out_h();
+  const std::int64_t out_w = geometry_.out_w();
+  const std::int64_t out_hw = out_h * out_w;
+  const std::int64_t patch = geometry_.patch_size();
+  const std::int64_t in_image = in_channels_ * in_shape[2] * in_shape[3];
+  const std::int64_t out_image = out_channels_ * out_hw;
+
+  tensor::Tensor grad_wq(weight_.value.shape());
+  tensor::Tensor grad_input(in_shape);
+  std::vector<float> columns(static_cast<std::size_t>(patch * out_hw));
+  std::vector<float> grad_columns(static_cast<std::size_t>(patch * out_hw));
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* grad_out_n = grad_output.data() + n * out_image;
+    // Weight gradient: dW[o, p] += dY[o, :] . cols[p, :]^T
+    tensor::im2col(input_cache_.data() + n * in_image, geometry_, columns.data());
+    for (std::int64_t o = 0; o < out_channels_; ++o) {
+      const float* gy = grad_out_n + o * out_hw;
+      float* gw = grad_wq.data() + o * patch;
+      for (std::int64_t p = 0; p < patch; ++p) {
+        const float* col = columns.data() + p * out_hw;
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < out_hw; ++i) acc += static_cast<double>(gy[i]) * col[i];
+        gw[p] += static_cast<float>(acc);
+      }
+    }
+    // Input gradient: dCols[p, :] = W^T[p, o] dY[o, :], then col2im.
+    std::fill(grad_columns.begin(), grad_columns.end(), 0.0F);
+    for (std::int64_t o = 0; o < out_channels_; ++o) {
+      const float* wrow = effective_weight_.data() + o * patch;
+      const float* gy = grad_out_n + o * out_hw;
+      for (std::int64_t p = 0; p < patch; ++p) {
+        const float w = wrow[p];
+        if (w == 0.0F) continue;
+        float* gc = grad_columns.data() + p * out_hw;
+        for (std::int64_t i = 0; i < out_hw; ++i) gc[i] += w * gy[i];
+      }
+    }
+    tensor::col2im(grad_columns.data(), geometry_, grad_input.data() + n * in_image);
+  }
+
+  if (has_bias_) {
+    for (std::int64_t n = 0; n < batch; ++n) {
+      for (std::int64_t o = 0; o < out_channels_; ++o) {
+        const float* gy = grad_output.data() + n * out_image + o * out_hw;
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < out_hw; ++i) acc += gy[i];
+        bias_.grad[o] += static_cast<float>(acc);
+      }
+    }
+  }
+
+  // Route dL/d(wq) to the full-precision weights (STE or transform-specific).
+  if (transform_) {
+    transform_->backward(weight_.value, grad_wq, weight_.grad);
+  } else {
+    weight_.grad += grad_wq;
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  std::vector<Parameter*> params{&weight_};
+  if (has_bias_) params.push_back(&bias_);
+  return params;
+}
+
+}  // namespace flightnn::nn

@@ -1,0 +1,18 @@
+#include "nn/layer.hpp"
+
+namespace flightnn::nn {
+
+void visit_layers(Layer& root, const std::function<void(Layer&)>& visitor) {
+  visitor(root);
+  root.for_each_child([&](Layer& child) { visit_layers(child, visitor); });
+}
+
+std::vector<quant::WeightTransform*> collect_transforms(Layer& root) {
+  std::vector<quant::WeightTransform*> transforms;
+  visit_layers(root, [&](Layer& layer) {
+    if (auto* transform = layer.weight_transform()) transforms.push_back(transform);
+  });
+  return transforms;
+}
+
+}  // namespace flightnn::nn

@@ -1,0 +1,78 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flightnn::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               bool with_bias, support::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(with_bias),
+      weight_(tensor::Tensor::randn(
+                  tensor::Shape{out_features, in_features}, rng, 0.0F,
+                  std::sqrt(2.0F / static_cast<float>(in_features))),
+              "linear.weight"),
+      bias_(tensor::Tensor(tensor::Shape{out_features}), "linear.bias",
+            /*apply_decay=*/false) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Linear: invalid dimensions");
+  }
+}
+
+tensor::Tensor Linear::quantized_weight() {
+  return transform_ ? transform_->forward(weight_.value) : weight_.value;
+}
+
+tensor::Tensor Linear::forward(const tensor::Tensor& input, bool training) {
+  const auto& s = input.shape();
+  if (s.rank() != 2 || s[1] != in_features_) {
+    throw std::invalid_argument("Linear::forward: bad input shape " + s.to_string());
+  }
+  effective_weight_ = quantized_weight();
+  if (training) input_cache_ = input;
+
+  // y = x * W^T (+ b)
+  tensor::Tensor output = tensor::matmul_nt(input, effective_weight_);
+  if (has_bias_) {
+    const std::int64_t batch = s[0];
+    for (std::int64_t n = 0; n < batch; ++n) {
+      float* row = output.data() + n * out_features_;
+      for (std::int64_t o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
+    }
+  }
+  return output;
+}
+
+tensor::Tensor Linear::backward(const tensor::Tensor& grad_output) {
+  if (input_cache_.empty()) {
+    throw std::logic_error("Linear::backward before forward(training=true)");
+  }
+  // dW = dY^T * X; dX = dY * W; db = column sums of dY.
+  tensor::Tensor grad_wq = tensor::matmul_tn(grad_output, input_cache_);
+  tensor::Tensor grad_input = tensor::matmul(grad_output, effective_weight_);
+
+  if (has_bias_) {
+    const std::int64_t batch = grad_output.shape()[0];
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* row = grad_output.data() + n * out_features_;
+      for (std::int64_t o = 0; o < out_features_; ++o) bias_.grad[o] += row[o];
+    }
+  }
+
+  if (transform_) {
+    transform_->backward(weight_.value, grad_wq, weight_.grad);
+  } else {
+    weight_.grad += grad_wq;
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  std::vector<Parameter*> params{&weight_};
+  if (has_bias_) params.push_back(&bias_);
+  return params;
+}
+
+}  // namespace flightnn::nn

@@ -1,0 +1,76 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flightnn::nn {
+
+float SoftmaxCrossEntropy::forward(const tensor::Tensor& logits,
+                                   const std::vector<int>& labels) {
+  const auto& s = logits.shape();
+  if (s.rank() != 2) throw std::invalid_argument("SoftmaxCrossEntropy: rank != 2");
+  const std::int64_t batch = s[0], classes = s[1];
+  if (static_cast<std::int64_t>(labels.size()) != batch) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+
+  probs_ = tensor::Tensor(s);
+  labels_ = labels;
+  double loss = 0.0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    float* p = probs_.data() + n * classes;
+    const float row_max = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      p[c] = std::exp(row[c] - row_max);
+      denom += p[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < classes; ++c) p[c] *= inv;
+    const int y = labels[static_cast<std::size_t>(n)];
+    if (y < 0 || y >= classes) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    loss -= std::log(std::max(static_cast<double>(p[y]), 1e-12));
+  }
+  return static_cast<float>(loss / static_cast<double>(batch));
+}
+
+tensor::Tensor SoftmaxCrossEntropy::backward() const {
+  if (probs_.empty()) throw std::logic_error("SoftmaxCrossEntropy: backward before forward");
+  const std::int64_t batch = probs_.shape()[0], classes = probs_.shape()[1];
+  tensor::Tensor grad = probs_;
+  const float inv_batch = 1.0F / static_cast<float>(batch);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    grad[n * classes + labels_[static_cast<std::size_t>(n)]] -= 1.0F;
+  }
+  grad *= inv_batch;
+  return grad;
+}
+
+double top_k_accuracy(const tensor::Tensor& logits, const std::vector<int>& labels,
+                      int k) {
+  const auto& s = logits.shape();
+  if (s.rank() != 2) throw std::invalid_argument("top_k_accuracy: rank != 2");
+  const std::int64_t batch = s[0], classes = s[1];
+  if (static_cast<std::int64_t>(labels.size()) != batch || k < 1) {
+    throw std::invalid_argument("top_k_accuracy: bad arguments");
+  }
+  std::int64_t hits = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    const float target = row[labels[static_cast<std::size_t>(n)]];
+    // Count entries strictly greater than the target logit; the label is in
+    // the top-k iff fewer than k entries beat it.
+    int beaten_by = 0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      if (row[c] > target) ++beaten_by;
+    }
+    if (beaten_by < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(batch);
+}
+
+}  // namespace flightnn::nn

@@ -1,0 +1,33 @@
+#pragma once
+
+// Softmax cross-entropy over [N, classes] logits with integer labels, the
+// L_CE of Algorithm 1. Returns the mean loss over the batch; backward
+// produces dL/d(logits) already scaled by 1/N.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace flightnn::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  // Computes mean cross-entropy; caches softmax probabilities for backward.
+  float forward(const tensor::Tensor& logits, const std::vector<int>& labels);
+
+  // dL/d(logits), shape equal to the logits passed to forward.
+  [[nodiscard]] tensor::Tensor backward() const;
+
+  // Softmax probabilities from the last forward (for top-k metrics).
+  [[nodiscard]] const tensor::Tensor& probabilities() const { return probs_; }
+
+ private:
+  tensor::Tensor probs_;
+  std::vector<int> labels_;
+};
+
+// Fraction of rows whose true label is among the `k` largest logits.
+double top_k_accuracy(const tensor::Tensor& logits, const std::vector<int>& labels,
+                      int k);
+
+}  // namespace flightnn::nn

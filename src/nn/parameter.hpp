@@ -1,0 +1,33 @@
+#pragma once
+
+// A trainable parameter: value plus gradient accumulator. Layers own their
+// parameters and expose raw pointers to the optimizer; the pointers stay
+// valid for the lifetime of the layer.
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace flightnn::nn {
+
+struct Parameter {
+  tensor::Tensor value;
+  tensor::Tensor grad;
+  std::string name;           // for debugging / reporting
+  bool trainable = true;
+  // Weight-decay exemption: biases and batch-norm scales are conventionally
+  // excluded from L2 decay.
+  bool decay = true;
+
+  Parameter() = default;
+  Parameter(tensor::Tensor initial, std::string parameter_name,
+            bool apply_decay = true)
+      : value(std::move(initial)),
+        grad(value.shape()),
+        name(std::move(parameter_name)),
+        decay(apply_decay) {}
+
+  void zero_grad() { grad.fill(0.0F); }
+};
+
+}  // namespace flightnn::nn

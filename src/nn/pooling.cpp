@@ -1,0 +1,117 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace flightnn::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride)
+    : window_(window), stride_(stride == 0 ? window : stride) {
+  if (window <= 0) throw std::invalid_argument("MaxPool2d: window <= 0");
+}
+
+tensor::Tensor MaxPool2d::forward(const tensor::Tensor& input, bool training) {
+  const auto& s = input.shape();
+  if (s.rank() != 4) throw std::invalid_argument("MaxPool2d: expects NCHW");
+  const std::int64_t batch = s[0], channels = s[1], in_h = s[2], in_w = s[3];
+  if (in_h < window_ || in_w < window_) {
+    throw std::invalid_argument("MaxPool2d: window larger than input");
+  }
+  const std::int64_t out_h = (in_h - window_) / stride_ + 1;
+  const std::int64_t out_w = (in_w - window_) / stride_ + 1;
+  input_shape_ = s;
+  tensor::Tensor output(tensor::Shape{batch, channels, out_h, out_w});
+  if (training) {
+    argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
+  }
+  std::int64_t out_idx = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float* plane = input.data() + (n * channels + c) * in_h * in_w;
+      for (std::int64_t oy = 0; oy < out_h; ++oy) {
+        for (std::int64_t ox = 0; ox < out_w; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < window_; ++ky) {
+            const std::int64_t iy = oy * stride_ + ky;
+            for (std::int64_t kx = 0; kx < window_; ++kx) {
+              const std::int64_t ix = ox * stride_ + kx;
+              const std::int64_t idx = iy * in_w + ix;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = (n * channels + c) * in_h * in_w + idx;
+              }
+            }
+          }
+          output[out_idx] = best;
+          if (training) argmax_[static_cast<std::size_t>(out_idx)] = best_idx;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+tensor::Tensor MaxPool2d::backward(const tensor::Tensor& grad_output) {
+  if (argmax_.empty()) {
+    throw std::logic_error("MaxPool2d::backward before forward(training=true)");
+  }
+  tensor::Tensor grad_input(input_shape_);
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[argmax_[static_cast<std::size_t>(i)]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+tensor::Tensor GlobalAvgPool::forward(const tensor::Tensor& input, bool training) {
+  const auto& s = input.shape();
+  if (s.rank() != 4) throw std::invalid_argument("GlobalAvgPool: expects NCHW");
+  if (training) input_shape_ = s;
+  else input_shape_ = s;  // cheap; needed for shape-only backward too
+  const std::int64_t batch = s[0], channels = s[1], hw = s[2] * s[3];
+  tensor::Tensor output(tensor::Shape{batch, channels});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float* plane = input.data() + (n * channels + c) * hw;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+      output[n * channels + c] = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  }
+  return output;
+}
+
+tensor::Tensor GlobalAvgPool::backward(const tensor::Tensor& grad_output) {
+  if (input_shape_.rank() != 4) {
+    throw std::logic_error("GlobalAvgPool::backward before forward");
+  }
+  const std::int64_t batch = input_shape_[0], channels = input_shape_[1];
+  const std::int64_t hw = input_shape_[2] * input_shape_[3];
+  tensor::Tensor grad_input(input_shape_);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float g = grad_output[n * channels + c] / static_cast<float>(hw);
+      float* plane = grad_input.data() + (n * channels + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+tensor::Tensor Flatten::forward(const tensor::Tensor& input, bool /*training*/) {
+  const auto& s = input.shape();
+  if (s.rank() < 2) throw std::invalid_argument("Flatten: rank < 2");
+  input_shape_ = s;
+  std::int64_t features = 1;
+  for (std::size_t axis = 1; axis < s.rank(); ++axis) features *= s[axis];
+  return input.reshaped(tensor::Shape{s[0], features});
+}
+
+tensor::Tensor Flatten::backward(const tensor::Tensor& grad_output) {
+  if (input_shape_.rank() < 2) {
+    throw std::logic_error("Flatten::backward before forward");
+  }
+  return grad_output.reshaped(input_shape_);
+}
+
+}  // namespace flightnn::nn

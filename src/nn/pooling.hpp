@@ -1,0 +1,48 @@
+#pragma once
+
+// Spatial pooling layers: 2x2-style max pooling (VGG downsampling) and
+// global average pooling (ResNet head), plus Flatten to bridge NCHW
+// activations into the Linear classifier.
+
+#include "nn/layer.hpp"
+
+namespace flightnn::nn {
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t window, std::int64_t stride = 0);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "maxpool2d"; }
+
+  [[nodiscard]] std::int64_t window() const { return window_; }
+  [[nodiscard]] std::int64_t stride() const { return stride_; }
+
+ private:
+  std::int64_t window_, stride_;
+  tensor::Shape input_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+class GlobalAvgPool final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "global_avg_pool"; }
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+class Flatten final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "flatten"; }
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+}  // namespace flightnn::nn

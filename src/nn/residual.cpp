@@ -1,0 +1,55 @@
+#include "nn/residual.hpp"
+
+#include <stdexcept>
+
+namespace flightnn::nn {
+
+ResidualBlock::ResidualBlock(std::unique_ptr<Sequential> main_path,
+                             std::unique_ptr<Sequential> shortcut,
+                             std::unique_ptr<Sequential> post)
+    : main_path_(std::move(main_path)),
+      shortcut_(std::move(shortcut)),
+      post_(std::move(post)) {
+  if (!main_path_ || !post_) {
+    throw std::invalid_argument("ResidualBlock: main path and post required");
+  }
+}
+
+tensor::Tensor ResidualBlock::forward(const tensor::Tensor& input, bool training) {
+  tensor::Tensor main_out = main_path_->forward(input, training);
+  tensor::Tensor skip_out =
+      shortcut_ ? shortcut_->forward(input, training) : input;
+  main_out += skip_out;
+  return post_->forward(main_out, training);
+}
+
+tensor::Tensor ResidualBlock::backward(const tensor::Tensor& grad_output) {
+  // Gradient of the sum flows unchanged into both branches.
+  tensor::Tensor grad_sum = post_->backward(grad_output);
+  tensor::Tensor grad_input = main_path_->backward(grad_sum);
+  if (shortcut_) {
+    grad_input += shortcut_->backward(grad_sum);
+  } else {
+    grad_input += grad_sum;
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> ResidualBlock::parameters() {
+  std::vector<Parameter*> params = main_path_->parameters();
+  if (shortcut_) {
+    auto sub = shortcut_->parameters();
+    params.insert(params.end(), sub.begin(), sub.end());
+  }
+  auto post_params = post_->parameters();
+  params.insert(params.end(), post_params.begin(), post_params.end());
+  return params;
+}
+
+void ResidualBlock::for_each_child(const std::function<void(Layer&)>& visitor) {
+  visitor(*main_path_);
+  if (shortcut_) visitor(*shortcut_);
+  visitor(*post_);
+}
+
+}  // namespace flightnn::nn

@@ -1,0 +1,39 @@
+#pragma once
+
+// Residual block: out = post(main(x) + shortcut(x)), where `main` is the
+// conv-bn-act-conv-bn stack, `shortcut` is identity or a strided 1x1
+// projection, and `post` is the activation (and optional activation
+// quantizer) applied after the addition. Matches the ResNet structures of
+// Table 1 (networks 2, 6, 7, 8).
+
+#include "nn/sequential.hpp"
+
+namespace flightnn::nn {
+
+class ResidualBlock final : public Layer {
+ public:
+  // `shortcut` may be empty (identity skip). `post` must not be empty.
+  ResidualBlock(std::unique_ptr<Sequential> main_path,
+                std::unique_ptr<Sequential> shortcut,
+                std::unique_ptr<Sequential> post);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "residual_block"; }
+
+  void for_each_child(const std::function<void(Layer&)>& visitor) override;
+
+  [[nodiscard]] Sequential& main_path() { return *main_path_; }
+  // nullptr for identity skips.
+  [[nodiscard]] Sequential* shortcut() { return shortcut_.get(); }
+  [[nodiscard]] Sequential& post() { return *post_; }
+  [[nodiscard]] bool has_projection() const { return shortcut_ != nullptr; }
+
+ private:
+  std::unique_ptr<Sequential> main_path_;
+  std::unique_ptr<Sequential> shortcut_;  // nullptr => identity skip
+  std::unique_ptr<Sequential> post_;
+};
+
+}  // namespace flightnn::nn

@@ -1,0 +1,46 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace flightnn::nn {
+
+Layer* Sequential::add(LayerPtr layer) {
+  Layer* raw = layer.get();
+  layers_.push_back(std::move(layer));
+  return raw;
+}
+
+tensor::Tensor Sequential::forward(const tensor::Tensor& input, bool training) {
+  tensor::Tensor current = input;
+  for (auto& layer : layers_) {
+    current = layer->forward(current, training);
+  }
+  return current;
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& grad_output) {
+  tensor::Tensor current = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    current = (*it)->backward(current);
+  }
+  return current;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    auto sub = layer->parameters();
+    params.insert(params.end(), sub.begin(), sub.end());
+  }
+  return params;
+}
+
+std::vector<quant::WeightTransform*> Sequential::transforms() {
+  return collect_transforms(*this);
+}
+
+void Sequential::visit(const std::function<void(Layer&)>& visitor) {
+  visit_layers(*this, visitor);
+}
+
+}  // namespace flightnn::nn

@@ -1,0 +1,53 @@
+#pragma once
+
+// Sequential: an ordered container of layers that is itself a Layer, so
+// residual blocks can nest it. Also the whole-model type used by the
+// builders in models/.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace flightnn::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  // Append a layer; returns a non-owning pointer for convenient wiring.
+  Layer* add(LayerPtr layer);
+
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+
+  void for_each_child(const std::function<void(Layer&)>& visitor) override {
+    for (auto& layer : layers_) visitor(*layer);
+  }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t index) { return *layers_[index]; }
+  [[nodiscard]] const std::vector<LayerPtr>& layers() const { return layers_; }
+
+  // All weight transforms installed anywhere in the (possibly nested) tree.
+  std::vector<quant::WeightTransform*> transforms();
+
+  // Depth-first visit of every leaf layer (descends into nested containers).
+  void visit(const std::function<void(Layer&)>& visitor);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace flightnn::nn

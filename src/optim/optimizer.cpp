@@ -1,0 +1,91 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flightnn::optim {
+
+void Optimizer::zero_grad() {
+  for (auto* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, float learning_rate,
+         float momentum, float weight_decay)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {}
+
+void Sgd::step() {
+  for (auto* p : params_) {
+    if (!p->trainable) continue;
+    tensor::Tensor grad = p->grad;
+    if (weight_decay_ != 0.0F && p->decay) {
+      grad.add_scaled(p->value, weight_decay_);
+    }
+    if (momentum_ != 0.0F) {
+      auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+      tensor::Tensor& vel = it->second;
+      (void)inserted;
+      vel *= momentum_;
+      vel += grad;
+      p->value.add_scaled(vel, -learning_rate_);
+    } else {
+      p->value.add_scaled(grad, -learning_rate_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<nn::Parameter*> params, float learning_rate, float beta1,
+           float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {}
+
+void Adam::step() {
+  ++step_count_;
+  const float bias1 = 1.0F - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0F - std::pow(beta2_, static_cast<float>(step_count_));
+  for (auto* p : params_) {
+    if (!p->trainable) continue;
+    auto [it, inserted] = moments_.try_emplace(
+        p, Moments{tensor::Tensor(p->value.shape()), tensor::Tensor(p->value.shape())});
+    (void)inserted;
+    tensor::Tensor& m = it->second.m;
+    tensor::Tensor& v = it->second.v;
+    const std::int64_t n = p->value.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      float g = p->grad[i];
+      if (weight_decay_ != 0.0F && p->decay) g += weight_decay_ * p->value[i];
+      m[i] = beta1_ * m[i] + (1.0F - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0F - beta2_) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      p->value[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+ScalarAdam::ScalarAdam(std::size_t size, float beta1, float beta2, float epsilon)
+    : beta1_(beta1), beta2_(beta2), epsilon_(epsilon), m_(size, 0.0F), v_(size, 0.0F) {}
+
+void ScalarAdam::step(std::vector<float>& values, const std::vector<float>& grads,
+                      float lr) {
+  if (values.size() != m_.size() || grads.size() != m_.size()) {
+    throw std::invalid_argument("ScalarAdam::step: size mismatch");
+  }
+  ++step_count_;
+  const float bias1 = 1.0F - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0F - std::pow(beta2_, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float g = grads[i];
+    m_[i] = beta1_ * m_[i] + (1.0F - beta1_) * g;
+    v_[i] = beta2_ * v_[i] + (1.0F - beta2_) * g * g;
+    values[i] -= lr * (m_[i] / bias1) / (std::sqrt(v_[i] / bias2) + epsilon_);
+  }
+}
+
+}  // namespace flightnn::optim

@@ -1,0 +1,85 @@
+#pragma once
+
+// Optimizers over the Parameter set of a model. Adam is the paper's choice
+// (Sec. 5.1); SGD with momentum is provided for ablations. State is keyed by
+// parameter identity, so the optimizer must outlive nothing and the layers
+// must outlive the optimizer.
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace flightnn::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  void zero_grad();
+  virtual void step() = 0;
+
+  [[nodiscard]] const std::vector<nn::Parameter*>& parameters() const {
+    return params_;
+  }
+
+ protected:
+  std::vector<nn::Parameter*> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<nn::Parameter*> params, float learning_rate,
+      float momentum = 0.0F, float weight_decay = 0.0F);
+
+  void step() override;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  [[nodiscard]] float learning_rate() const { return learning_rate_; }
+
+ private:
+  float learning_rate_, momentum_, weight_decay_;
+  std::unordered_map<nn::Parameter*, tensor::Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<nn::Parameter*> params, float learning_rate = 1e-3F,
+       float beta1 = 0.9F, float beta2 = 0.999F, float epsilon = 1e-8F,
+       float weight_decay = 0.0F);
+
+  void step() override;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  [[nodiscard]] float learning_rate() const { return learning_rate_; }
+  [[nodiscard]] std::int64_t step_count() const { return step_count_; }
+
+ private:
+  float learning_rate_, beta1_, beta2_, epsilon_, weight_decay_;
+  std::int64_t step_count_ = 0;
+  struct Moments {
+    tensor::Tensor m;
+    tensor::Tensor v;
+  };
+  std::unordered_map<nn::Parameter*, Moments> moments_;
+};
+
+// Scalar Adam state, used by the FLightNN transform for its threshold
+// vector without pulling the transform into the Parameter machinery.
+class ScalarAdam {
+ public:
+  explicit ScalarAdam(std::size_t size, float beta1 = 0.9F, float beta2 = 0.999F,
+                      float epsilon = 1e-8F);
+
+  // Apply one Adam update to `values` given `grads`, with learning rate lr.
+  void step(std::vector<float>& values, const std::vector<float>& grads, float lr);
+
+ private:
+  float beta1_, beta2_, epsilon_;
+  std::int64_t step_count_ = 0;
+  std::vector<float> m_, v_;
+};
+
+}  // namespace flightnn::optim

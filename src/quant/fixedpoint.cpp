@@ -1,0 +1,56 @@
+#include "quant/fixedpoint.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flightnn::quant {
+
+float choose_pow2_scale(const tensor::Tensor& x, const FixedPointConfig& config) {
+  const float abs_max = x.abs_max();
+  if (abs_max == 0.0F) return 1.0F;
+  // Smallest power-of-two scale with q_max * scale >= abs_max.
+  const int e = static_cast<int>(
+      std::ceil(std::log2(abs_max / static_cast<float>(config.q_max()))));
+  return std::ldexp(1.0F, e);
+}
+
+tensor::Tensor quantize_fixed_point(const tensor::Tensor& x, float scale,
+                                    const FixedPointConfig& config) {
+  if (scale <= 0.0F) throw std::invalid_argument("quantize_fixed_point: scale <= 0");
+  const float q_max = static_cast<float>(config.q_max());
+  tensor::Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    float q = std::nearbyint(x[i] / scale);
+    if (q > q_max) q = q_max;
+    if (q < -q_max) q = -q_max;
+    out[i] = q * scale;
+  }
+  return out;
+}
+
+tensor::Tensor quantize_fixed_point(const tensor::Tensor& x,
+                                    const FixedPointConfig& config) {
+  return quantize_fixed_point(x, choose_pow2_scale(x, config), config);
+}
+
+FixedPointTransform::FixedPointTransform(FixedPointConfig config)
+    : config_(config) {
+  if (config.bits < 2 || config.bits > 16) {
+    throw std::invalid_argument("FixedPointTransform: bits out of [2, 16]");
+  }
+}
+
+tensor::Tensor FixedPointTransform::forward(const tensor::Tensor& w) {
+  return quantize_fixed_point(w, config_);
+}
+
+std::string FixedPointTransform::describe() const {
+  return "fixedpoint-" + std::to_string(config_.bits) + "b";
+}
+
+tensor::Tensor quantize_activations(const tensor::Tensor& x, int bits) {
+  FixedPointConfig config{bits};
+  return quantize_fixed_point(x, choose_pow2_scale(x, config), config);
+}
+
+}  // namespace flightnn::quant

@@ -1,0 +1,53 @@
+#pragma once
+
+// Uniform (fixed-point) quantization, the paper's "FP_xWyA" baseline:
+// symmetric signed integers with a per-tensor power-of-two scale so that the
+// hardware realization stays multiplier+shift only. Used for the 4-bit
+// weight baseline and for 8-bit activation quantization in all quantized
+// models (Sec. 5.1).
+
+#include "quant/transform.hpp"
+
+namespace flightnn::quant {
+
+struct FixedPointConfig {
+  int bits = 4;  // total bits including sign
+
+  // Integer range is symmetric: [-(2^(bits-1) - 1), +(2^(bits-1) - 1)].
+  [[nodiscard]] int q_max() const { return (1 << (bits - 1)) - 1; }
+};
+
+// Per-tensor power-of-two scale chosen so q_max * scale covers abs-max.
+// Returns the scale (2^e); abs-max of zero yields scale 1.
+float choose_pow2_scale(const tensor::Tensor& x, const FixedPointConfig& config);
+
+// Quantize to fixed point with an explicit scale: round(x / scale) clamped
+// to the symmetric integer range, returned in float realization
+// (value = q * scale).
+tensor::Tensor quantize_fixed_point(const tensor::Tensor& x, float scale,
+                                    const FixedPointConfig& config);
+
+// Convenience: choose scale then quantize.
+tensor::Tensor quantize_fixed_point(const tensor::Tensor& x,
+                                    const FixedPointConfig& config);
+
+// Fixed-point weights as a WeightTransform (STE backward).
+class FixedPointTransform final : public WeightTransform {
+ public:
+  explicit FixedPointTransform(FixedPointConfig config = {});
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& w) override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const FixedPointConfig& config() const { return config_; }
+
+ private:
+  FixedPointConfig config_;
+};
+
+// Activation fake-quantization: symmetric `bits`-bit fixed point with a
+// dynamic per-tensor power-of-two scale. Identity for non-finite-safe
+// ranges. STE is applied by the ActivationQuant layer in nn/.
+tensor::Tensor quantize_activations(const tensor::Tensor& x, int bits);
+
+}  // namespace flightnn::quant

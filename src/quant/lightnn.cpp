@@ -1,0 +1,38 @@
+#include "quant/lightnn.hpp"
+
+#include <stdexcept>
+
+namespace flightnn::quant {
+
+tensor::Tensor quantize_lightnn(const tensor::Tensor& w, int k,
+                                const Pow2Config& config) {
+  if (k < 1) throw std::invalid_argument("quantize_lightnn: k must be >= 1");
+  tensor::Tensor out(w.shape());
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    float acc = 0.0F;
+    float residual = w[i];
+    for (int j = 0; j < k; ++j) {
+      const float term = round_to_pow2(residual, config).value();
+      if (term == 0.0F) break;  // residual already representable as zero
+      acc += term;
+      residual -= term;
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+LightNNTransform::LightNNTransform(int k, Pow2Config config)
+    : k_(k), config_(config) {
+  if (k < 1) throw std::invalid_argument("LightNNTransform: k must be >= 1");
+}
+
+tensor::Tensor LightNNTransform::forward(const tensor::Tensor& w) {
+  return quantize_lightnn(w, k_, config_);
+}
+
+std::string LightNNTransform::describe() const {
+  return "lightnn-k" + std::to_string(k_);
+}
+
+}  // namespace flightnn::quant

@@ -1,0 +1,35 @@
+#pragma once
+
+// LightNN-k weight quantization (Ding et al., GLSVLSI'17; Sec. 3 of the
+// FLightNN paper): every weight becomes the sum of exactly-at-most k powers
+// of two, built by recursive residual peeling
+//   Q_k(w) = Q_{k-1}(w) + Q_1(w - Q_{k-1}(w)),  Q_1(w) = R(w).
+// The same k applies to every filter; this is the baseline FLightNN
+// generalizes.
+
+#include "quant/pow2.hpp"
+#include "quant/transform.hpp"
+
+namespace flightnn::quant {
+
+// Elementwise Q_k over a tensor.
+tensor::Tensor quantize_lightnn(const tensor::Tensor& w, int k,
+                                const Pow2Config& config);
+
+// LightNN-k as a WeightTransform (STE backward, no internal state).
+class LightNNTransform final : public WeightTransform {
+ public:
+  LightNNTransform(int k, Pow2Config config = {});
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& w) override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] const Pow2Config& config() const { return config_; }
+
+ private:
+  int k_;
+  Pow2Config config_;
+};
+
+}  // namespace flightnn::quant

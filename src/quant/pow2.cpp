@@ -1,0 +1,64 @@
+#include "quant/pow2.hpp"
+
+#include <cmath>
+
+namespace flightnn::quant {
+
+float Pow2Term::value() const {
+  if (sign == 0) return 0.0F;
+  return static_cast<float>(sign) * std::ldexp(1.0F, exponent);
+}
+
+Pow2Term round_to_pow2(float x, const Pow2Config& config) {
+  Pow2Term term;
+  if (x == 0.0F || std::isnan(x)) return term;
+  const float mag = std::fabs(x);
+  if (config.flush_to_zero && mag < std::ldexp(1.0F, config.e_min - 1)) {
+    return term;  // exact zero
+  }
+  // Nearest power of two in log domain: exponent = round(log2(mag)).
+  int e = static_cast<int>(std::lround(std::log2(mag)));
+  if (e < config.e_min) e = config.e_min;
+  if (e > config.e_max) e = config.e_max;
+  term.sign = x > 0.0F ? 1 : -1;
+  term.exponent = static_cast<std::int8_t>(e);
+  return term;
+}
+
+tensor::Tensor round_to_pow2(const tensor::Tensor& x, const Pow2Config& config) {
+  tensor::Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = round_to_pow2(x[i], config).value();
+  }
+  return out;
+}
+
+bool is_pow2_representable(const tensor::Tensor& x, const Pow2Config& config) {
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float v = x[i];
+    if (v == 0.0F) continue;
+    const float mag = std::fabs(v);
+    const float e = std::log2(mag);
+    if (e != std::floor(e)) return false;
+    const int ei = static_cast<int>(e);
+    if (ei < config.e_min || ei > config.e_max) return false;
+  }
+  return true;
+}
+
+bool is_sum_of_pow2(const tensor::Tensor& x, int k, const Pow2Config& config) {
+  // Greedy residual peeling: a value is a sum of <= k representable terms iff
+  // peeling the nearest power of two k times reaches (close to) zero. The
+  // greedy check matches how the quantizers construct values, so it is exact
+  // for their outputs.
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    float residual = x[i];
+    for (int j = 0; j < k && residual != 0.0F; ++j) {
+      residual -= round_to_pow2(residual, config).value();
+    }
+    if (residual != 0.0F) return false;
+  }
+  return true;
+}
+
+}  // namespace flightnn::quant

@@ -1,0 +1,52 @@
+#pragma once
+
+// Power-of-two arithmetic primitives shared by every quantizer in the
+// library. The paper's R(x) = sign(x) * 2^[log2(|x|)] (Sec. 3) rounds a value
+// to the nearest power of two in the *log* domain; hardware then realizes a
+// multiply by R(x) as a barrel shift.
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace flightnn::quant {
+
+// Exponent budget for a power-of-two coded weight term. A 4-bit term
+// (1 sign bit + 3 magnitude bits) encodes exact zero plus sign * 2^e for
+// 7 exponent values -- matching the paper's "L-1 4W" / "L-2 8W" encodings
+// and the nibble packing in serialize/ (code 0 = zero, 15 signed
+// exponents).
+struct Pow2Config {
+  int e_min = -6;
+  int e_max = 0;
+  // Magnitudes below 2^(e_min - 1) round to exact zero instead of being
+  // clamped up to 2^e_min; keeps tiny residuals from gaining energy.
+  bool flush_to_zero = true;
+
+  [[nodiscard]] int exponent_levels() const { return e_max - e_min + 1; }
+};
+
+// One shift term: value = sign * 2^exponent, or exact zero when sign == 0.
+struct Pow2Term {
+  std::int8_t sign = 0;     // -1, 0, +1
+  std::int8_t exponent = 0; // valid only when sign != 0
+
+  [[nodiscard]] float value() const;
+};
+
+// Round a scalar to the nearest power of two under `config`. Returns the
+// term; use term.value() for the float realization.
+Pow2Term round_to_pow2(float x, const Pow2Config& config);
+
+// Elementwise R(x) over a tensor (float realization).
+tensor::Tensor round_to_pow2(const tensor::Tensor& x, const Pow2Config& config);
+
+// True if every element of `x` is exactly representable as sign * 2^e with
+// e in [config.e_min, config.e_max] or exact zero.
+bool is_pow2_representable(const tensor::Tensor& x, const Pow2Config& config);
+
+// True if every element is a sum of at most k representable terms. Verifies
+// LightNN-k / FLightNN quantizer outputs in tests.
+bool is_sum_of_pow2(const tensor::Tensor& x, int k, const Pow2Config& config);
+
+}  // namespace flightnn::quant

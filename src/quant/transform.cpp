@@ -1,0 +1,21 @@
+#include "quant/transform.hpp"
+
+namespace flightnn::quant {
+
+void WeightTransform::backward(const tensor::Tensor& /*w*/,
+                               const tensor::Tensor& grad_wq,
+                               tensor::Tensor& grad_w) {
+  // Straight-through estimator: d(wq)/d(w) := 1.
+  grad_w += grad_wq;
+}
+
+double WeightTransform::regularization(const tensor::Tensor& /*w*/,
+                                       tensor::Tensor* /*grad_w*/) {
+  return 0.0;
+}
+
+void WeightTransform::step_internal(float /*learning_rate*/) {}
+
+void WeightTransform::zero_internal_grads() {}
+
+}  // namespace flightnn::quant

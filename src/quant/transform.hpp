@@ -1,0 +1,50 @@
+#pragma once
+
+// WeightTransform: the hook through which quantizers plug into parameterized
+// layers. A layer holding a transform runs `forward` on its full-precision
+// weights before using them (Algorithm 1, step 1) and routes the gradient of
+// the loss w.r.t. the quantized weights back through `backward`
+// (straight-through estimation by default, Sec. 4.2).
+//
+// Transforms with trainable internal state (the FLightNN thresholds t) also
+// expose a regularization term (Sec. 4.3) and an internal update step so the
+// trainer can run Algorithm 1 without knowing which quantizer is installed.
+
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace flightnn::quant {
+
+class WeightTransform {
+ public:
+  virtual ~WeightTransform() = default;
+
+  // Quantize full-precision weights `w` (layout: filter-major, i.e. the
+  // first axis indexes filters for conv weights / output units for linear).
+  [[nodiscard]] virtual tensor::Tensor forward(const tensor::Tensor& w) = 0;
+
+  // Given dL/d(quantized w), accumulate dL/dw into `grad_w` and any internal
+  // gradients (thresholds). Default: straight-through, grad_w += grad_wq.
+  virtual void backward(const tensor::Tensor& w, const tensor::Tensor& grad_wq,
+                        tensor::Tensor& grad_w);
+
+  // Regularization loss evaluated on the full-precision weights; if
+  // `grad_w` is non-null also accumulates its gradient. Default: none.
+  virtual double regularization(const tensor::Tensor& w, tensor::Tensor* grad_w);
+
+  // Update internal trainable state (thresholds) from gradients accumulated
+  // by `backward`, then clear them. Default: no internal state.
+  virtual void step_internal(float learning_rate);
+
+  // Clear internal gradient accumulators (start of a mini-batch).
+  virtual void zero_internal_grads();
+
+  // Human-readable description ("lightnn-k2", "flightnn[kmax=2]", ...).
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using WeightTransformPtr = std::shared_ptr<WeightTransform>;
+
+}  // namespace flightnn::quant

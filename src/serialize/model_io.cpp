@@ -1,0 +1,363 @@
+#include "serialize/model_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/decompose.hpp"
+#include "core/flightnn_transform.hpp"
+#include "core/quantize_model.hpp"
+#include "nn/batchnorm.hpp"
+#include "quant/lightnn.hpp"
+
+namespace flightnn::serialize {
+
+namespace {
+
+constexpr char kCheckpointMagic[] = "FLNNCKPT1";
+constexpr char kPackMagic[] = "FLNNPACK1";
+
+// --- Little binary writer/reader ------------------------------------------------
+
+class Writer {
+ public:
+  void bytes(const void* data, std::size_t count) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + count);
+  }
+  void u32(std::uint32_t value) { bytes(&value, sizeof(value)); }
+  void i64(std::int64_t value) { bytes(&value, sizeof(value)); }
+  void f32(float value) { bytes(&value, sizeof(value)); }
+  void floats(const float* data, std::int64_t count) {
+    bytes(data, static_cast<std::size_t>(count) * sizeof(float));
+  }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buffer) : buffer_(buffer) {}
+  void bytes(void* out, std::size_t count) {
+    if (cursor_ + count > buffer_.size()) {
+      throw std::runtime_error("serialize: truncated buffer");
+    }
+    std::memcpy(out, buffer_.data() + cursor_, count);
+    cursor_ += count;
+  }
+  std::uint32_t u32() {
+    std::uint32_t value = 0;
+    bytes(&value, sizeof(value));
+    return value;
+  }
+  std::int64_t i64() {
+    std::int64_t value = 0;
+    bytes(&value, sizeof(value));
+    return value;
+  }
+  float f32() {
+    float value = 0;
+    bytes(&value, sizeof(value));
+    return value;
+  }
+  void floats(float* out, std::int64_t count) {
+    bytes(out, static_cast<std::size_t>(count) * sizeof(float));
+  }
+  [[nodiscard]] bool exhausted() const { return cursor_ == buffer_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& buffer_;
+  std::size_t cursor_ = 0;
+};
+
+void write_tensor(Writer& writer, const tensor::Tensor& t) {
+  writer.u32(static_cast<std::uint32_t>(t.shape().rank()));
+  for (auto d : t.shape().dims()) writer.i64(d);
+  writer.floats(t.data(), t.numel());
+}
+
+void read_tensor_into(Reader& reader, tensor::Tensor& t, const char* what) {
+  const std::uint32_t rank = reader.u32();
+  std::vector<std::int64_t> dims(rank);
+  for (auto& d : dims) d = reader.i64();
+  if (tensor::Shape(dims) != t.shape()) {
+    throw std::runtime_error(std::string("serialize: shape mismatch for ") + what);
+  }
+  reader.floats(t.data(), t.numel());
+}
+
+// Batch-norm layers in deterministic traversal order.
+std::vector<nn::BatchNorm2d*> batchnorm_layers(nn::Sequential& model) {
+  std::vector<nn::BatchNorm2d*> layers;
+  model.visit([&](nn::Layer& layer) {
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&layer)) layers.push_back(bn);
+  });
+  return layers;
+}
+
+std::vector<core::FLightNNTransform*> flightnn_transforms(nn::Sequential& model) {
+  std::vector<core::FLightNNTransform*> transforms;
+  for (auto* transform : model.transforms()) {
+    if (auto* fl = dynamic_cast<core::FLightNNTransform*>(transform)) {
+      transforms.push_back(fl);
+    }
+  }
+  return transforms;
+}
+
+}  // namespace
+
+// --- Checkpoints -----------------------------------------------------------------
+
+std::vector<std::uint8_t> save_state(nn::Sequential& model) {
+  Writer writer;
+  writer.bytes(kCheckpointMagic, sizeof(kCheckpointMagic));
+
+  const auto params = model.parameters();
+  writer.u32(static_cast<std::uint32_t>(params.size()));
+  for (auto* param : params) write_tensor(writer, param->value);
+
+  const auto bns = batchnorm_layers(model);
+  writer.u32(static_cast<std::uint32_t>(bns.size()));
+  for (auto* bn : bns) {
+    write_tensor(writer, bn->running_mean());
+    write_tensor(writer, bn->running_var());
+  }
+
+  const auto transforms = flightnn_transforms(model);
+  writer.u32(static_cast<std::uint32_t>(transforms.size()));
+  for (auto* transform : transforms) {
+    const auto& thresholds = transform->thresholds();
+    writer.u32(static_cast<std::uint32_t>(thresholds.size()));
+    for (float t : thresholds) writer.f32(t);
+  }
+  return writer.take();
+}
+
+void save_state(nn::Sequential& model, const std::string& path) {
+  const auto buffer = save_state(model);
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("save_state: cannot open " + path);
+  file.write(reinterpret_cast<const char*>(buffer.data()),
+             static_cast<std::streamsize>(buffer.size()));
+  if (!file) throw std::runtime_error("save_state: write failed for " + path);
+}
+
+void load_state(nn::Sequential& model, const std::vector<std::uint8_t>& buffer) {
+  Reader reader(buffer);
+  char magic[sizeof(kCheckpointMagic)] = {};
+  reader.bytes(magic, sizeof(magic));
+  if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("load_state: bad magic");
+  }
+
+  const auto params = model.parameters();
+  if (reader.u32() != params.size()) {
+    throw std::runtime_error("load_state: parameter count mismatch");
+  }
+  for (auto* param : params) read_tensor_into(reader, param->value, param->name.c_str());
+
+  const auto bns = batchnorm_layers(model);
+  if (reader.u32() != bns.size()) {
+    throw std::runtime_error("load_state: batch-norm count mismatch");
+  }
+  for (auto* bn : bns) {
+    // running stats are exposed const; cast through the accessors' storage.
+    read_tensor_into(reader, const_cast<tensor::Tensor&>(bn->running_mean()),
+                     "bn.running_mean");
+    read_tensor_into(reader, const_cast<tensor::Tensor&>(bn->running_var()),
+                     "bn.running_var");
+  }
+
+  const auto transforms = flightnn_transforms(model);
+  if (reader.u32() != transforms.size()) {
+    throw std::runtime_error("load_state: transform count mismatch");
+  }
+  for (auto* transform : transforms) {
+    const std::uint32_t count = reader.u32();
+    std::vector<float> thresholds(count);
+    for (auto& t : thresholds) t = reader.f32();
+    transform->set_thresholds(std::move(thresholds));
+  }
+  if (!reader.exhausted()) {
+    throw std::runtime_error("load_state: trailing bytes");
+  }
+}
+
+void load_state(nn::Sequential& model, const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("load_state: cannot open " + path);
+  std::vector<std::uint8_t> buffer(
+      (std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  load_state(model, buffer);
+}
+
+// --- Deployment packs -------------------------------------------------------------
+
+namespace {
+
+// Nibble code: 0 = zero term; otherwise bit3 = sign (1 = negative) and
+// bits 0..2 = (exponent - e_min + 1) in [1, 7].
+std::uint8_t encode_term(const quant::Pow2Term& term, const quant::Pow2Config& pow2) {
+  if (term.sign == 0) return 0;
+  const int offset = term.exponent - pow2.e_min + 1;
+  if (offset < 1 || offset > 7) {
+    throw std::invalid_argument("pack: exponent out of the 3-bit range");
+  }
+  return static_cast<std::uint8_t>(((term.sign < 0 ? 1 : 0) << 3) | offset);
+}
+
+quant::Pow2Term decode_term(std::uint8_t code, const quant::Pow2Config& pow2) {
+  quant::Pow2Term term;
+  if (code == 0) return term;
+  term.sign = (code & 0x8) != 0 ? -1 : 1;
+  term.exponent = static_cast<std::int8_t>(pow2.e_min + (code & 0x7) - 1);
+  return term;
+}
+
+}  // namespace
+
+std::int64_t PackedLayer::term_count() const {
+  std::int64_t count = 0;
+  for (std::uint8_t k : filter_k) count += k;
+  return count * elements_per_filter;
+}
+
+std::int64_t PackedLayer::packed_bits() const {
+  return term_count() * 4 + static_cast<std::int64_t>(filter_k.size()) * 2;
+}
+
+double PackedModel::total_bytes() const {
+  std::int64_t bits = 0;
+  for (const auto& layer : layers) bits += layer.packed_bits();
+  return static_cast<double>(bits) / 8.0;
+}
+
+PackedModel pack_quantized(nn::Sequential& model) {
+  PackedModel packed;
+  bool config_set = false;
+  for (const auto& entry : core::quantizable_layers(model)) {
+    int k_max = 0;
+    quant::Pow2Config pow2;
+    if (auto* lightnn = dynamic_cast<quant::LightNNTransform*>(entry.transform)) {
+      k_max = lightnn->k();
+      pow2 = lightnn->config();
+    } else if (auto* fl =
+                   dynamic_cast<core::FLightNNTransform*>(entry.transform)) {
+      k_max = fl->config().k_max;
+      pow2 = fl->config().pow2;
+    } else {
+      throw std::invalid_argument(
+          "pack_quantized: layer has no shift-coded transform");
+    }
+    if (!config_set) {
+      packed.pow2 = pow2;
+      packed.k_max = k_max;
+      config_set = true;
+    }
+    packed.k_max = std::max(packed.k_max, k_max);
+
+    const tensor::Tensor wq = entry.transform->forward(entry.weight->value);
+    const auto decomposition = core::decompose_to_lightnn1(wq, k_max, pow2);
+
+    PackedLayer layer;
+    layer.filters = wq.shape()[0];
+    layer.elements_per_filter = decomposition.elements_per_filter;
+    layer.filter_k.assign(decomposition.filter_k.begin(),
+                          decomposition.filter_k.end());
+
+    std::vector<std::uint8_t> codes;
+    codes.reserve(static_cast<std::size_t>(decomposition.term_count() *
+                                           layer.elements_per_filter));
+    for (const auto& term : decomposition.terms) {
+      for (const auto& element : term.elements) {
+        codes.push_back(encode_term(element, pow2));
+      }
+    }
+    layer.nibbles.resize((codes.size() + 1) / 2, 0);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      layer.nibbles[i / 2] |= static_cast<std::uint8_t>(
+          codes[i] << ((i % 2) * 4));
+    }
+    packed.layers.push_back(std::move(layer));
+  }
+  return packed;
+}
+
+tensor::Tensor unpack_layer(const PackedLayer& layer, const quant::Pow2Config& pow2,
+                            const tensor::Shape& shape) {
+  if (shape.numel() != layer.filters * layer.elements_per_filter) {
+    throw std::invalid_argument("unpack_layer: shape mismatch");
+  }
+  tensor::Tensor out(shape);
+  std::size_t code_index = 0;
+  auto next_code = [&]() {
+    const std::uint8_t byte = layer.nibbles[code_index / 2];
+    const std::uint8_t code =
+        static_cast<std::uint8_t>((byte >> ((code_index % 2) * 4)) & 0xF);
+    ++code_index;
+    return code;
+  };
+  for (std::int64_t filter = 0; filter < layer.filters; ++filter) {
+    const int k = layer.filter_k[static_cast<std::size_t>(filter)];
+    float* base = out.data() + filter * layer.elements_per_filter;
+    for (int level = 0; level < k; ++level) {
+      for (std::int64_t e = 0; e < layer.elements_per_filter; ++e) {
+        base[e] += decode_term(next_code(), pow2).value();
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_packed(const PackedModel& model) {
+  Writer writer;
+  writer.bytes(kPackMagic, sizeof(kPackMagic));
+  writer.u32(static_cast<std::uint32_t>(model.pow2.e_min + 128));
+  writer.u32(static_cast<std::uint32_t>(model.pow2.e_max + 128));
+  writer.u32(model.pow2.flush_to_zero ? 1 : 0);
+  writer.u32(static_cast<std::uint32_t>(model.k_max));
+  writer.u32(static_cast<std::uint32_t>(model.layers.size()));
+  for (const auto& layer : model.layers) {
+    writer.i64(layer.filters);
+    writer.i64(layer.elements_per_filter);
+    writer.bytes(layer.filter_k.data(), layer.filter_k.size());
+    writer.i64(static_cast<std::int64_t>(layer.nibbles.size()));
+    writer.bytes(layer.nibbles.data(), layer.nibbles.size());
+  }
+  return writer.take();
+}
+
+PackedModel parse_packed(const std::vector<std::uint8_t>& buffer) {
+  Reader reader(buffer);
+  char magic[sizeof(kPackMagic)] = {};
+  reader.bytes(magic, sizeof(magic));
+  if (std::memcmp(magic, kPackMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("parse_packed: bad magic");
+  }
+  PackedModel model;
+  model.pow2.e_min = static_cast<int>(reader.u32()) - 128;
+  model.pow2.e_max = static_cast<int>(reader.u32()) - 128;
+  model.pow2.flush_to_zero = reader.u32() != 0;
+  model.k_max = static_cast<int>(reader.u32());
+  const std::uint32_t layer_count = reader.u32();
+  model.layers.resize(layer_count);
+  for (auto& layer : model.layers) {
+    layer.filters = reader.i64();
+    layer.elements_per_filter = reader.i64();
+    if (layer.filters < 0 || layer.elements_per_filter < 0) {
+      throw std::runtime_error("parse_packed: negative dimensions");
+    }
+    layer.filter_k.resize(static_cast<std::size_t>(layer.filters));
+    reader.bytes(layer.filter_k.data(), layer.filter_k.size());
+    const std::int64_t nibble_bytes = reader.i64();
+    layer.nibbles.resize(static_cast<std::size_t>(nibble_bytes));
+    reader.bytes(layer.nibbles.data(), layer.nibbles.size());
+  }
+  if (!reader.exhausted()) throw std::runtime_error("parse_packed: trailing bytes");
+  return model;
+}
+
+}  // namespace flightnn::serialize

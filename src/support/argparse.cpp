@@ -1,0 +1,75 @@
+#include "support/argparse.hpp"
+
+#include <stdexcept>
+
+namespace flightnn::support {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help,
+                         std::optional<std::string> default_value) {
+  if (name.rfind("--", 0) != 0) {
+    throw std::invalid_argument("add_flag: flags must start with --");
+  }
+  flags_[name] = Flag{help, std::move(default_value), std::nullopt};
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: " + arg;
+      return false;
+    }
+    if (i + 1 >= args.size()) {
+      error_ = "missing value for " + arg;
+      return false;
+    }
+    it->second.value = args[++i];
+  }
+  for (const auto& [name, flag] : flags_) {
+    if (!flag.value.has_value() && !flag.default_value.has_value()) {
+      error_ = "missing required flag: " + name;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() &&
+         (it->second.value.has_value() || it->second.default_value.has_value());
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::invalid_argument("get: undeclared flag " + name);
+  if (it->second.value.has_value()) return *it->second.value;
+  if (it->second.default_value.has_value()) return *it->second.default_value;
+  throw std::invalid_argument("get: no value for " + name);
+}
+
+int ArgParser::get_int(const std::string& name) const {
+  return std::stoi(get(name));
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+std::string ArgParser::usage() const {
+  std::string out = program_ + ": " + description_ + "\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  " + name + "  " + flag.help;
+    if (flag.default_value.has_value()) {
+      out += " (default: " + *flag.default_value + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace flightnn::support

@@ -1,0 +1,46 @@
+#pragma once
+
+// Minimal command-line argument parsing for the CLI tool: subcommand +
+// `--flag value` pairs with typed accessors and defaults. Unknown flags are
+// an error; every flag must be declared before parse().
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flightnn::support {
+
+class ArgParser {
+ public:
+  // `description` is printed by usage().
+  explicit ArgParser(std::string program, std::string description);
+
+  // Declare a flag ("--epochs") with a help string and optional default.
+  void add_flag(const std::string& name, const std::string& help,
+                std::optional<std::string> default_value = std::nullopt);
+
+  // Parse argv after the subcommand. Returns false (and sets error()) on
+  // unknown flags, missing values, or missing required flags.
+  bool parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::optional<std::string> default_value;
+    std::optional<std::string> value;
+  };
+
+  std::string program_, description_, error_;
+  std::map<std::string, Flag> flags_;  // ordered for stable usage() output
+};
+
+}  // namespace flightnn::support

@@ -1,0 +1,46 @@
+#include "support/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace flightnn::support {
+
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("FLIGHTNN_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel& level_storage() {
+  static LogLevel level = initial_level();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage(); }
+
+void set_log_level(LogLevel level) { level_storage() = level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace flightnn::support

@@ -1,0 +1,49 @@
+#pragma once
+
+// Deterministic pseudo-random number generation for all stochastic parts of
+// the library (weight init, synthetic data, shuffling). Every consumer takes
+// an explicit seed so that experiments are reproducible run-to-run.
+
+#include <cstdint>
+#include <vector>
+
+namespace flightnn::support {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+// Used instead of std::mt19937 so that results are identical across
+// standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  // Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  // Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  // Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<std::size_t>& indices);
+
+  // Derive an independent stream (for per-worker / per-dataset use).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace flightnn::support

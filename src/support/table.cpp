@@ -1,0 +1,103 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace flightnn::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() {
+  separators_.push_back(rows_.size());
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_rule() + render_row(header_) + render_rule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) != separators_.end() && r > 0) {
+      out += render_rule();
+    }
+    out += render_row(rows_[r]);
+  }
+  out += render_rule();
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += ",";
+      line += cells[c];
+    }
+    return line + "\n";
+  };
+  std::string out = join(header_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_sci(double value, int digits) {
+  if (value == 0.0) return "0";
+  const double magnitude = std::floor(std::log10(std::fabs(value)));
+  // Small values print plainly, matching the paper ("1.3", "10.2", "39.2").
+  if (magnitude < 2.0) return format_fixed(value, 1);
+  const double mantissa = value / std::pow(10.0, magnitude);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fe%d", digits, mantissa,
+                static_cast<int>(magnitude));
+  return buf;
+}
+
+std::string format_speedup(double value) {
+  char buf[64];
+  if (value >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fx", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fx", value);
+  }
+  return buf;
+}
+
+std::string format_mb(double bytes) {
+  const double mb = bytes / (1024.0 * 1024.0);
+  if (mb >= 10.0) return format_fixed(mb, 1);
+  return format_fixed(mb, 2);
+}
+
+}  // namespace flightnn::support

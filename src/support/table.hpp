@@ -1,0 +1,49 @@
+#pragma once
+
+// Plain-text table rendering used by the benchmark harnesses to print
+// paper-style tables (Tables 2-6) with aligned columns, plus CSV export so
+// results can be plotted externally.
+
+#include <string>
+#include <vector>
+
+namespace flightnn::support {
+
+// A simple column-aligned text table. Cells are strings; callers format
+// numbers themselves (see format_* helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Insert a horizontal separator before the next added row.
+  void add_separator();
+
+  // Render with box-drawing-free ASCII so output is terminal/CI friendly.
+  [[nodiscard]] std::string to_string() const;
+
+  // Comma-separated export (no separators, header first).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices preceded by a rule
+};
+
+// Fixed-precision float formatting ("3.14").
+std::string format_fixed(double value, int digits);
+
+// Scientific-style formatting matching the paper's tables ("2.2e3").
+std::string format_sci(double value, int digits = 1);
+
+// Speedup formatting ("7.0x").
+std::string format_speedup(double value);
+
+// Human-readable byte size in MB with sensible precision ("0.08", "18.5").
+std::string format_mb(double bytes);
+
+}  // namespace flightnn::support

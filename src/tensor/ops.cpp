@@ -1,0 +1,143 @@
+#include "tensor/ops.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace flightnn::tensor {
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  }
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
+  // B and C, which is the main thing that matters at these sizes.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float a_val = a_row[p];
+      if (a_val == 0.0F) continue;  // quantized weights are often exactly 0
+      const float* b_row = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_val * b_row[j];
+      }
+    }
+  }
+}
+
+namespace {
+void require_rank2(const Tensor& t, const char* what) {
+  if (t.shape().rank() != 2) {
+    throw std::invalid_argument(std::string(what) + ": expected rank-2 tensor, got " +
+                                t.shape().to_string());
+  }
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul");
+  require_rank2(b, "matmul");
+  const std::int64_t m = a.shape()[0], k = a.shape()[1];
+  if (b.shape()[0] != k) throw std::invalid_argument("matmul: inner dim mismatch");
+  const std::int64_t n = b.shape()[1];
+  Tensor c(Shape{m, n});
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_tn");
+  require_rank2(b, "matmul_tn");
+  const std::int64_t k = a.shape()[0], m = a.shape()[1];
+  if (b.shape()[0] != k) throw std::invalid_argument("matmul_tn: inner dim mismatch");
+  const std::int64_t n = b.shape()[1];
+  Tensor c(Shape{m, n});
+  // c[i, j] = sum_p a[p, i] * b[p, j]
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* a_row = a.data() + p * m;
+    const float* b_row = b.data() + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float a_val = a_row[i];
+      if (a_val == 0.0F) continue;
+      float* c_row = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_nt");
+  require_rank2(b, "matmul_nt");
+  const std::int64_t m = a.shape()[0], k = a.shape()[1];
+  if (b.shape()[1] != k) throw std::invalid_argument("matmul_nt: inner dim mismatch");
+  const std::int64_t n = b.shape()[0];
+  Tensor c(Shape{m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.data() + i * k;
+    float* c_row = c.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* b_row = b.data() + j * k;
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) acc += static_cast<double>(a_row[p]) * b_row[p];
+      c_row[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void im2col(const float* image, const ConvGeometry& geom, float* columns) {
+  const std::int64_t out_h = geom.out_h();
+  const std::int64_t out_w = geom.out_w();
+  const std::int64_t out_hw = out_h * out_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < geom.in_channels; ++c) {
+    const float* plane = image + c * geom.in_h * geom.in_w;
+    for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++row) {
+        float* out_row = columns + row * out_hw;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * geom.stride + ky - geom.padding;
+          if (iy < 0 || iy >= geom.in_h) {
+            std::memset(out_row + oy * out_w, 0,
+                        static_cast<std::size_t>(out_w) * sizeof(float));
+            continue;
+          }
+          const float* in_row = plane + iy * geom.in_w;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * geom.stride + kx - geom.padding;
+            out_row[oy * out_w + ox] =
+                (ix >= 0 && ix < geom.in_w) ? in_row[ix] : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, const ConvGeometry& geom, float* image) {
+  const std::int64_t out_h = geom.out_h();
+  const std::int64_t out_w = geom.out_w();
+  const std::int64_t out_hw = out_h * out_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < geom.in_channels; ++c) {
+    float* plane = image + c * geom.in_h * geom.in_w;
+    for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++row) {
+        const float* in_row = columns + row * out_hw;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * geom.stride + ky - geom.padding;
+          if (iy < 0 || iy >= geom.in_h) continue;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * geom.stride + kx - geom.padding;
+            if (ix < 0 || ix >= geom.in_w) continue;
+            plane[iy * geom.in_w + ix] += in_row[oy * out_w + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace flightnn::tensor

@@ -1,0 +1,53 @@
+#pragma once
+
+// Numeric kernels on tensors: GEMM and the im2col/col2im transforms that the
+// convolution layers are built on. Everything is single-threaded CPU code;
+// gemm is cache-blocked enough for the network sizes in the paper's Table 1
+// at the reduced scales used by the benches.
+
+#include "tensor/tensor.hpp"
+
+namespace flightnn::tensor {
+
+// C[m x n] = A[m x k] * B[k x n] (+ C if accumulate). Row-major raw-pointer
+// kernel shared by the float and integer paths.
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool accumulate = false);
+
+// Matrix product of rank-2 tensors.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// A^T * B where a is [k x m], b is [k x n] -> [m x n]. Used for weight grads.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+// A * B^T where a is [m x k], b is [n x k] -> [m x n]. Used for input grads.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// Geometry of a 2-D convolution with square stride/padding.
+struct ConvGeometry {
+  std::int64_t in_channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kernel = 0;    // square kernel
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+
+  [[nodiscard]] std::int64_t out_h() const {
+    return (in_h + 2 * padding - kernel) / stride + 1;
+  }
+  [[nodiscard]] std::int64_t out_w() const {
+    return (in_w + 2 * padding - kernel) / stride + 1;
+  }
+  [[nodiscard]] std::int64_t patch_size() const {
+    return in_channels * kernel * kernel;
+  }
+};
+
+// Unfold one image [C, H, W] into a patch matrix [patch_size, out_h*out_w].
+// Out-of-bounds (padding) positions contribute zero.
+void im2col(const float* image, const ConvGeometry& geom, float* columns);
+
+// Fold a patch-matrix gradient back into an image gradient (accumulating).
+void col2im(const float* columns, const ConvGeometry& geom, float* image);
+
+}  // namespace flightnn::tensor

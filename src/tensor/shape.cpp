@@ -1,0 +1,52 @@
+#include "tensor/shape.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace flightnn::tensor {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (auto d : dims_) {
+    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+  }
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (auto d : dims_) {
+    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+  }
+}
+
+std::int64_t Shape::dim(std::size_t axis) const {
+  if (axis >= dims_.size()) throw std::out_of_range("Shape::dim: axis out of range");
+  return dims_[axis];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::int64_t Shape::offset(const std::vector<std::int64_t>& index) const {
+  if (index.size() != dims_.size()) {
+    throw std::invalid_argument("Shape::offset: index rank mismatch");
+  }
+  std::int64_t off = 0;
+  for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
+    assert(index[axis] >= 0 && index[axis] < dims_[axis]);
+    off = off * dims_[axis] + index[axis];
+  }
+  return off;
+}
+
+std::string Shape::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace flightnn::tensor

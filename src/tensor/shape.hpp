@@ -1,0 +1,42 @@
+#pragma once
+
+// Shape of a dense row-major tensor. Kept as a small value type; most
+// tensors in this library are rank 1 (bias), 2 (linear weights / im2col
+// matrices) or 4 (NCHW activations and OIHW convolution weights).
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace flightnn::tensor {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+  [[nodiscard]] std::int64_t dim(std::size_t axis) const;
+  [[nodiscard]] std::int64_t operator[](std::size_t axis) const { return dim(axis); }
+
+  // Product of all dimensions; 1 for a rank-0 (scalar) shape.
+  [[nodiscard]] std::int64_t numel() const;
+
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  // Row-major flat offset of a multi-index. Bounds-checked in debug builds.
+  [[nodiscard]] std::int64_t offset(const std::vector<std::int64_t>& index) const;
+
+  [[nodiscard]] bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  [[nodiscard]] bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // "[2, 3, 32, 32]"
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace flightnn::tensor

@@ -1,0 +1,132 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flightnn::tensor {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), 0.0F) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
+    throw std::invalid_argument("Tensor: data size does not match shape");
+  }
+}
+
+Tensor Tensor::randn(Shape shape, support::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, support::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != shape_.numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch");
+  }
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                a.shape().to_string() + " vs " + b.shape().to_string());
+  }
+}
+}  // namespace
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_same_shape(*this, other, "Tensor::operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  check_same_shape(*this, other, "Tensor::operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float scale) {
+  check_same_shape(*this, other, "Tensor::add_scaled");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::logic_error("Tensor::min on empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error("Tensor::max on empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0F;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+Tensor operator+(Tensor lhs, const Tensor& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Tensor operator-(Tensor lhs, const Tensor& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Tensor operator*(Tensor lhs, float scalar) {
+  lhs *= scalar;
+  return lhs;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  float m = 0.0F;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace flightnn::tensor

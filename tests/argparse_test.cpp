@@ -1,0 +1,76 @@
+#include "support/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flightnn::support {
+namespace {
+
+TEST(ArgParserTest, ParsesDeclaredFlags) {
+  ArgParser args("prog", "test");
+  args.add_flag("--epochs", "epochs", "5");
+  args.add_flag("--name", "a name");
+  EXPECT_TRUE(args.parse({"--epochs", "10", "--name", "x"}));
+  EXPECT_EQ(args.get_int("--epochs"), 10);
+  EXPECT_EQ(args.get("--name"), "x");
+}
+
+TEST(ArgParserTest, DefaultsApply) {
+  ArgParser args("prog", "test");
+  args.add_flag("--lr", "learning rate", "3e-3");
+  EXPECT_TRUE(args.parse({}));
+  EXPECT_NEAR(args.get_double("--lr"), 3e-3, 1e-9);
+  EXPECT_TRUE(args.has("--lr"));
+}
+
+TEST(ArgParserTest, MissingRequiredFlagFails) {
+  ArgParser args("prog", "test");
+  args.add_flag("--input", "required");
+  EXPECT_FALSE(args.parse({}));
+  EXPECT_NE(args.error().find("--input"), std::string::npos);
+}
+
+TEST(ArgParserTest, UnknownFlagFails) {
+  ArgParser args("prog", "test");
+  args.add_flag("--known", "k", "1");
+  EXPECT_FALSE(args.parse({"--unknown", "2"}));
+  EXPECT_NE(args.error().find("--unknown"), std::string::npos);
+}
+
+TEST(ArgParserTest, MissingValueFails) {
+  ArgParser args("prog", "test");
+  args.add_flag("--flag", "f", "1");
+  EXPECT_FALSE(args.parse({"--flag"}));
+  EXPECT_NE(args.error().find("missing value"), std::string::npos);
+}
+
+TEST(ArgParserTest, ValueOverridesDefault) {
+  ArgParser args("prog", "test");
+  args.add_flag("--x", "x", "1");
+  EXPECT_TRUE(args.parse({"--x", "2"}));
+  EXPECT_EQ(args.get_int("--x"), 2);
+}
+
+TEST(ArgParserTest, UndeclaredGetThrows) {
+  ArgParser args("prog", "test");
+  EXPECT_TRUE(args.parse({}));
+  EXPECT_THROW((void)args.get("--nope"), std::invalid_argument);
+}
+
+TEST(ArgParserTest, BadFlagNameThrows) {
+  ArgParser args("prog", "test");
+  EXPECT_THROW(args.add_flag("epochs", "no dashes"), std::invalid_argument);
+}
+
+TEST(ArgParserTest, UsageListsFlagsAndDefaults) {
+  ArgParser args("prog", "does things");
+  args.add_flag("--alpha", "the alpha", "0.5");
+  args.add_flag("--beta", "the beta");
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("does things"), std::string::npos);
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("default: 0.5"), std::string::npos);
+  EXPECT_NE(usage.find("--beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flightnn::support

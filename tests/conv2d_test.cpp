@@ -1,0 +1,139 @@
+#include "nn/conv2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.hpp"
+#include "quant/lightnn.hpp"
+
+namespace flightnn::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Conv2dTest, OutputShape) {
+  support::Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, 1, true, rng);
+  Tensor x = Tensor::randn(Shape{2, 3, 16, 16}, rng);
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 16, 16}));
+}
+
+TEST(Conv2dTest, StrideAndPaddingShapes) {
+  support::Rng rng(2);
+  Conv2d conv(4, 6, 3, 2, 1, false, rng);
+  Tensor x = Tensor::randn(Shape{1, 4, 9, 9}, rng);
+  EXPECT_EQ(conv.forward(x, false).shape(), (Shape{1, 6, 5, 5}));
+
+  Conv2d valid(4, 6, 3, 1, 0, false, rng);
+  EXPECT_EQ(valid.forward(x, false).shape(), (Shape{1, 6, 7, 7}));
+}
+
+TEST(Conv2dTest, KnownConvolutionValue) {
+  support::Rng rng(3);
+  Conv2d conv(1, 1, 3, 1, 0, false, rng);
+  conv.weight().value.fill(1.0F);  // 3x3 box filter
+  Tensor x(Shape{1, 1, 3, 3}, 2.0F);
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 18.0F);
+}
+
+TEST(Conv2dTest, BiasIsAdded) {
+  support::Rng rng(4);
+  Conv2d conv(1, 2, 1, 1, 0, true, rng);
+  conv.weight().value.fill(0.0F);
+  conv.bias().value[0] = 1.5F;
+  conv.bias().value[1] = -2.0F;
+  Tensor x = Tensor::randn(Shape{1, 1, 2, 2}, rng);
+  Tensor y = conv.forward(x, false);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y[i], 1.5F);
+  for (int i = 4; i < 8; ++i) EXPECT_FLOAT_EQ(y[i], -2.0F);
+}
+
+TEST(Conv2dTest, InputGradientMatchesFiniteDifference) {
+  support::Rng rng(5);
+  Conv2d conv(2, 3, 3, 1, 1, true, rng);
+  Tensor x = Tensor::randn(Shape{2, 2, 5, 5}, rng, 0.0F, 1.0F);
+  testing::check_input_gradient(conv, x, 55);
+}
+
+TEST(Conv2dTest, WeightGradientMatchesFiniteDifference) {
+  support::Rng rng(6);
+  Conv2d conv(2, 2, 3, 1, 1, true, rng);
+  Tensor x = Tensor::randn(Shape{1, 2, 4, 4}, rng, 0.0F, 1.0F);
+  testing::check_param_gradient(conv, x, conv.weight(), 56);
+}
+
+TEST(Conv2dTest, BiasGradientMatchesFiniteDifference) {
+  support::Rng rng(7);
+  Conv2d conv(2, 3, 3, 2, 1, true, rng);
+  Tensor x = Tensor::randn(Shape{2, 2, 5, 5}, rng, 0.0F, 1.0F);
+  testing::check_param_gradient(conv, x, conv.bias(), 57);
+}
+
+TEST(Conv2dTest, StridedGradients) {
+  support::Rng rng(8);
+  Conv2d conv(1, 2, 3, 2, 1, false, rng);
+  Tensor x = Tensor::randn(Shape{1, 1, 6, 6}, rng, 0.0F, 1.0F);
+  testing::check_input_gradient(conv, x, 58);
+  testing::check_param_gradient(conv, x, conv.weight(), 59);
+}
+
+TEST(Conv2dTest, TransformQuantizesForward) {
+  support::Rng rng(9);
+  Conv2d conv(1, 4, 3, 1, 1, false, rng);
+  conv.set_transform(std::make_shared<quant::LightNNTransform>(1));
+  Tensor x = Tensor::randn(Shape{1, 1, 4, 4}, rng);
+  (void)conv.forward(x, false);
+  EXPECT_TRUE(quant::is_pow2_representable(conv.effective_weight(),
+                                           quant::Pow2Config{}));
+  // Raw weights remain full precision.
+  EXPECT_FALSE(quant::is_pow2_representable(conv.weight().value,
+                                            quant::Pow2Config{}));
+}
+
+TEST(Conv2dTest, QuantizedWeightHelperMatchesForward) {
+  support::Rng rng(10);
+  Conv2d conv(2, 3, 3, 1, 1, false, rng);
+  conv.set_transform(std::make_shared<quant::LightNNTransform>(2));
+  Tensor wq = conv.quantized_weight();
+  Tensor x = Tensor::randn(Shape{1, 2, 4, 4}, rng);
+  (void)conv.forward(x, false);
+  EXPECT_LT(tensor::max_abs_diff(wq, conv.effective_weight()), 1e-9F);
+}
+
+TEST(Conv2dTest, BackwardBeforeForwardThrows) {
+  support::Rng rng(11);
+  Conv2d conv(1, 1, 3, 1, 1, false, rng);
+  Tensor g(Shape{1, 1, 4, 4});
+  EXPECT_THROW((void)conv.backward(g), std::logic_error);
+}
+
+TEST(Conv2dTest, BadInputShapeThrows) {
+  support::Rng rng(12);
+  Conv2d conv(3, 4, 3, 1, 1, false, rng);
+  Tensor wrong_channels = Tensor::randn(Shape{1, 2, 8, 8}, rng);
+  EXPECT_THROW((void)conv.forward(wrong_channels, false), std::invalid_argument);
+  Tensor wrong_rank = Tensor::randn(Shape{3, 8, 8}, rng);
+  EXPECT_THROW((void)conv.forward(wrong_rank, false), std::invalid_argument);
+}
+
+TEST(Conv2dTest, InvalidGeometryThrows) {
+  support::Rng rng(13);
+  EXPECT_THROW(Conv2d(0, 1, 3, 1, 1, false, rng), std::invalid_argument);
+  EXPECT_THROW(Conv2d(1, 1, 3, 0, 1, false, rng), std::invalid_argument);
+  EXPECT_THROW(Conv2d(1, 1, 3, 1, -1, false, rng), std::invalid_argument);
+}
+
+TEST(Conv2dTest, ParametersExposed) {
+  support::Rng rng(14);
+  Conv2d with_bias(1, 1, 3, 1, 1, true, rng);
+  EXPECT_EQ(with_bias.parameters().size(), 2u);
+  Conv2d no_bias(1, 1, 3, 1, 1, false, rng);
+  EXPECT_EQ(no_bias.parameters().size(), 1u);
+  EXPECT_EQ(with_bias.quantized_parameter(), &with_bias.weight());
+}
+
+}  // namespace
+}  // namespace flightnn::nn

@@ -1,0 +1,174 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace flightnn::data {
+namespace {
+
+DatasetSpec tiny_spec() {
+  DatasetSpec spec;
+  spec.classes = 4;
+  spec.train_size = 120;
+  spec.test_size = 40;
+  spec.height = 8;
+  spec.width = 8;
+  spec.channels = 2;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(DatasetTest, ShapesAndLabelRanges) {
+  const auto split = make_synthetic(tiny_spec());
+  EXPECT_EQ(split.train.size(), 120);
+  EXPECT_EQ(split.test.size(), 40);
+  EXPECT_EQ(split.train.images.shape(), (tensor::Shape{120, 2, 8, 8}));
+  for (int label : split.train.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(DatasetTest, DeterministicInSeed) {
+  const auto a = make_synthetic(tiny_spec());
+  const auto b = make_synthetic(tiny_spec());
+  EXPECT_EQ(a.train.labels, b.train.labels);
+  EXPECT_LT(tensor::max_abs_diff(a.train.images, b.train.images), 1e-9F);
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  auto spec = tiny_spec();
+  const auto a = make_synthetic(spec);
+  spec.seed = 100;
+  const auto b = make_synthetic(spec);
+  EXPECT_GT(tensor::max_abs_diff(a.train.images, b.train.images), 0.1F);
+}
+
+TEST(DatasetTest, AllClassesRepresented) {
+  const auto split = make_synthetic(tiny_spec());
+  std::set<int> seen(split.train.labels.begin(), split.train.labels.end());
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(DatasetTest, SameClassSamplesCorrelateMoreThanCrossClass) {
+  // Class identity must be learnable: same-class samples share a prototype.
+  // Disable the shift augmentation here -- translations decorrelate the
+  // high-frequency grating components even within a class.
+  auto spec = tiny_spec();
+  spec.noise = 0.3F;
+  spec.max_shift = 0;
+  const auto split = make_synthetic(spec);
+  auto correlation = [&](std::int64_t i, std::int64_t j) {
+    const std::int64_t n = spec.channels * spec.height * spec.width;
+    const float* a = split.train.images.data() + i * n;
+    const float* b = split.train.images.data() + j * n;
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::int64_t e = 0; e < n; ++e) {
+      dot += static_cast<double>(a[e]) * b[e];
+      na += static_cast<double>(a[e]) * a[e];
+      nb += static_cast<double>(b[e]) * b[e];
+    }
+    return dot / std::sqrt(na * nb);
+  };
+  double same_sum = 0.0, cross_sum = 0.0;
+  int same_count = 0, cross_count = 0;
+  for (std::int64_t i = 0; i < 40; ++i) {
+    for (std::int64_t j = i + 1; j < 40; ++j) {
+      if (split.train.labels[static_cast<std::size_t>(i)] ==
+          split.train.labels[static_cast<std::size_t>(j)]) {
+        same_sum += correlation(i, j);
+        ++same_count;
+      } else {
+        cross_sum += correlation(i, j);
+        ++cross_count;
+      }
+    }
+  }
+  ASSERT_GT(same_count, 0);
+  ASSERT_GT(cross_count, 0);
+  EXPECT_GT(same_sum / same_count, cross_sum / cross_count + 0.2);
+}
+
+TEST(DatasetTest, ImageExtraction) {
+  const auto split = make_synthetic(tiny_spec());
+  tensor::Tensor img = split.train.image(3);
+  EXPECT_EQ(img.shape(), (tensor::Shape{1, 2, 8, 8}));
+  const std::int64_t n = img.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(img[i], split.train.images[3 * n + i]);
+  }
+  EXPECT_THROW((void)split.train.image(-1), std::out_of_range);
+  EXPECT_THROW((void)split.train.image(1000), std::out_of_range);
+}
+
+TEST(DatasetTest, InvalidSpecThrows) {
+  auto spec = tiny_spec();
+  spec.classes = 1;
+  EXPECT_THROW((void)make_synthetic(spec), std::invalid_argument);
+}
+
+TEST(DatasetTest, PresetSpecs) {
+  EXPECT_EQ(cifar10_like().classes, 10);
+  EXPECT_EQ(cifar100_like().classes, 100);
+  EXPECT_EQ(svhn_like().classes, 10);
+  EXPECT_EQ(imagenet_like().classes, 50);
+  // Scale shrinks sample counts but never to zero.
+  EXPECT_LT(cifar10_like(0.1F).train_size, cifar10_like().train_size);
+  EXPECT_GE(cifar10_like(0.0001F).train_size, 1);
+  // SVHN is configured easier (lower noise) than CIFAR-10; CIFAR-100 gets
+  // its difficulty from the class count rather than the noise level.
+  EXPECT_LT(svhn_like().noise, cifar10_like().noise);
+}
+
+TEST(BatchIteratorTest, CoversEpochExactlyOnce) {
+  const auto split = make_synthetic(tiny_spec());
+  support::Rng rng(1);
+  BatchIterator it(split.train, 32, rng);
+  tensor::Tensor images;
+  std::vector<int> labels;
+  std::int64_t total = 0;
+  int batches = 0;
+  while (it.next(images, labels)) {
+    total += static_cast<std::int64_t>(labels.size());
+    EXPECT_EQ(images.shape()[0], static_cast<std::int64_t>(labels.size()));
+    ++batches;
+  }
+  EXPECT_EQ(total, 120);
+  EXPECT_EQ(batches, 4);  // 32+32+32+24
+  EXPECT_EQ(it.batches_per_epoch(), 4);
+}
+
+TEST(BatchIteratorTest, ShuffleChangesOrderAcrossEpochs) {
+  const auto split = make_synthetic(tiny_spec());
+  support::Rng rng(2);
+  BatchIterator it(split.train, 120, rng);
+  tensor::Tensor images;
+  std::vector<int> first, second;
+  it.next(images, first);
+  it.reset();
+  it.next(images, second);
+  EXPECT_NE(first, second);
+}
+
+TEST(BatchIteratorTest, NoShufflePreservesOrder) {
+  const auto split = make_synthetic(tiny_spec());
+  support::Rng rng(3);
+  BatchIterator it(split.train, 50, rng, /*shuffle=*/false);
+  tensor::Tensor images;
+  std::vector<int> labels;
+  it.next(images, labels);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels[i], split.train.labels[i]);
+  }
+}
+
+TEST(BatchIteratorTest, InvalidBatchSizeThrows) {
+  const auto split = make_synthetic(tiny_spec());
+  support::Rng rng(4);
+  EXPECT_THROW(BatchIterator(split.train, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flightnn::data

@@ -1,0 +1,140 @@
+// Tests for storage accounting and Pareto utilities.
+
+#include <gtest/gtest.h>
+
+#include "core/quantize_model.hpp"
+#include "eval/pareto.hpp"
+#include "eval/storage.hpp"
+#include "models/networks.hpp"
+
+namespace flightnn::eval {
+namespace {
+
+std::unique_ptr<nn::Sequential> small_net() {
+  models::BuildOptions opt;
+  opt.width_scale = 0.5F;
+  opt.act_bits = 8;
+  return models::build_network(models::table1_network(4), opt);
+}
+
+TEST(StorageTest, FullPrecisionIsFourBytesPerParam) {
+  auto model = small_net();
+  const double bytes = model_storage_bytes(*model);
+  const double expected =
+      static_cast<double>(models::parameter_count(*model)) * 4.0;
+  EXPECT_NEAR(bytes, expected, 1.0);
+}
+
+TEST(StorageTest, QuantizationRatiosMatchPaper) {
+  // Table 2 pattern for every network: Full : L-2 : L-1 : FP4 storage is
+  // roughly 32 : 8 : 4 : 4 on the conv/fc weights.
+  auto model = small_net();
+  const double full = model_storage_bytes(*model);
+  core::install_lightnn(*model, 2);
+  const double l2 = model_storage_bytes(*model);
+  core::install_lightnn(*model, 1);
+  const double l1 = model_storage_bytes(*model);
+  core::install_fixed_point(*model, 4);
+  const double fp4 = model_storage_bytes(*model);
+
+  EXPECT_NEAR(full / l2, 4.0, 0.5);
+  EXPECT_NEAR(full / l1, 8.0, 1.0);
+  EXPECT_NEAR(l1, fp4, l1 * 0.01);
+  EXPECT_NEAR(l2 / l1, 2.0, 0.2);
+}
+
+TEST(StorageTest, FLightNNStorageBetweenL1AndL2) {
+  auto model = small_net();
+  core::install_lightnn(*model, 1);
+  const double l1 = model_storage_bytes(*model);
+  core::install_lightnn(*model, 2);
+  const double l2 = model_storage_bytes(*model);
+
+  // Fresh thresholds (0): FLightNN starts at k = 2 everywhere, so storage
+  // is about L-2 plus the per-filter tags.
+  core::install_flightnn(*model, core::FLightNNConfig{});
+  const double fl = model_storage_bytes(*model);
+  EXPECT_GT(fl, l1);
+  EXPECT_LE(fl, l2 * 1.05);
+}
+
+TEST(StorageTest, PrunedFiltersShrinkStorage) {
+  auto model = small_net();
+  const auto transforms = core::install_flightnn(*model, core::FLightNNConfig{});
+  const double before = model_storage_bytes(*model);
+  // Force every filter to k = 0.
+  for (auto* transform : transforms) transform->set_thresholds({1e9F, 1e9F});
+  const double after = model_storage_bytes(*model);
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(MeanKTest, TracksInstalledQuantizer) {
+  auto model = small_net();
+  EXPECT_DOUBLE_EQ(model_mean_k(*model), 1.0);  // no transform
+  core::install_lightnn(*model, 2);
+  EXPECT_DOUBLE_EQ(model_mean_k(*model), 2.0);
+  core::install_lightnn(*model, 1);
+  EXPECT_DOUBLE_EQ(model_mean_k(*model), 1.0);
+  core::install_flightnn(*model, core::FLightNNConfig{});
+  const double mk = model_mean_k(*model);
+  EXPECT_GT(mk, 1.0);
+  EXPECT_LE(mk, 2.0);
+}
+
+// --- Pareto -------------------------------------------------------------------
+
+TEST(ParetoTest, Domination) {
+  ParetoPoint cheap_good{1.0, 0.9, "a"};
+  ParetoPoint pricey_bad{2.0, 0.8, "b"};
+  ParetoPoint pricey_best{2.0, 0.95, "c"};
+  EXPECT_TRUE(dominates(cheap_good, pricey_bad));
+  EXPECT_FALSE(dominates(pricey_bad, cheap_good));
+  EXPECT_FALSE(dominates(cheap_good, pricey_best));
+  EXPECT_FALSE(dominates(pricey_best, cheap_good));
+  EXPECT_FALSE(dominates(cheap_good, cheap_good));  // never self-dominates
+}
+
+TEST(ParetoTest, FrontExtraction) {
+  std::vector<ParetoPoint> points{
+      {1.0, 0.80, "l1"}, {2.0, 0.90, "l2"}, {1.5, 0.88, "fl"},
+      {1.6, 0.82, "dominated"},  // beaten by fl
+      {3.0, 0.85, "dominated2"},
+  };
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].label, "l1");
+  EXPECT_EQ(front[1].label, "fl");
+  EXPECT_EQ(front[2].label, "l2");
+}
+
+TEST(ParetoTest, DuplicatesKeptOnce) {
+  std::vector<ParetoPoint> points{{1.0, 0.5, "a"}, {1.0, 0.5, "b"}};
+  EXPECT_EQ(pareto_front(points).size(), 1u);
+}
+
+TEST(ParetoTest, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  EXPECT_EQ(hypervolume({}, 1.0, 0.0), 0.0);
+}
+
+TEST(ParetoTest, HypervolumeOfSinglePoint) {
+  // One point at (1, 0.8) against ref (3, 0.5): rectangle 2 x 0.3.
+  std::vector<ParetoPoint> front{{1.0, 0.8, "p"}};
+  EXPECT_NEAR(hypervolume(front, 3.0, 0.5), 0.6, 1e-12);
+}
+
+TEST(ParetoTest, HypervolumeOfStaircase) {
+  std::vector<ParetoPoint> front{{1.0, 0.6, "a"}, {2.0, 0.9, "b"}};
+  // From ref (3, 0): [2,3] x 0.9 + [1,2] x 0.6 = 0.9 + 0.6.
+  EXPECT_NEAR(hypervolume(front, 3.0, 0.0), 1.5, 1e-12);
+}
+
+TEST(ParetoTest, MorePointsNeverReduceHypervolume) {
+  std::vector<ParetoPoint> base{{1.0, 0.6, "a"}, {2.0, 0.9, "b"}};
+  std::vector<ParetoPoint> extended = base;
+  extended.push_back({1.5, 0.8, "c"});
+  EXPECT_GE(hypervolume(extended, 3.0, 0.0), hypervolume(base, 3.0, 0.0));
+}
+
+}  // namespace
+}  // namespace flightnn::eval

@@ -1,0 +1,139 @@
+// Integration test for the eval::run_experiment harness at a very small
+// scale: checks the variant roster, the structural relationships between
+// variants (storage ratios, throughput ordering, mean-k ranges), and the
+// table renderer. Accuracy values are asserted only against chance.
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+#include "eval/storage.hpp"
+
+namespace flightnn::eval {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.network_id = 4;  // smallest topology (VGG-4/64)
+  config.dataset = data::svhn_like(0.1F);
+  config.dataset.train_size = 512;
+  config.dataset.test_size = 128;
+  config.dataset.noise = 1.0F;  // keep the tiny budget learnable
+  config.train.epochs = 4;
+  config.train.batch_size = 32;
+  config.build.width_scale = 0.25F;
+  return config;
+}
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  // One shared run for all assertions (training is the expensive part).
+  static const ExperimentResult& result() {
+    static const ExperimentResult shared = run_experiment(tiny_config());
+    return shared;
+  }
+};
+
+TEST_F(ExperimentTest, VariantRoster) {
+  const auto& variants = result().variants;
+  ASSERT_EQ(variants.size(), 6u);
+  EXPECT_EQ(variants[0].label, "Full");
+  EXPECT_EQ(variants[1].label, "L-2 8W8A");
+  EXPECT_EQ(variants[2].label, "L-1 4W8A");
+  EXPECT_EQ(variants[3].label, "FP 4W8A");
+  EXPECT_EQ(variants[4].label, "FL4a");
+  EXPECT_EQ(variants[5].label, "FL4b");
+}
+
+TEST_F(ExperimentTest, AccuraciesAboveChance) {
+  for (const auto& variant : result().variants) {
+    EXPECT_GT(variant.accuracy, 100.0 / 10 * 1.5) << variant.label;
+    EXPECT_LE(variant.accuracy, 100.0) << variant.label;
+  }
+}
+
+TEST_F(ExperimentTest, StorageRatiosMatchEncodings) {
+  const auto& v = result().variants;
+  const double full = v[0].storage_bytes;
+  EXPECT_NEAR(full / v[1].storage_bytes, 4.0, 0.6);  // L-2: 8 bits
+  EXPECT_NEAR(full / v[2].storage_bytes, 8.0, 1.2);  // L-1: 4 bits
+  EXPECT_NEAR(full / v[3].storage_bytes, 8.0, 1.2);  // FP4: 4 bits
+  // FLightNNs sit between L-1 and L-2 (inclusive, plus small tag overhead).
+  for (std::size_t i : {4u, 5u}) {
+    EXPECT_GE(v[i].storage_bytes, v[2].storage_bytes * 0.98) << v[i].label;
+    EXPECT_LE(v[i].storage_bytes, v[1].storage_bytes * 1.05) << v[i].label;
+  }
+}
+
+TEST_F(ExperimentTest, ThroughputOrderingMatchesPaper) {
+  const auto& v = result().variants;
+  EXPECT_LT(v[0].fpga.throughput, v[1].fpga.throughput);  // Full < L-2
+  EXPECT_LT(v[1].fpga.throughput, v[3].fpga.throughput);  // L-2 < FP4
+  EXPECT_LT(v[3].fpga.throughput, v[2].fpga.throughput);  // FP4 < L-1
+  // FL between L-2 and L-1 inclusive.
+  for (std::size_t i : {4u, 5u}) {
+    EXPECT_GE(v[i].fpga.throughput, v[1].fpga.throughput * 0.99) << v[i].label;
+    EXPECT_LE(v[i].fpga.throughput, v[2].fpga.throughput * 1.01) << v[i].label;
+  }
+  // Speedup is relative to Full.
+  EXPECT_DOUBLE_EQ(v[0].speedup, 1.0);
+  EXPECT_GT(v[2].speedup, 5.0);
+}
+
+TEST_F(ExperimentTest, MeanKRanges) {
+  const auto& v = result().variants;
+  EXPECT_DOUBLE_EQ(v[0].mean_k, 1.0);
+  EXPECT_DOUBLE_EQ(v[1].mean_k, 2.0);
+  EXPECT_DOUBLE_EQ(v[2].mean_k, 1.0);
+  for (std::size_t i : {4u, 5u}) {
+    EXPECT_GE(v[i].mean_k, 0.0) << v[i].label;
+    EXPECT_LE(v[i].mean_k, 2.0) << v[i].label;
+  }
+}
+
+TEST_F(ExperimentTest, EnergyOrderingMatchesFig5) {
+  const auto& v = result().variants;
+  EXPECT_GT(v[0].energy_uj, v[1].energy_uj);  // Full >> L-2
+  EXPECT_GT(v[1].energy_uj, v[2].energy_uj);  // L-2 > L-1
+  EXPECT_GT(v[1].energy_uj, v[3].energy_uj);  // L-2 > FP4
+}
+
+TEST_F(ExperimentTest, TableRowsRender) {
+  const auto rows = table_rows(result());
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.size(), 6u);
+    EXPECT_EQ(row[0], "4");
+    EXPECT_FALSE(row[2].empty());
+  }
+}
+
+TEST_F(ExperimentTest, ImageNetStyleConfigSkipsBaselines) {
+  auto config = tiny_config();
+  config.include_full = false;
+  config.include_fixed_point = false;
+  config.top_k = 5;
+  config.train.epochs = 1;
+  const auto result = run_experiment(config);
+  ASSERT_EQ(result.variants.size(), 4u);
+  EXPECT_EQ(result.variants[0].label, "L-2 8W8A");
+  // Speedup baseline falls back to L-2.
+  EXPECT_DOUBLE_EQ(result.variants[0].speedup, 1.0);
+  EXPECT_NEAR(result.variants[1].speedup, 2.0, 0.3);  // L-1 vs L-2
+}
+
+TEST(ReferenceStorageTest, SpecDrivenBits) {
+  models::BuildOptions opt;
+  opt.width_scale = 0.5F;
+  auto model = models::build_network(models::table1_network(4), opt);
+  const double full = reference_storage_bytes(*model, hw::QuantSpec::full());
+  const double l2 = reference_storage_bytes(*model, hw::QuantSpec::lightnn(2));
+  const double l1 = reference_storage_bytes(*model, hw::QuantSpec::lightnn(1));
+  const double fl = reference_storage_bytes(*model, hw::QuantSpec::flightnn(1.5));
+  EXPECT_NEAR(full / l2, 4.0, 0.5);
+  EXPECT_NEAR(full / l1, 8.0, 1.0);
+  EXPECT_GT(fl, l1);
+  EXPECT_LT(fl, l2 * 1.05);
+}
+
+}  // namespace
+}  // namespace flightnn::eval

@@ -1,0 +1,107 @@
+#include "quant/fixedpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace flightnn::quant {
+namespace {
+
+TEST(FixedPointTest, QMaxBySignBit) {
+  EXPECT_EQ(FixedPointConfig{4}.q_max(), 7);
+  EXPECT_EQ(FixedPointConfig{8}.q_max(), 127);
+  EXPECT_EQ(FixedPointConfig{2}.q_max(), 1);
+}
+
+TEST(FixedPointTest, ScaleIsPowerOfTwoCoveringAbsMax) {
+  FixedPointConfig config{8};
+  tensor::Tensor x(tensor::Shape{3}, std::vector<float>{0.1F, -0.9F, 0.4F});
+  const float scale = choose_pow2_scale(x, config);
+  const float log_scale = std::log2(scale);
+  EXPECT_FLOAT_EQ(log_scale, std::floor(log_scale));  // power of two
+  EXPECT_GE(scale * static_cast<float>(config.q_max()), 0.9F);
+  // One halving would no longer cover abs-max.
+  EXPECT_LT(scale / 2.0F * static_cast<float>(config.q_max()), 0.9F);
+}
+
+TEST(FixedPointTest, ZeroTensorGetsUnitScale) {
+  FixedPointConfig config{8};
+  tensor::Tensor x(tensor::Shape{4});
+  EXPECT_FLOAT_EQ(choose_pow2_scale(x, config), 1.0F);
+}
+
+TEST(FixedPointTest, QuantizedValuesAreMultiplesOfScale) {
+  FixedPointConfig config{4};
+  support::Rng rng(24);
+  tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{100}, rng, 0.0F, 0.5F);
+  const float scale = choose_pow2_scale(x, config);
+  tensor::Tensor q = quantize_fixed_point(x, scale, config);
+  for (std::int64_t i = 0; i < q.numel(); ++i) {
+    const float ratio = q[i] / scale;
+    EXPECT_FLOAT_EQ(ratio, std::nearbyint(ratio));
+    EXPECT_LE(std::fabs(ratio), static_cast<float>(config.q_max()));
+  }
+}
+
+TEST(FixedPointTest, QuantizationErrorBoundedByHalfScale) {
+  FixedPointConfig config{8};
+  support::Rng rng(25);
+  tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{500}, rng, 0.0F, 0.5F);
+  const float scale = choose_pow2_scale(x, config);
+  tensor::Tensor q = quantize_fixed_point(x, scale, config);
+  // Values inside the representable range round to within scale/2.
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) <= scale * static_cast<float>(config.q_max())) {
+      EXPECT_LE(std::fabs(x[i] - q[i]), scale / 2.0F + 1e-7F);
+    }
+  }
+}
+
+TEST(FixedPointTest, SaturationClamps) {
+  FixedPointConfig config{4};
+  tensor::Tensor x(tensor::Shape{2}, std::vector<float>{100.0F, -100.0F});
+  tensor::Tensor q = quantize_fixed_point(x, 1.0F, config);
+  EXPECT_FLOAT_EQ(q[0], 7.0F);
+  EXPECT_FLOAT_EQ(q[1], -7.0F);
+}
+
+TEST(FixedPointTest, InvalidScaleThrows) {
+  FixedPointConfig config{4};
+  tensor::Tensor x(tensor::Shape{1});
+  EXPECT_THROW((void)quantize_fixed_point(x, 0.0F, config), std::invalid_argument);
+  EXPECT_THROW((void)quantize_fixed_point(x, -1.0F, config), std::invalid_argument);
+}
+
+TEST(FixedPointTransformTest, DescribesAndValidates) {
+  FixedPointTransform transform(FixedPointConfig{4});
+  EXPECT_EQ(transform.describe(), "fixedpoint-4b");
+  EXPECT_THROW(FixedPointTransform(FixedPointConfig{1}), std::invalid_argument);
+  EXPECT_THROW(FixedPointTransform(FixedPointConfig{17}), std::invalid_argument);
+}
+
+TEST(FixedPointTransformTest, ForwardQuantizes) {
+  FixedPointTransform transform(FixedPointConfig{4});
+  support::Rng rng(26);
+  tensor::Tensor w = tensor::Tensor::randn(tensor::Shape{10, 10}, rng, 0.0F, 0.3F);
+  tensor::Tensor q = transform.forward(w);
+  // At most 2 * q_max + 1 = 15 distinct values.
+  std::set<float> distinct;
+  for (std::int64_t i = 0; i < q.numel(); ++i) distinct.insert(q[i]);
+  EXPECT_LE(distinct.size(), 15u);
+}
+
+TEST(ActivationQuantizeTest, RangeAndGranularity) {
+  support::Rng rng(27);
+  tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{200}, rng, 0.0F, 1.0F);
+  tensor::Tensor q = quantize_activations(x, 8);
+  EXPECT_LE(q.abs_max(), x.abs_max() * 1.01F + 1e-6F);
+  // 8-bit: error bounded by half the scale step.
+  FixedPointConfig config{8};
+  const float scale = choose_pow2_scale(x, config);
+  EXPECT_LT(tensor::max_abs_diff(x, q), scale * 0.51F);
+}
+
+}  // namespace
+}  // namespace flightnn::quant

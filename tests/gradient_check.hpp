@@ -1,0 +1,78 @@
+#pragma once
+
+// Finite-difference gradient checking for Layer implementations. The probe
+// loss is L = sum(output * G) for a fixed random G, whose analytic gradient
+// w.r.t. the output is simply G; layers then propagate it back and we compare
+// each input/parameter partial against a central difference.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "nn/layer.hpp"
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flightnn::testing {
+
+inline float probe_loss(const tensor::Tensor& output, const tensor::Tensor& g) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < output.numel(); ++i) {
+    acc += static_cast<double>(output[i]) * g[i];
+  }
+  return static_cast<float>(acc);
+}
+
+// Check dL/d(input) for a layer. `epsilon` and `tolerance` default to values
+// that work for smooth layers in float32; pass looser ones for kinked
+// layers (ReLU-family) or use inputs away from kinks.
+inline void check_input_gradient(nn::Layer& layer, const tensor::Tensor& input,
+                                 std::uint64_t seed, float epsilon = 1e-3F,
+                                 float tolerance = 2e-2F) {
+  support::Rng rng(seed);
+  tensor::Tensor out = layer.forward(input, /*training=*/true);
+  tensor::Tensor g = tensor::Tensor::randn(out.shape(), rng);
+  tensor::Tensor grad_input = layer.backward(g);
+  ASSERT_EQ(grad_input.shape(), input.shape());
+
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    tensor::Tensor plus = input;
+    tensor::Tensor minus = input;
+    plus[i] += epsilon;
+    minus[i] -= epsilon;
+    const float lp = probe_loss(layer.forward(plus, true), g);
+    const float lm = probe_loss(layer.forward(minus, true), g);
+    const float numeric = (lp - lm) / (2.0F * epsilon);
+    const float analytic = grad_input[i];
+    const float scale = std::max({1.0F, std::fabs(numeric), std::fabs(analytic)});
+    EXPECT_NEAR(analytic / scale, numeric / scale, tolerance)
+        << "input element " << i;
+  }
+}
+
+// Check dL/d(param) for one parameter of a layer.
+inline void check_param_gradient(nn::Layer& layer, const tensor::Tensor& input,
+                                 nn::Parameter& param, std::uint64_t seed,
+                                 float epsilon = 1e-3F, float tolerance = 2e-2F) {
+  support::Rng rng(seed);
+  tensor::Tensor out = layer.forward(input, /*training=*/true);
+  tensor::Tensor g = tensor::Tensor::randn(out.shape(), rng);
+  param.zero_grad();
+  (void)layer.backward(g);
+  tensor::Tensor analytic = param.grad;
+
+  for (std::int64_t i = 0; i < param.value.numel(); ++i) {
+    const float original = param.value[i];
+    param.value[i] = original + epsilon;
+    const float lp = probe_loss(layer.forward(input, true), g);
+    param.value[i] = original - epsilon;
+    const float lm = probe_loss(layer.forward(input, true), g);
+    param.value[i] = original;
+    const float numeric = (lp - lm) / (2.0F * epsilon);
+    const float scale =
+        std::max({1.0F, std::fabs(numeric), std::fabs(analytic[i])});
+    EXPECT_NEAR(analytic[i] / scale, numeric / scale, tolerance)
+        << "param " << param.name << " element " << i;
+  }
+}
+
+}  // namespace flightnn::testing

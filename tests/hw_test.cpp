@@ -1,0 +1,241 @@
+// Tests for the FPGA and ASIC hardware models: the resource/throughput
+// orderings they must reproduce from the paper's Tables 2-6 and Fig. 5.
+
+#include <gtest/gtest.h>
+
+#include "hw/asic_model.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/fpga_model.hpp"
+#include "models/networks.hpp"
+
+namespace flightnn::hw {
+namespace {
+
+LayerCost example_layer() {
+  // Network 1's largest conv layer: 64 -> 64 at 8x8 after three poolings.
+  LayerCost layer;
+  layer.out_channels = 64;
+  layer.in_channels = 64;
+  layer.kernel = 3;
+  layer.in_h = layer.in_w = 8;
+  layer.out_h = layer.out_w = 8;
+  return layer;
+}
+
+TEST(LayerCostTest, MacsAndCounts) {
+  const LayerCost layer = example_layer();
+  EXPECT_EQ(layer.macs(), 64LL * 64 * 8 * 8 * 9);
+  EXPECT_EQ(layer.weight_count(), 64LL * 64 * 9);
+  EXPECT_EQ(layer.activation_count(), 64LL * 64 + 64LL * 64);
+}
+
+TEST(TraceTest, FindsLargestLayer) {
+  const auto config = models::table1_network(1);
+  models::BuildOptions opt;
+  opt.act_bits = 0;
+  auto model = models::build_network(config, opt);
+  const auto costs = trace_conv_costs(*model, tensor::Shape{1, 3, 32, 32});
+  EXPECT_EQ(costs.size(), 7u);
+  const LayerCost largest = largest_layer(*model, tensor::Shape{1, 3, 32, 32});
+  for (const auto& cost : costs) EXPECT_LE(cost.macs(), largest.macs());
+  EXPECT_GT(largest.macs(), 0);
+}
+
+TEST(QuantSpecTest, Labels) {
+  EXPECT_EQ(QuantSpec::full().label(), "Full");
+  EXPECT_EQ(QuantSpec::fixed_point(4, 8).label(), "FP4W8A");
+  EXPECT_EQ(QuantSpec::lightnn(2).label(), "L-2");
+  EXPECT_EQ(QuantSpec::flightnn(1.37).label(), "FL(k=1.37)");
+}
+
+// --- ASIC model ---------------------------------------------------------------
+
+TEST(AsicModelTest, PerMacOrderingMatchesFig5) {
+  const AsicModel asic;
+  const double full = asic.mac_energy_pj(QuantSpec::full());
+  const double fp4 = asic.mac_energy_pj(QuantSpec::fixed_point(4, 8));
+  const double l1 = asic.mac_energy_pj(QuantSpec::lightnn(1));
+  const double l2 = asic.mac_energy_pj(QuantSpec::lightnn(2));
+  // L-1 < FP4 < L-2 << Full (Fig. 5's x-axis ordering).
+  EXPECT_LT(l1, fp4);
+  EXPECT_LT(fp4, l2);
+  EXPECT_LT(l2, full / 10.0);
+}
+
+TEST(AsicModelTest, FLightNNInterpolatesBetweenL1AndL2) {
+  const AsicModel asic;
+  const double l1 = asic.mac_energy_pj(QuantSpec::lightnn(1));
+  const double l2 = asic.mac_energy_pj(QuantSpec::lightnn(2));
+  for (double k : {1.1, 1.5, 1.9}) {
+    const double fl = asic.mac_energy_pj(QuantSpec::flightnn(k));
+    EXPECT_GT(fl, l1);
+    EXPECT_LT(fl, l2);
+  }
+  // Exactly linear in mean k.
+  EXPECT_NEAR(asic.mac_energy_pj(QuantSpec::flightnn(1.5)), (l1 + l2) / 2, 1e-12);
+}
+
+TEST(AsicModelTest, LayerEnergyInPaperMicrojouleRange) {
+  // Fig. 5 network 1: quantized models span roughly 0.05-0.25 uJ.
+  const AsicModel asic;
+  const LayerCost layer = example_layer();
+  const double l1 = asic.layer_energy_uj(layer, QuantSpec::lightnn(1));
+  const double l2 = asic.layer_energy_uj(layer, QuantSpec::lightnn(2));
+  EXPECT_GT(l1, 0.02);
+  EXPECT_LT(l2, 0.5);
+  EXPECT_NEAR(l2 / l1, 2.0, 1e-9);
+}
+
+// --- FPGA model ---------------------------------------------------------------
+
+TEST(FpgaModelTest, ThroughputOrderingMatchesTables) {
+  const FpgaModel fpga;
+  const LayerCost layer = example_layer();
+  const double full = fpga.evaluate(layer, QuantSpec::full()).throughput;
+  const double fp4 = fpga.evaluate(layer, QuantSpec::fixed_point(4, 8)).throughput;
+  const double l1 = fpga.evaluate(layer, QuantSpec::lightnn(1)).throughput;
+  const double l2 = fpga.evaluate(layer, QuantSpec::lightnn(2)).throughput;
+  // Tables 2-4: Full < L-2 < FP4 < L-1, with L-1 about 2x L-2.
+  EXPECT_LT(full, l2);
+  EXPECT_LT(l2, fp4);
+  EXPECT_LT(fp4, l1);
+  EXPECT_NEAR(l1 / l2, 2.0, 0.2);
+}
+
+TEST(FpgaModelTest, HeadlineSpeedupsInPaperBallpark) {
+  const FpgaModel fpga;
+  const LayerCost layer = example_layer();
+  const double full = fpga.evaluate(layer, QuantSpec::full()).throughput;
+  const double fp4 = fpga.evaluate(layer, QuantSpec::fixed_point(4, 8)).throughput;
+  const double l1 = fpga.evaluate(layer, QuantSpec::lightnn(1)).throughput;
+  // Paper: L-1 up to ~2x over FP4 and ~14x over Full for network 1.
+  EXPECT_GT(l1 / fp4, 1.3);
+  EXPECT_LT(l1 / fp4, 3.0);
+  EXPECT_GT(l1 / full, 5.0);
+  EXPECT_LT(l1 / full, 40.0);
+}
+
+TEST(FpgaModelTest, FLightNNThroughputBetweenL1AndL2) {
+  const FpgaModel fpga;
+  const LayerCost layer = example_layer();
+  const double l1 = fpga.evaluate(layer, QuantSpec::lightnn(1)).throughput;
+  const double l2 = fpga.evaluate(layer, QuantSpec::lightnn(2)).throughput;
+  const double fl = fpga.evaluate(layer, QuantSpec::flightnn(1.4)).throughput;
+  EXPECT_GT(fl, l2);
+  EXPECT_LT(fl, l1);
+}
+
+TEST(FpgaModelTest, DspCollapsesForShiftModels) {
+  // Table 6: (F)LightNN designs use a small constant DSP count while Full /
+  // FP designs consume hundreds of DSPs.
+  const FpgaModel fpga;
+  const LayerCost layer = example_layer();
+  const auto l2 = fpga.evaluate(layer, QuantSpec::lightnn(2));
+  const auto fp = fpga.evaluate(layer, QuantSpec::fixed_point(4, 8));
+  const auto full = fpga.evaluate(layer, QuantSpec::full());
+  EXPECT_LE(l2.dsp_used, 8);
+  EXPECT_GT(fp.dsp_used, 100);
+  EXPECT_GT(full.dsp_used, 100);
+  // Shift designs burn more LUT than the fixed-point design.
+  EXPECT_GT(l2.lut_used, fp.lut_used);
+}
+
+TEST(FpgaModelTest, ComputeBoundLabels) {
+  const FpgaModel fpga;
+  const LayerCost layer = example_layer();
+  EXPECT_EQ(fpga.evaluate(layer, QuantSpec::full()).compute_bound, "DSP");
+  EXPECT_EQ(fpga.evaluate(layer, QuantSpec::fixed_point(4, 8)).compute_bound,
+            "DSP");
+  // Shift units use no DSP: fabric (LUT/FF) binds.
+  const auto shift_bound =
+      fpga.evaluate(layer, QuantSpec::lightnn(1)).compute_bound;
+  EXPECT_TRUE(shift_bound == "LUT" || shift_bound == "FF");
+}
+
+TEST(FpgaModelTest, ResourceUsageWithinDevice) {
+  const FpgaModel fpga;
+  const LayerCost layer = example_layer();
+  for (const auto& spec :
+       {QuantSpec::full(), QuantSpec::fixed_point(4, 8), QuantSpec::lightnn(1),
+        QuantSpec::lightnn(2), QuantSpec::flightnn(1.5)}) {
+    const auto report = fpga.evaluate(layer, spec);
+    EXPECT_LE(report.bram_used, fpga.resources().bram18) << spec.label();
+    EXPECT_LE(report.dsp_used, fpga.resources().dsp) << spec.label();
+    EXPECT_LE(report.lut_used, fpga.resources().lut) << spec.label();
+    EXPECT_LE(report.ff_used, fpga.resources().ff) << spec.label();
+    EXPECT_GE(report.batch, 1) << spec.label();
+  }
+}
+
+TEST(FpgaModelTest, SmallerWeightsAllowLargerBatches) {
+  // The paper's explanation for the (F)LightNN throughput edge: less BRAM
+  // spent on weights leaves room for more batched activations.
+  const FpgaModel fpga;
+  LayerCost layer = example_layer();
+  // Blow up the weight footprint so it matters relative to activations.
+  layer.in_channels = 512;
+  layer.out_channels = 512;
+  const auto full = fpga.evaluate(layer, QuantSpec::full());
+  const auto l1 = fpga.evaluate(layer, QuantSpec::lightnn(1));
+  EXPECT_GT(l1.batch, full.batch);
+}
+
+TEST(AsicModelTest, AreaOrderingMatchesPaperClaim) {
+  // Sec. 2: shift operations are more area-efficient than multipliers.
+  const AsicModel asic;
+  const double l1 = asic.mac_area_um2(QuantSpec::lightnn(1));
+  const double fp4 = asic.mac_area_um2(QuantSpec::fixed_point(4, 8));
+  const double fp8 = asic.mac_area_um2(QuantSpec::fixed_point(8, 8));
+  const double full = asic.mac_area_um2(QuantSpec::full());
+  EXPECT_LT(l1, fp4);
+  EXPECT_LT(fp4, fp8);
+  EXPECT_LT(fp8, full);
+  // Shift datapaths are sized by ceil(mean k): a fractional-k FLightNN
+  // needs the full two-term unit.
+  EXPECT_DOUBLE_EQ(asic.mac_area_um2(QuantSpec::flightnn(1.3)),
+                   asic.mac_area_um2(QuantSpec::lightnn(2)));
+}
+
+TEST(FpgaModelTest, NetworkThroughputBelowLargestLayer) {
+  const FpgaModel fpga;
+  const auto config = models::table1_network(1);
+  models::BuildOptions opt;
+  opt.act_bits = 0;
+  auto model = models::build_network(config, opt);
+  const auto layers = trace_conv_costs(*model, tensor::Shape{1, 3, 32, 32});
+  const auto spec = QuantSpec::lightnn(1);
+  const double whole = network_throughput(fpga, layers, spec);
+  const double largest_only =
+      fpga.evaluate(largest_layer(*model, tensor::Shape{1, 3, 32, 32}), spec)
+          .throughput;
+  EXPECT_LT(whole, largest_only);
+  EXPECT_GT(whole, largest_only / static_cast<double>(layers.size() * 2));
+  EXPECT_THROW((void)network_throughput(fpga, {}, spec), std::invalid_argument);
+}
+
+TEST(FpgaModelTest, NetworkThroughputPreservesOrdering) {
+  const FpgaModel fpga;
+  const auto config = models::table1_network(4);
+  models::BuildOptions opt;
+  opt.act_bits = 0;
+  auto model = models::build_network(config, opt);
+  const auto layers = trace_conv_costs(*model, tensor::Shape{1, 3, 32, 32});
+  const double l1 = network_throughput(fpga, layers, QuantSpec::lightnn(1));
+  const double l2 = network_throughput(fpga, layers, QuantSpec::lightnn(2));
+  const double full = network_throughput(fpga, layers, QuantSpec::full());
+  EXPECT_GT(l1, l2);
+  EXPECT_GT(l2, full);
+}
+
+TEST(FpgaModelTest, LargerLayersAreSlower) {
+  const FpgaModel fpga;
+  LayerCost small = example_layer();
+  LayerCost big = example_layer();
+  big.out_channels *= 4;
+  const auto spec = QuantSpec::lightnn(1);
+  EXPECT_GT(fpga.evaluate(small, spec).throughput,
+            fpga.evaluate(big, spec).throughput);
+}
+
+}  // namespace
+}  // namespace flightnn::hw

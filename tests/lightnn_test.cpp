@@ -1,0 +1,112 @@
+#include "quant/lightnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace flightnn::quant {
+namespace {
+
+TEST(LightNNTest, K1IsPlainPow2Rounding) {
+  const Pow2Config config;
+  support::Rng rng(19);
+  tensor::Tensor w = tensor::Tensor::randn(tensor::Shape{64}, rng, 0.0F, 0.3F);
+  tensor::Tensor q1 = quantize_lightnn(w, 1, config);
+  tensor::Tensor r = round_to_pow2(w, config);
+  EXPECT_LT(tensor::max_abs_diff(q1, r), 1e-9F);
+}
+
+TEST(LightNNTest, OutputIsSumOfKPowers) {
+  const Pow2Config config;
+  support::Rng rng(20);
+  tensor::Tensor w = tensor::Tensor::randn(tensor::Shape{256}, rng, 0.0F, 0.3F);
+  for (int k = 1; k <= 3; ++k) {
+    tensor::Tensor q = quantize_lightnn(w, k, config);
+    EXPECT_TRUE(is_sum_of_pow2(q, k, config)) << "k=" << k;
+  }
+}
+
+TEST(LightNNTest, HigherKNeverIncreasesError) {
+  const Pow2Config config;
+  support::Rng rng(21);
+  tensor::Tensor w = tensor::Tensor::randn(tensor::Shape{512}, rng, 0.0F, 0.3F);
+  double prev_error = 1e30;
+  for (int k = 1; k <= 4; ++k) {
+    tensor::Tensor q = quantize_lightnn(w, k, config);
+    tensor::Tensor diff = w - q;
+    const double error = diff.l2_norm();
+    EXPECT_LE(error, prev_error + 1e-7) << "k=" << k;
+    prev_error = error;
+  }
+}
+
+TEST(LightNNTest, RecursiveDefinitionHolds) {
+  // Q_k(w) = Q_{k-1}(w) + Q_1(w - Q_{k-1}(w))  (Sec. 3)
+  const Pow2Config config;
+  support::Rng rng(22);
+  tensor::Tensor w = tensor::Tensor::randn(tensor::Shape{128}, rng, 0.0F, 0.3F);
+  for (int k = 2; k <= 3; ++k) {
+    tensor::Tensor q_k = quantize_lightnn(w, k, config);
+    tensor::Tensor q_km1 = quantize_lightnn(w, k - 1, config);
+    tensor::Tensor residual = w - q_km1;
+    tensor::Tensor expected = q_km1 + quantize_lightnn(residual, 1, config);
+    EXPECT_LT(tensor::max_abs_diff(q_k, expected), 1e-9F) << "k=" << k;
+  }
+}
+
+TEST(LightNNTest, ExactValuesPassThrough) {
+  const Pow2Config config;
+  tensor::Tensor w(tensor::Shape{4},
+                   std::vector<float>{0.5F, -0.125F, 0.0F, 1.0F});
+  tensor::Tensor q = quantize_lightnn(w, 1, config);
+  EXPECT_LT(tensor::max_abs_diff(w, q), 1e-9F);
+}
+
+TEST(LightNNTest, KnownTwoTermExpansion) {
+  const Pow2Config config;
+  tensor::Tensor w(tensor::Shape{1}, std::vector<float>{0.625F});
+  // 0.625: R -> 0.5, residual 0.125 -> 0.125. Sum = 0.625 exactly.
+  tensor::Tensor q2 = quantize_lightnn(w, 2, config);
+  EXPECT_FLOAT_EQ(q2[0], 0.625F);
+  tensor::Tensor q1 = quantize_lightnn(w, 1, config);
+  EXPECT_FLOAT_EQ(q1[0], 0.5F);
+}
+
+TEST(LightNNTest, InvalidKThrows) {
+  const Pow2Config config;
+  tensor::Tensor w(tensor::Shape{1});
+  EXPECT_THROW((void)quantize_lightnn(w, 0, config), std::invalid_argument);
+  EXPECT_THROW(LightNNTransform(0), std::invalid_argument);
+}
+
+TEST(LightNNTransformTest, ForwardMatchesFreeFunction) {
+  LightNNTransform transform(2);
+  support::Rng rng(23);
+  tensor::Tensor w = tensor::Tensor::randn(tensor::Shape{8, 4}, rng, 0.0F, 0.3F);
+  tensor::Tensor q = transform.forward(w);
+  tensor::Tensor expected = quantize_lightnn(w, 2, transform.config());
+  EXPECT_LT(tensor::max_abs_diff(q, expected), 1e-9F);
+  EXPECT_EQ(transform.describe(), "lightnn-k2");
+}
+
+TEST(LightNNTransformTest, BackwardIsStraightThrough) {
+  LightNNTransform transform(2);
+  tensor::Tensor w(tensor::Shape{4}, std::vector<float>{0.3F, -0.2F, 0.1F, 0.0F});
+  tensor::Tensor grad_wq(tensor::Shape{4}, std::vector<float>{1, 2, 3, 4});
+  tensor::Tensor grad_w(tensor::Shape{4}, std::vector<float>{10, 10, 10, 10});
+  transform.backward(w, grad_wq, grad_w);
+  EXPECT_FLOAT_EQ(grad_w[0], 11.0F);
+  EXPECT_FLOAT_EQ(grad_w[3], 14.0F);
+}
+
+TEST(LightNNTransformTest, NoRegularizationOrInternalState) {
+  LightNNTransform transform(1);
+  tensor::Tensor w(tensor::Shape{4}, 0.3F);
+  EXPECT_EQ(transform.regularization(w, nullptr), 0.0);
+  transform.step_internal(0.1F);  // must be a no-op, not crash
+}
+
+}  // namespace
+}  // namespace flightnn::quant

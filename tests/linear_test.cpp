@@ -1,0 +1,92 @@
+#include "nn/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.hpp"
+#include "quant/fixedpoint.hpp"
+
+namespace flightnn::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LinearTest, OutputShapeAndValue) {
+  support::Rng rng(1);
+  Linear lin(3, 2, true, rng);
+  // y = x W^T + b with explicit values.
+  lin.weight().value = Tensor(Shape{2, 3}, std::vector<float>{1, 0, -1, 2, 1, 0});
+  lin.bias().value = Tensor(Shape{2}, std::vector<float>{0.5F, -0.5F});
+  Tensor x(Shape{1, 3}, std::vector<float>{1, 2, 3});
+  Tensor y = lin.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 1 - 3 + 0.5F);
+  EXPECT_FLOAT_EQ(y[1], 2 + 2 - 0.5F);
+}
+
+TEST(LinearTest, InputGradient) {
+  support::Rng rng(2);
+  Linear lin(4, 3, true, rng);
+  Tensor x = Tensor::randn(Shape{3, 4}, rng);
+  testing::check_input_gradient(lin, x, 60);
+}
+
+TEST(LinearTest, WeightGradient) {
+  support::Rng rng(3);
+  Linear lin(3, 2, true, rng);
+  Tensor x = Tensor::randn(Shape{4, 3}, rng);
+  testing::check_param_gradient(lin, x, lin.weight(), 61);
+}
+
+TEST(LinearTest, BiasGradient) {
+  support::Rng rng(4);
+  Linear lin(3, 2, true, rng);
+  Tensor x = Tensor::randn(Shape{4, 3}, rng);
+  testing::check_param_gradient(lin, x, lin.bias(), 62);
+}
+
+TEST(LinearTest, TransformAppliesToWeights) {
+  support::Rng rng(5);
+  Linear lin(8, 4, false, rng);
+  lin.set_transform(std::make_shared<quant::FixedPointTransform>(
+      quant::FixedPointConfig{4}));
+  Tensor wq = lin.quantized_weight();
+  // Quantized: at most 15 distinct values.
+  std::set<float> distinct;
+  for (std::int64_t i = 0; i < wq.numel(); ++i) distinct.insert(wq[i]);
+  EXPECT_LE(distinct.size(), 15u);
+}
+
+TEST(LinearTest, BadShapesThrow) {
+  support::Rng rng(6);
+  Linear lin(3, 2, true, rng);
+  EXPECT_THROW((void)lin.forward(Tensor(Shape{1, 4}), false),
+               std::invalid_argument);
+  EXPECT_THROW((void)lin.forward(Tensor(Shape{3}), false), std::invalid_argument);
+  EXPECT_THROW(Linear(0, 2, true, rng), std::invalid_argument);
+}
+
+TEST(LinearTest, BackwardBeforeForwardThrows) {
+  support::Rng rng(7);
+  Linear lin(3, 2, true, rng);
+  EXPECT_THROW((void)lin.backward(Tensor(Shape{1, 2})), std::logic_error);
+}
+
+TEST(LinearTest, GradAccumulatesAcrossBackwards) {
+  support::Rng rng(8);
+  Linear lin(2, 2, false, rng);
+  Tensor x = Tensor::randn(Shape{1, 2}, rng);
+  Tensor g(Shape{1, 2}, 1.0F);
+  (void)lin.forward(x, true);
+  (void)lin.backward(g);
+  Tensor first = lin.weight().grad;
+  (void)lin.forward(x, true);
+  (void)lin.backward(g);
+  Tensor second = lin.weight().grad;
+  for (std::int64_t i = 0; i < first.numel(); ++i) {
+    EXPECT_NEAR(second[i], 2.0F * first[i], 1e-6F);
+  }
+}
+
+}  // namespace
+}  // namespace flightnn::nn

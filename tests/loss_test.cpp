@@ -1,0 +1,99 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace flightnn::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{2, 4});  // all zero -> uniform softmax
+  const float l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0F), 1e-5F);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectPredictionLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 3}, std::vector<float>{10.0F, 0.0F, 0.0F});
+  EXPECT_LT(loss.forward(logits, {0}), 1e-3F);
+  EXPECT_GT(loss.forward(logits, {1}), 5.0F);
+}
+
+TEST(SoftmaxCrossEntropyTest, ShiftInvariance) {
+  SoftmaxCrossEntropy loss;
+  Tensor a(Shape{1, 3}, std::vector<float>{1.0F, 2.0F, 3.0F});
+  Tensor b(Shape{1, 3}, std::vector<float>{101.0F, 102.0F, 103.0F});
+  EXPECT_NEAR(loss.forward(a, {1}), loss.forward(b, {1}), 1e-5F);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  support::Rng rng(1);
+  Tensor logits = Tensor::randn(Shape{3, 5}, rng);
+  const std::vector<int> labels{1, 4, 0};
+  (void)loss.forward(logits, labels);
+  Tensor grad = loss.backward();
+
+  const float eps = 1e-3F;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor plus = logits, minus = logits;
+    plus[i] += eps;
+    minus[i] -= eps;
+    SoftmaxCrossEntropy probe;
+    const float numeric =
+        (probe.forward(plus, labels) - probe.forward(minus, labels)) / (2 * eps);
+    EXPECT_NEAR(grad[i], numeric, 2e-3F) << "element " << i;
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy loss;
+  support::Rng rng(2);
+  Tensor logits = Tensor::randn(Shape{4, 6}, rng);
+  (void)loss.forward(logits, {0, 1, 2, 3});
+  Tensor grad = loss.backward();
+  for (std::int64_t n = 0; n < 4; ++n) {
+    double row_sum = 0.0;
+    for (std::int64_t c = 0; c < 6; ++c) row_sum += grad[n * 6 + c];
+    EXPECT_NEAR(row_sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, InvalidInputsThrow) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{2, 3});
+  EXPECT_THROW((void)loss.forward(logits, {0}), std::invalid_argument);
+  EXPECT_THROW((void)loss.forward(logits, {0, 3}), std::invalid_argument);
+  EXPECT_THROW((void)loss.forward(Tensor(Shape{6}), {0}), std::invalid_argument);
+  SoftmaxCrossEntropy fresh;
+  EXPECT_THROW((void)fresh.backward(), std::logic_error);
+}
+
+TEST(TopKAccuracyTest, Top1) {
+  Tensor logits(Shape{2, 3}, std::vector<float>{1, 5, 2, 9, 0, 3});
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, {1, 0}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, {0, 0}, 1), 0.5);
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, {0, 1}, 1), 0.0);
+}
+
+TEST(TopKAccuracyTest, Top5BroadensHits) {
+  Tensor logits(Shape{1, 6}, std::vector<float>{6, 5, 4, 3, 2, 1});
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, {4}, 5), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, {5}, 5), 0.0);
+}
+
+TEST(TopKAccuracyTest, InvalidArgsThrow) {
+  Tensor logits(Shape{1, 3});
+  EXPECT_THROW((void)top_k_accuracy(logits, {0}, 0), std::invalid_argument);
+  EXPECT_THROW((void)top_k_accuracy(logits, {0, 1}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flightnn::nn

@@ -1,0 +1,169 @@
+#include "models/networks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/quantize_model.hpp"
+#include "nn/conv2d.hpp"
+
+namespace flightnn::models {
+namespace {
+
+TEST(Table1Test, AllEightConfigsExist) {
+  const auto all = table1_all();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].structure, Structure::kVgg);
+  EXPECT_EQ(all[1].structure, Structure::kResNet);
+  EXPECT_EQ(all[7].depth, 10);
+  EXPECT_THROW((void)table1_network(0), std::invalid_argument);
+  EXPECT_THROW((void)table1_network(9), std::invalid_argument);
+}
+
+TEST(Table1Test, ParameterCountsMatchPaperWithinTolerance) {
+  // Build each network at full width and compare against Table 1's numbers.
+  // Paper counts conv + fc weights; we allow 30% slack for head/bn details.
+  for (const auto& config : table1_all()) {
+    BuildOptions opt;
+    opt.classes = config.paper_dataset == "CIFAR-100" ? 100
+                  : config.paper_dataset == "ImageNet" ? 50
+                                                       : 10;
+    opt.act_bits = 0;
+    auto model = build_network(config, opt);
+    const double params_m =
+        static_cast<double>(parameter_count(*model)) / 1e6;
+    EXPECT_GT(params_m, config.params_approx_m * 0.6)
+        << "network " << config.id;
+    EXPECT_LT(params_m, config.params_approx_m * 1.4)
+        << "network " << config.id;
+  }
+}
+
+TEST(BuildTest, VggDepthMatchesConvCount) {
+  for (int id : {1, 3, 4, 5}) {
+    const auto config = table1_network(id);
+    BuildOptions opt;
+    opt.act_bits = 0;
+    auto model = build_network(config, opt);
+    int convs = 0;
+    model->visit([&](nn::Layer& layer) {
+      if (dynamic_cast<nn::Conv2d*>(&layer) != nullptr) ++convs;
+    });
+    EXPECT_EQ(convs, config.depth) << "network " << id;
+  }
+}
+
+TEST(BuildTest, ResNetConvCount) {
+  // Depth counts trunk convolutions: stem + 2 per block. Projection
+  // shortcuts add 1x1 convs on top.
+  const auto config = table1_network(8);  // ResNet-10
+  BuildOptions opt;
+  opt.act_bits = 0;
+  auto model = build_network(config, opt);
+  int convs3x3 = 0, convs1x1 = 0;
+  model->visit([&](nn::Layer& layer) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      if (conv->kernel() == 3) ++convs3x3;
+      else ++convs1x1;
+    }
+  });
+  EXPECT_EQ(convs3x3, 9);   // stem + 4 blocks x 2
+  EXPECT_EQ(convs1x1, 3);   // stages 2-4 projections
+}
+
+TEST(BuildTest, ForwardShapes) {
+  support::Rng rng(1);
+  for (int id = 1; id <= 8; ++id) {
+    const auto config = table1_network(id);
+    BuildOptions opt;
+    opt.classes = 10;
+    opt.width_scale = 0.25F;  // keep the test fast
+    auto model = build_network(config, opt);
+    tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{2, 3, 32, 32}, rng);
+    tensor::Tensor y = model->forward(x, false);
+    EXPECT_EQ(y.shape(), (tensor::Shape{2, 10})) << "network " << id;
+  }
+}
+
+TEST(BuildTest, ActQuantToggles) {
+  const auto config = table1_network(4);
+  BuildOptions with_quant;
+  with_quant.act_bits = 8;
+  auto quantized = build_network(config, with_quant);
+  int aq = 0;
+  quantized->visit([&](nn::Layer& layer) {
+    if (layer.name() == "act_quant") ++aq;
+  });
+  EXPECT_GT(aq, 0);
+
+  BuildOptions without;
+  without.act_bits = 0;
+  auto full = build_network(config, without);
+  aq = 0;
+  full->visit([&](nn::Layer& layer) {
+    if (layer.name() == "act_quant") ++aq;
+  });
+  EXPECT_EQ(aq, 0);
+}
+
+TEST(BuildTest, WidthScaleShrinksParams) {
+  const auto config = table1_network(5);
+  BuildOptions big, small;
+  big.width_scale = 1.0F;
+  small.width_scale = 0.25F;
+  auto model_big = build_network(config, big);
+  auto model_small = build_network(config, small);
+  EXPECT_LT(parameter_count(*model_small), parameter_count(*model_big) / 4);
+}
+
+TEST(BuildTest, DeterministicInSeed) {
+  const auto config = table1_network(4);
+  BuildOptions opt;
+  opt.seed = 11;
+  auto a = build_network(config, opt);
+  auto b = build_network(config, opt);
+  auto pa = a->parameters();
+  auto pb = b->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(tensor::max_abs_diff(pa[i]->value, pb[i]->value), 1e-9F);
+  }
+}
+
+TEST(BuildTest, ConvWidthsProgressions) {
+  EXPECT_EQ(conv_widths(table1_network(1)),
+            (std::vector<std::int64_t>{8, 16, 16, 32, 32, 64, 64}));
+  EXPECT_EQ(conv_widths(table1_network(4)),
+            (std::vector<std::int64_t>{16, 32, 32, 64}));
+  const auto resnet18 = conv_widths(table1_network(2));
+  EXPECT_EQ(resnet18.size(), 17u);  // stem + 8 blocks x 2
+  EXPECT_EQ(resnet18.front(), 16);
+  EXPECT_EQ(resnet18.back(), 128);
+}
+
+TEST(QuantizeModelTest, InstallersCoverAllQuantizableLayers) {
+  const auto config = table1_network(4);
+  BuildOptions opt;
+  opt.width_scale = 0.5F;
+  auto model = build_network(config, opt);
+  const auto layers = core::quantizable_layers(*model);
+  EXPECT_EQ(layers.size(), 5u);  // 4 convs + 1 linear head
+
+  core::install_lightnn(*model, 2);
+  for (const auto& layer : core::quantizable_layers(*model)) {
+    ASSERT_NE(layer.transform, nullptr);
+    EXPECT_EQ(layer.transform->describe(), "lightnn-k2");
+  }
+
+  const auto transforms = core::install_flightnn(*model, core::FLightNNConfig{});
+  EXPECT_EQ(transforms.size(), 5u);
+  for (const auto& layer : core::quantizable_layers(*model)) {
+    EXPECT_EQ(layer.transform->describe(), "flightnn[kmax=2]");
+  }
+
+  core::install_full_precision(*model);
+  for (const auto& layer : core::quantizable_layers(*model)) {
+    EXPECT_EQ(layer.transform, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace flightnn::models

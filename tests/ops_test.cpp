@@ -1,0 +1,155 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace flightnn::tensor {
+namespace {
+
+TEST(GemmTest, SmallKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Tensor a(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor b(Shape{2, 2}, std::vector<float>{5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c[0], 19.0F);
+  EXPECT_FLOAT_EQ(c[1], 22.0F);
+  EXPECT_FLOAT_EQ(c[2], 43.0F);
+  EXPECT_FLOAT_EQ(c[3], 50.0F);
+}
+
+TEST(GemmTest, RectangularShapes) {
+  Tensor a(Shape{2, 3}, std::vector<float>{1, 0, 2, 0, 1, -1});
+  Tensor b(Shape{3, 1}, std::vector<float>{3, 4, 5});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(c[0], 13.0F);
+  EXPECT_FLOAT_EQ(c[1], -1.0F);
+}
+
+TEST(GemmTest, InnerDimMismatchThrows) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{2, 2});
+  EXPECT_THROW((void)matmul(a, b), std::invalid_argument);
+}
+
+TEST(GemmTest, AccumulateFlag) {
+  const float a[2] = {1.0F, 2.0F};
+  const float b[2] = {3.0F, 4.0F};
+  float c[1] = {10.0F};
+  gemm(a, b, c, 1, 2, 1, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c[0], 21.0F);
+  gemm(a, b, c, 1, 2, 1, /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(c[0], 11.0F);
+}
+
+TEST(GemmTest, TransposedVariantsAgreeWithExplicitTranspose) {
+  support::Rng rng(3);
+  Tensor a = Tensor::randn(Shape{4, 5}, rng);
+  Tensor b = Tensor::randn(Shape{4, 6}, rng);
+  // matmul_tn(a, b) == a^T * b
+  Tensor at(Shape{5, 4});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) at[j * 4 + i] = a[i * 5 + j];
+  }
+  Tensor expected = matmul(at, b);
+  Tensor actual = matmul_tn(a, b);
+  EXPECT_LT(max_abs_diff(expected, actual), 1e-5F);
+
+  // matmul_nt(a, c) == a * c^T
+  Tensor c = Tensor::randn(Shape{7, 5}, rng);
+  Tensor ct(Shape{5, 7});
+  for (std::int64_t i = 0; i < 7; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) ct[j * 7 + i] = c[i * 5 + j];
+  }
+  Tensor expected2 = matmul(a, ct);
+  Tensor actual2 = matmul_nt(a, c);
+  EXPECT_LT(max_abs_diff(expected2, actual2), 1e-5F);
+}
+
+TEST(ConvGeometryTest, OutputSizes) {
+  ConvGeometry g{3, 32, 32, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 32);
+  EXPECT_EQ(g.out_w(), 32);
+  EXPECT_EQ(g.patch_size(), 27);
+
+  ConvGeometry strided{16, 32, 32, 3, 2, 1};
+  EXPECT_EQ(strided.out_h(), 16);
+
+  ConvGeometry valid{1, 5, 5, 3, 1, 0};
+  EXPECT_EQ(valid.out_h(), 3);
+}
+
+TEST(Im2ColTest, IdentityKernelGeometry) {
+  // 1x1 kernel, no padding: im2col is the identity layout.
+  ConvGeometry g{2, 3, 3, 1, 1, 0};
+  std::vector<float> image(18);
+  for (std::size_t i = 0; i < image.size(); ++i) image[i] = static_cast<float>(i);
+  std::vector<float> cols(static_cast<std::size_t>(g.patch_size() * 9));
+  im2col(image.data(), g, cols.data());
+  for (std::size_t i = 0; i < image.size(); ++i) EXPECT_EQ(cols[i], image[i]);
+}
+
+TEST(Im2ColTest, PaddingProducesZeros) {
+  ConvGeometry g{1, 2, 2, 3, 1, 1};
+  std::vector<float> image{1, 2, 3, 4};
+  std::vector<float> cols(static_cast<std::size_t>(g.patch_size() * g.out_h() * g.out_w()));
+  im2col(image.data(), g, cols.data());
+  // Top-left output patch, kernel position (0,0) reads image(-1,-1) == 0.
+  EXPECT_EQ(cols[0], 0.0F);
+  // Kernel center (1,1) reads image(0,0) == 1 at output (0,0).
+  const std::int64_t center_row = 1 * 3 + 1;  // ky=1, kx=1
+  EXPECT_EQ(cols[static_cast<std::size_t>(center_row * 4)], 1.0F);
+}
+
+TEST(Col2ImTest, RoundTripAccumulatesCorrectly) {
+  // col2im(im2col(x)) multiplies each pixel by the number of patches that
+  // cover it. For a 3x3 kernel with padding 1 and stride 1 over a 4x4 image,
+  // interior pixels are covered 9 times, corners 4 times.
+  ConvGeometry g{1, 4, 4, 3, 1, 1};
+  std::vector<float> image(16, 1.0F);
+  std::vector<float> cols(static_cast<std::size_t>(g.patch_size() * 16));
+  im2col(image.data(), g, cols.data());
+  std::vector<float> back(16, 0.0F);
+  col2im(cols.data(), g, back.data());
+  EXPECT_FLOAT_EQ(back[5], 9.0F);   // interior (1,1)
+  EXPECT_FLOAT_EQ(back[0], 4.0F);   // corner (0,0)
+  EXPECT_FLOAT_EQ(back[1], 6.0F);   // edge (0,1)
+}
+
+TEST(Col2ImTest, AdjointOfIm2Col) {
+  // col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)> for
+  // all x, y -- the property conv backward depends on.
+  support::Rng rng(44);
+  const ConvGeometry g{2, 5, 5, 3, 2, 1};
+  const std::int64_t cols_size = g.patch_size() * g.out_h() * g.out_w();
+  std::vector<float> x(2 * 5 * 5), y(static_cast<std::size_t>(cols_size));
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+
+  std::vector<float> ax(static_cast<std::size_t>(cols_size));
+  im2col(x.data(), g, ax.data());
+  std::vector<float> aty(x.size(), 0.0F);
+  col2im(y.data(), g, aty.data());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) lhs += static_cast<double>(ax[i]) * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += static_cast<double>(x[i]) * aty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2ColTest, StridedExtraction) {
+  ConvGeometry g{1, 4, 4, 2, 2, 0};
+  std::vector<float> image(16);
+  for (std::size_t i = 0; i < image.size(); ++i) image[i] = static_cast<float>(i);
+  std::vector<float> cols(static_cast<std::size_t>(g.patch_size() * 4));
+  im2col(image.data(), g, cols.data());
+  // Patch row (ky=0, kx=0) should read pixels (0,0), (0,2), (2,0), (2,2).
+  EXPECT_EQ(cols[0], 0.0F);
+  EXPECT_EQ(cols[1], 2.0F);
+  EXPECT_EQ(cols[2], 8.0F);
+  EXPECT_EQ(cols[3], 10.0F);
+}
+
+}  // namespace
+}  // namespace flightnn::tensor

@@ -1,0 +1,133 @@
+#include "optim/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace flightnn::optim {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// Minimize f(w) = 0.5 * ||w - target||^2 (gradient w - target).
+void quadratic_grad(nn::Parameter& p, const Tensor& target) {
+  p.zero_grad();
+  for (std::int64_t i = 0; i < p.value.numel(); ++i) {
+    p.grad[i] = p.value[i] - target[i];
+  }
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  nn::Parameter p(Tensor(Shape{3}, std::vector<float>{5, -2, 1}), "w");
+  Tensor target(Shape{3}, std::vector<float>{1, 2, 3});
+  Sgd sgd({&p}, 0.1F);
+  for (int i = 0; i < 200; ++i) {
+    quadratic_grad(p, target);
+    sgd.step();
+  }
+  EXPECT_LT(tensor::max_abs_diff(p.value, target), 1e-4F);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Tensor target(Shape{1}, std::vector<float>{0.0F});
+  nn::Parameter plain(Tensor(Shape{1}, 10.0F), "w1");
+  nn::Parameter with_mom(Tensor(Shape{1}, 10.0F), "w2");
+  Sgd sgd_plain({&plain}, 0.01F);
+  Sgd sgd_mom({&with_mom}, 0.01F, 0.9F);
+  for (int i = 0; i < 50; ++i) {
+    quadratic_grad(plain, target);
+    sgd_plain.step();
+    quadratic_grad(with_mom, target);
+    sgd_mom.step();
+  }
+  EXPECT_LT(std::fabs(with_mom.value[0]), std::fabs(plain.value[0]));
+}
+
+TEST(SgdTest, WeightDecayShrinksUndrivenParams) {
+  nn::Parameter p(Tensor(Shape{1}, 1.0F), "w");
+  Sgd sgd({&p}, 0.1F, 0.0F, 0.5F);
+  p.zero_grad();  // zero task gradient: only decay acts
+  sgd.step();
+  EXPECT_LT(p.value[0], 1.0F);
+}
+
+TEST(SgdTest, DecayExemptionRespected) {
+  nn::Parameter p(Tensor(Shape{1}, 1.0F), "bn.gamma", /*apply_decay=*/false);
+  Sgd sgd({&p}, 0.1F, 0.0F, 0.5F);
+  p.zero_grad();
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0F);
+}
+
+TEST(SgdTest, NonTrainableParamsUntouched) {
+  nn::Parameter p(Tensor(Shape{1}, 1.0F), "frozen");
+  p.trainable = false;
+  p.grad.fill(10.0F);
+  Sgd sgd({&p}, 0.1F);
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0F);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  nn::Parameter p(Tensor(Shape{3}, std::vector<float>{5, -2, 1}), "w");
+  Tensor target(Shape{3}, std::vector<float>{1, 2, 3});
+  Adam adam({&p}, 0.1F);
+  for (int i = 0; i < 500; ++i) {
+    quadratic_grad(p, target);
+    adam.step();
+  }
+  EXPECT_LT(tensor::max_abs_diff(p.value, target), 1e-2F);
+}
+
+TEST(AdamTest, FirstStepIsBoundedByLearningRate) {
+  // Adam's bias correction makes the first step ~lr regardless of grad scale.
+  nn::Parameter small(Tensor(Shape{1}, 0.0F), "a");
+  nn::Parameter large(Tensor(Shape{1}, 0.0F), "b");
+  Adam adam({&small, &large}, 0.01F);
+  small.grad[0] = 1e-4F;
+  large.grad[0] = 1e4F;
+  adam.step();
+  EXPECT_NEAR(std::fabs(small.value[0]), 0.01F, 2e-3F);
+  EXPECT_NEAR(std::fabs(large.value[0]), 0.01F, 2e-3F);
+}
+
+TEST(AdamTest, ZeroGradKeepsValueOnFreshState) {
+  nn::Parameter p(Tensor(Shape{1}, 3.0F), "w");
+  Adam adam({&p});
+  p.zero_grad();
+  adam.step();
+  EXPECT_FLOAT_EQ(p.value[0], 3.0F);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  nn::Parameter p(Tensor(Shape{2}), "w");
+  p.grad.fill(5.0F);
+  Sgd sgd({&p}, 0.1F);
+  sgd.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0F);
+  EXPECT_FLOAT_EQ(p.grad[1], 0.0F);
+}
+
+TEST(ScalarAdamTest, ConvergesOnScalarQuadratic) {
+  ScalarAdam adam(2);
+  std::vector<float> values{4.0F, -3.0F};
+  for (int i = 0; i < 600; ++i) {
+    std::vector<float> grads{values[0] - 1.0F, values[1] - 2.0F};
+    adam.step(values, grads, 0.05F);
+  }
+  EXPECT_NEAR(values[0], 1.0F, 0.05F);
+  EXPECT_NEAR(values[1], 2.0F, 0.05F);
+}
+
+TEST(ScalarAdamTest, SizeMismatchThrows) {
+  ScalarAdam adam(2);
+  std::vector<float> values{1.0F};
+  std::vector<float> grads{1.0F};
+  EXPECT_THROW(adam.step(values, grads, 0.1F), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flightnn::optim

@@ -1,0 +1,164 @@
+// Tests for Sequential and ResidualBlock containers, including end-to-end
+// gradient checks through composed stacks.
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+#include "nn/sequential.hpp"
+#include "quant/lightnn.hpp"
+
+namespace flightnn::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(SequentialTest, ChainsLayers) {
+  support::Rng rng(1);
+  Sequential seq;
+  seq.emplace<Conv2d>(1, 2, 3, 1, 1, true, rng);
+  seq.emplace<LeakyReLU>(0.01F);
+  seq.emplace<GlobalAvgPool>();
+  Tensor x = Tensor::randn(Shape{2, 1, 4, 4}, rng);
+  Tensor y = seq.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 2}));
+  EXPECT_EQ(seq.size(), 3u);
+}
+
+TEST(SequentialTest, CollectsParameters) {
+  support::Rng rng(2);
+  Sequential seq;
+  seq.emplace<Conv2d>(1, 2, 3, 1, 1, true, rng);   // weight + bias
+  seq.emplace<BatchNorm2d>(2);                      // gamma + beta
+  seq.emplace<Linear>(2, 3, true, rng);             // weight + bias
+  EXPECT_EQ(seq.parameters().size(), 6u);
+}
+
+TEST(SequentialTest, EndToEndGradient) {
+  support::Rng rng(3);
+  Sequential seq;
+  seq.emplace<Conv2d>(1, 2, 3, 1, 1, true, rng);
+  seq.emplace<LeakyReLU>(0.2F);
+  seq.emplace<GlobalAvgPool>();
+  seq.emplace<Linear>(2, 3, true, rng);
+  Tensor x = Tensor::randn(Shape{1, 1, 4, 4}, rng);
+  testing::check_input_gradient(seq, x, 70, 1e-2F, 3e-2F);
+}
+
+TEST(SequentialTest, CollectsTransforms) {
+  support::Rng rng(4);
+  Sequential seq;
+  auto* conv = seq.emplace<Conv2d>(1, 2, 3, 1, 1, false, rng);
+  conv->set_transform(std::make_shared<quant::LightNNTransform>(1));
+  seq.emplace<LeakyReLU>();
+  auto* lin = seq.emplace<Linear>(2, 2, false, rng);
+  lin->set_transform(std::make_shared<quant::LightNNTransform>(2));
+  EXPECT_EQ(seq.transforms().size(), 2u);
+}
+
+TEST(SequentialTest, VisitReachesAllLeaves) {
+  support::Rng rng(5);
+  Sequential seq;
+  seq.emplace<Conv2d>(1, 2, 3, 1, 1, false, rng);
+  seq.emplace<LeakyReLU>();
+  int visited = 0;
+  seq.visit([&](Layer&) { ++visited; });
+  EXPECT_EQ(visited, 3);  // the Sequential itself + 2 leaves
+}
+
+ResidualBlock make_block(std::int64_t in_ch, std::int64_t out_ch,
+                         std::int64_t stride, support::Rng& rng) {
+  auto main_path = std::make_unique<Sequential>();
+  main_path->emplace<Conv2d>(in_ch, out_ch, 3, stride, 1, false, rng);
+  main_path->emplace<BatchNorm2d>(out_ch);
+  main_path->emplace<LeakyReLU>(0.01F);
+  main_path->emplace<Conv2d>(out_ch, out_ch, 3, 1, 1, false, rng);
+  main_path->emplace<BatchNorm2d>(out_ch);
+  std::unique_ptr<Sequential> shortcut;
+  if (stride != 1 || in_ch != out_ch) {
+    shortcut = std::make_unique<Sequential>();
+    shortcut->emplace<Conv2d>(in_ch, out_ch, 1, stride, 0, false, rng);
+    shortcut->emplace<BatchNorm2d>(out_ch);
+  }
+  auto post = std::make_unique<Sequential>();
+  post->emplace<LeakyReLU>(0.01F);
+  return ResidualBlock(std::move(main_path), std::move(shortcut), std::move(post));
+}
+
+TEST(ResidualBlockTest, IdentitySkipShape) {
+  support::Rng rng(6);
+  ResidualBlock block = make_block(4, 4, 1, rng);
+  Tensor x = Tensor::randn(Shape{2, 4, 8, 8}, rng);
+  EXPECT_EQ(block.forward(x, false).shape(), x.shape());
+  EXPECT_FALSE(block.has_projection());
+}
+
+TEST(ResidualBlockTest, ProjectionSkipShape) {
+  support::Rng rng(7);
+  ResidualBlock block = make_block(4, 8, 2, rng);
+  Tensor x = Tensor::randn(Shape{1, 4, 8, 8}, rng);
+  EXPECT_EQ(block.forward(x, false).shape(), (Shape{1, 8, 4, 4}));
+  EXPECT_TRUE(block.has_projection());
+}
+
+TEST(ResidualBlockTest, SkipPathCarriesSignal) {
+  // Zero the main path entirely: output must equal post(skip(x)) = act(x).
+  support::Rng rng(8);
+  ResidualBlock block = make_block(2, 2, 1, rng);
+  for (auto* param : block.parameters()) {
+    if (param->name == "conv.weight" || param->name == "bn.gamma") {
+      param->value.fill(0.0F);
+    }
+  }
+  Tensor x(Shape{1, 2, 3, 3}, 1.0F);
+  Tensor y = block.forward(x, false);
+  // LeakyReLU(1.0) = 1.0.
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y[i], 1.0F);
+}
+
+TEST(ResidualBlockTest, GradientThroughIdentitySkip) {
+  support::Rng rng(9);
+  ResidualBlock block = make_block(2, 2, 1, rng);
+  Tensor x = Tensor::randn(Shape{1, 2, 4, 4}, rng);
+  testing::check_input_gradient(block, x, 71, 1e-2F, 4e-2F);
+}
+
+TEST(ResidualBlockTest, GradientThroughProjectionSkip) {
+  support::Rng rng(10);
+  ResidualBlock block = make_block(2, 4, 2, rng);
+  Tensor x = Tensor::randn(Shape{1, 2, 4, 4}, rng);
+  testing::check_input_gradient(block, x, 72, 1e-2F, 4e-2F);
+}
+
+TEST(ResidualBlockTest, ParametersFromAllBranches) {
+  support::Rng rng(11);
+  ResidualBlock with_proj = make_block(2, 4, 2, rng);
+  // main: 2 convs (1 param each, no bias) + 2 bn (2 each) = 6
+  // shortcut: conv + bn = 3; post: none. Total 9.
+  EXPECT_EQ(with_proj.parameters().size(), 9u);
+  ResidualBlock identity = make_block(2, 2, 1, rng);
+  EXPECT_EQ(identity.parameters().size(), 6u);
+}
+
+TEST(ResidualBlockTest, NestedTransformsDiscovered) {
+  support::Rng rng(12);
+  Sequential model;
+  auto main_path = std::make_unique<Sequential>();
+  auto* conv = main_path->emplace<Conv2d>(2, 2, 3, 1, 1, false, rng);
+  conv->set_transform(std::make_shared<quant::LightNNTransform>(1));
+  main_path->emplace<BatchNorm2d>(2);
+  auto post = std::make_unique<Sequential>();
+  post->emplace<LeakyReLU>();
+  model.add(std::make_unique<ResidualBlock>(std::move(main_path), nullptr,
+                                            std::move(post)));
+  EXPECT_EQ(model.transforms().size(), 1u);
+}
+
+}  // namespace
+}  // namespace flightnn::nn

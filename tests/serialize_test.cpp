@@ -1,0 +1,206 @@
+// Tests for checkpoints (state round-trip through memory and disk) and
+// deployment packs (nibble-packed shift terms that reconstruct the
+// quantized weights exactly and realize the paper's bits-per-weight
+// accounting).
+
+#include "serialize/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/quantize_model.hpp"
+#include "core/trainer.hpp"
+#include "eval/storage.hpp"
+#include "models/networks.hpp"
+#include "quant/lightnn.hpp"
+
+namespace flightnn::serialize {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+data::TrainTest tiny_task() {
+  data::DatasetSpec spec;
+  spec.classes = 3;
+  spec.channels = 2;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_size = 96;
+  spec.test_size = 32;
+  spec.noise = 0.8F;
+  spec.seed = 11;
+  return data::make_synthetic(spec);
+}
+
+std::unique_ptr<nn::Sequential> make_model(std::uint64_t seed = 3) {
+  models::BuildOptions build;
+  build.classes = 3;
+  build.in_channels = 2;
+  build.width_scale = 0.25F;
+  build.seed = seed;
+  return models::build_network(models::table1_network(4), build);
+}
+
+// Train briefly so batch-norm running stats and thresholds are non-trivial.
+void train_briefly(nn::Sequential& model, const data::TrainTest& split) {
+  core::TrainConfig config;
+  config.epochs = 1;
+  config.threshold_learning_rate = 0.05F;
+  core::Trainer trainer(model, config);
+  (void)trainer.train_epoch(split.train);
+}
+
+TEST(CheckpointTest, RoundTripRestoresForwardExactly) {
+  const auto split = tiny_task();
+  auto original = make_model();
+  core::install_flightnn(*original, core::FLightNNConfig{});
+  train_briefly(*original, split);
+
+  const auto buffer = save_state(*original);
+  EXPECT_GT(buffer.size(), 100u);
+
+  auto restored = make_model(99);  // different init
+  core::install_flightnn(*restored, core::FLightNNConfig{});
+  load_state(*restored, buffer);
+
+  const Tensor image = split.test.image(0);
+  const Tensor a = original->forward(image, false);
+  const Tensor b = restored->forward(image, false);
+  EXPECT_LT(tensor::max_abs_diff(a, b), 1e-7F);
+}
+
+TEST(CheckpointTest, RestoresThresholds) {
+  const auto split = tiny_task();
+  auto original = make_model();
+  const auto transforms = core::install_flightnn(*original, core::FLightNNConfig{});
+  train_briefly(*original, split);
+  const auto trained_thresholds = transforms.front()->thresholds();
+
+  auto restored = make_model(50);
+  const auto new_transforms =
+      core::install_flightnn(*restored, core::FLightNNConfig{});
+  load_state(*restored, save_state(*original));
+  EXPECT_EQ(new_transforms.front()->thresholds(), trained_thresholds);
+}
+
+TEST(CheckpointTest, DiskRoundTrip) {
+  const auto split = tiny_task();
+  auto model = make_model();
+  train_briefly(*model, split);
+  const std::string path = ::testing::TempDir() + "/flightnn_ckpt.bin";
+  save_state(*model, path);
+
+  auto restored = make_model(51);
+  load_state(*restored, path);
+  const Tensor image = split.test.image(1);
+  EXPECT_LT(tensor::max_abs_diff(model->forward(image, false),
+                                 restored->forward(image, false)),
+            1e-7F);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsStructuralMismatch) {
+  auto model = make_model();
+  const auto buffer = save_state(*model);
+
+  // Different width => shape mismatch.
+  models::BuildOptions build;
+  build.classes = 3;
+  build.in_channels = 2;
+  build.width_scale = 0.5F;
+  auto wider = models::build_network(models::table1_network(4), build);
+  EXPECT_THROW(load_state(*wider, buffer), std::runtime_error);
+
+  // Corrupted magic.
+  auto corrupted = buffer;
+  corrupted[0] ^= 0xFF;
+  EXPECT_THROW(load_state(*model, corrupted), std::runtime_error);
+
+  // Truncation.
+  auto truncated = buffer;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(load_state(*model, truncated), std::runtime_error);
+}
+
+TEST(PackTest, RoundTripReconstructsQuantizedWeights) {
+  auto model = make_model();
+  core::install_lightnn(*model, 2);
+
+  const PackedModel packed = pack_quantized(*model);
+  const auto layers = core::quantizable_layers(*model);
+  ASSERT_EQ(packed.layers.size(), layers.size());
+
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const Tensor wq = layers[i].transform->forward(layers[i].weight->value);
+    const Tensor rebuilt =
+        unpack_layer(packed.layers[i], packed.pow2, wq.shape());
+    EXPECT_LT(tensor::max_abs_diff(wq, rebuilt), 1e-9F) << "layer " << i;
+  }
+}
+
+TEST(PackTest, FLightNNPackHonorsPerFilterK) {
+  auto model = make_model();
+  const auto transforms = core::install_flightnn(*model, core::FLightNNConfig{});
+  // Push half the filters to k=1 via thresholds.
+  for (auto* transform : transforms) transform->set_thresholds({0.0F, 0.15F});
+
+  const PackedModel packed = pack_quantized(*model);
+  const auto layers = core::quantizable_layers(*model);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const Tensor wq = layers[i].transform->forward(layers[i].weight->value);
+    const Tensor rebuilt =
+        unpack_layer(packed.layers[i], packed.pow2, wq.shape());
+    EXPECT_LT(tensor::max_abs_diff(wq, rebuilt), 1e-9F) << "layer " << i;
+  }
+}
+
+TEST(PackTest, PackedSizeTracksStorageAccounting) {
+  auto model = make_model();
+  core::install_lightnn(*model, 1);
+  const PackedModel packed = pack_quantized(*model);
+  // 4 bits per weight + 2-bit filter tags; eval::model_storage_bytes counts
+  // 4 bits per weight for L-1 plus 32-bit non-weight params. The packed
+  // stream covers only the quantized weights, so it must be <= and close to
+  // the weight share of the accounting.
+  std::int64_t weight_count = 0;
+  for (const auto& layer : core::quantizable_layers(*model)) {
+    weight_count += layer.weight->value.numel();
+  }
+  const double expected_bytes = static_cast<double>(weight_count) * 4 / 8.0;
+  // Zero-valued terms do not shrink the stream: size is exactly 4 bits per
+  // weight per used level, plus tags.
+  EXPECT_GE(packed.total_bytes(), expected_bytes * 0.5);
+  EXPECT_LE(packed.total_bytes(), expected_bytes * 1.2);
+}
+
+TEST(PackTest, SerializeParseRoundTrip) {
+  auto model = make_model();
+  core::install_lightnn(*model, 2);
+  const PackedModel packed = pack_quantized(*model);
+  const auto bytes = serialize_packed(packed);
+  const PackedModel parsed = parse_packed(bytes);
+
+  ASSERT_EQ(parsed.layers.size(), packed.layers.size());
+  EXPECT_EQ(parsed.k_max, packed.k_max);
+  EXPECT_EQ(parsed.pow2.e_min, packed.pow2.e_min);
+  for (std::size_t i = 0; i < packed.layers.size(); ++i) {
+    EXPECT_EQ(parsed.layers[i].filter_k, packed.layers[i].filter_k);
+    EXPECT_EQ(parsed.layers[i].nibbles, packed.layers[i].nibbles);
+  }
+
+  auto corrupted = bytes;
+  corrupted[2] ^= 0x55;
+  EXPECT_THROW((void)parse_packed(corrupted), std::runtime_error);
+}
+
+TEST(PackTest, RejectsUnquantizedModels) {
+  auto model = make_model();  // no transforms installed
+  EXPECT_THROW((void)pack_quantized(*model), std::invalid_argument);
+  core::install_fixed_point(*model, 4);
+  EXPECT_THROW((void)pack_quantized(*model), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flightnn::serialize

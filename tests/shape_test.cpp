@@ -1,0 +1,58 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flightnn::tensor {
+namespace {
+
+TEST(ShapeTest, RankAndDims) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 4);
+}
+
+TEST(ShapeTest, Numel) {
+  EXPECT_EQ((Shape{2, 3, 4}).numel(), 24);
+  EXPECT_EQ((Shape{5}).numel(), 5);
+  EXPECT_EQ(Shape{}.numel(), 1);  // scalar
+  EXPECT_EQ((Shape{0, 7}).numel(), 0);
+}
+
+TEST(ShapeTest, RowMajorOffset) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.offset({0, 0, 0}), 0);
+  EXPECT_EQ(s.offset({0, 0, 3}), 3);
+  EXPECT_EQ(s.offset({0, 1, 0}), 4);
+  EXPECT_EQ(s.offset({1, 0, 0}), 12);
+  EXPECT_EQ(s.offset({1, 2, 3}), 23);
+}
+
+TEST(ShapeTest, OffsetRankMismatchThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW((void)s.offset({1}), std::invalid_argument);
+}
+
+TEST(ShapeTest, NegativeDimensionThrows) {
+  EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(ShapeTest, DimOutOfRangeThrows) {
+  Shape s{2};
+  EXPECT_THROW((void)s.dim(1), std::out_of_range);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_NE((Shape{1, 2}), (Shape{1, 2, 1}));
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ((Shape{2, 3}).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+}  // namespace
+}  // namespace flightnn::tensor

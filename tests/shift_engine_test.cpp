@@ -1,0 +1,169 @@
+#include "inference/shift_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/lightnn.hpp"
+#include "support/rng.hpp"
+
+namespace flightnn::inference {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(QuantizeImageTest, RoundTripError) {
+  support::Rng rng(1);
+  Tensor img = Tensor::randn(Shape{3, 8, 8}, rng);
+  const auto q = quantize_image(img, 8);
+  Tensor back = dequantize(q);
+  const float scale = std::ldexp(1.0F, q.scale_exp);
+  EXPECT_LT(tensor::max_abs_diff(img, back), scale * 0.51F);
+}
+
+TEST(QuantizeImageTest, AcceptsBatchOfOne) {
+  support::Rng rng(2);
+  Tensor img = Tensor::randn(Shape{1, 3, 4, 4}, rng);
+  const auto q = quantize_image(img, 8);
+  EXPECT_EQ(q.shape, (Shape{3, 4, 4}));
+}
+
+TEST(QuantizeImageTest, RejectsBadShapes) {
+  EXPECT_THROW((void)quantize_image(Tensor(Shape{2, 3, 4, 4}), 8),
+               std::invalid_argument);
+  EXPECT_THROW((void)quantize_image(Tensor(Shape{4, 4}), 8), std::invalid_argument);
+  EXPECT_THROW((void)quantize_image(Tensor(Shape{1, 2, 2}), 1), std::invalid_argument);
+}
+
+TEST(QuantizeImageTest, ValuesFitBitWidth) {
+  support::Rng rng(3);
+  Tensor img = Tensor::randn(Shape{1, 6, 6}, rng, 0.0F, 10.0F);
+  const auto q = quantize_image(img, 8);
+  for (const auto v : q.values) {
+    EXPECT_LE(v, 127);
+    EXPECT_GE(v, -127);
+  }
+}
+
+// The central claim: the shift-add integer engine is bit-exact against real
+// arithmetic on the quantized operands.
+TEST(ShiftConvTest, BitExactAgainstReferenceConv) {
+  support::Rng rng(4);
+  const quant::Pow2Config config;
+  Tensor w = Tensor::randn(Shape{4, 3, 3, 3}, rng, 0.0F, 0.3F);
+  Tensor wq = quant::quantize_lightnn(w, 2, config);
+  Tensor img = Tensor::randn(Shape{3, 8, 8}, rng);
+  const auto qimg = quantize_image(img, 8);
+  Tensor deq = dequantize(qimg);
+
+  ShiftConv2d engine(wq, 2, config, 1, 1);
+  Tensor engine_out = engine.run(qimg);
+  Tensor reference = reference_conv(wq, deq, 1, 1);
+  // Both compute the same exact rational values; only fp32 storage rounds.
+  EXPECT_LT(tensor::max_abs_diff(engine_out, reference), 1e-4F);
+}
+
+TEST(ShiftConvTest, BitExactWithStrideAndPadding) {
+  support::Rng rng(5);
+  const quant::Pow2Config config;
+  Tensor w = Tensor::randn(Shape{2, 2, 3, 3}, rng, 0.0F, 0.3F);
+  Tensor wq = quant::quantize_lightnn(w, 1, config);
+  Tensor img = Tensor::randn(Shape{2, 9, 9}, rng);
+  const auto qimg = quantize_image(img, 8);
+
+  for (std::int64_t stride : {1, 2}) {
+    for (std::int64_t padding : {0, 1}) {
+      ShiftConv2d engine(wq, 1, config, stride, padding);
+      Tensor out = engine.run(qimg);
+      Tensor ref = reference_conv(wq, dequantize(qimg), stride, padding);
+      EXPECT_EQ(out.shape(), ref.shape());
+      EXPECT_LT(tensor::max_abs_diff(out, ref), 1e-4F)
+          << "stride=" << stride << " padding=" << padding;
+    }
+  }
+}
+
+TEST(ShiftConvTest, BiasIsApplied) {
+  const quant::Pow2Config config;
+  Tensor wq(Shape{1, 1, 1, 1}, std::vector<float>{0.5F});
+  Tensor bias(Shape{1}, std::vector<float>{2.5F});
+  Tensor img(Shape{1, 2, 2}, 1.0F);
+  const auto qimg = quantize_image(img, 8);
+  ShiftConv2d engine(wq, 1, config, 1, 0, bias);
+  Tensor out = engine.run(qimg);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_NEAR(out[i], 3.0F, 1e-5F);
+  }
+}
+
+TEST(ShiftConvTest, OpCountsScaleWithK) {
+  support::Rng rng(6);
+  const quant::Pow2Config config;
+  Tensor w = Tensor::randn(Shape{4, 2, 3, 3}, rng, 0.0F, 0.3F);
+  Tensor img = Tensor::randn(Shape{2, 8, 8}, rng);
+  const auto qimg = quantize_image(img, 8);
+
+  OpCounts counts1{}, counts2{};
+  Tensor wq1 = quant::quantize_lightnn(w, 1, config);
+  Tensor wq2 = quant::quantize_lightnn(w, 2, config);
+  ShiftConv2d e1(wq1, 1, config, 1, 1);
+  ShiftConv2d e2(wq2, 2, config, 1, 1);
+  (void)e1.run(qimg, &counts1);
+  (void)e2.run(qimg, &counts2);
+  EXPECT_GT(counts2.shifts, counts1.shifts);
+  // k=2 at most doubles the single-shift workload.
+  EXPECT_LE(counts2.shifts, 2 * counts1.shifts);
+  EXPECT_EQ(counts1.shifts, counts1.adds);
+}
+
+TEST(ShiftConvTest, PrunedFiltersCostNothing) {
+  const quant::Pow2Config config;
+  Tensor wq(Shape{2, 1, 2, 2});  // both filters all-zero
+  wq[0] = 0.25F;                 // one nonzero element in filter 0
+  Tensor img(Shape{1, 4, 4}, 1.0F);
+  const auto qimg = quantize_image(img, 8);
+  ShiftConv2d engine(wq, 2, config, 1, 0);
+  OpCounts counts{};
+  Tensor out = engine.run(qimg, &counts);
+  // Filter 1 contributes no ops and produces zeros.
+  EXPECT_EQ(counts.shifts, 9);  // 3x3 output positions x 1 element
+  for (std::int64_t i = 9; i < 18; ++i) EXPECT_FLOAT_EQ(out[i], 0.0F);
+}
+
+TEST(ShiftConvTest, TermCountMatchesDecomposition) {
+  support::Rng rng(7);
+  const quant::Pow2Config config;
+  Tensor w = Tensor::randn(Shape{8, 2, 3, 3}, rng, 0.0F, 0.3F);
+  Tensor wq = quant::quantize_lightnn(w, 2, config);
+  ShiftConv2d engine(wq, 2, config, 1, 1);
+  const auto d = core::decompose_to_lightnn1(wq, 2, config);
+  EXPECT_EQ(engine.term_count(), d.term_count());
+  EXPECT_EQ(engine.filter_k(), d.filter_k);
+}
+
+TEST(ShiftConvTest, InputValidation) {
+  const quant::Pow2Config config;
+  Tensor wq(Shape{1, 2, 3, 3});
+  ShiftConv2d engine(wq, 1, config, 1, 1);
+  QuantizedActivations wrong;
+  wrong.shape = Shape{3, 8, 8};  // 3 channels, engine expects 2
+  wrong.values.assign(192, 0);
+  EXPECT_THROW((void)engine.run(wrong), std::invalid_argument);
+
+  EXPECT_THROW(ShiftConv2d(Tensor(Shape{2, 2}), 1, config, 1, 0),
+               std::invalid_argument);
+  Tensor bad_bias(Shape{3});
+  EXPECT_THROW(ShiftConv2d(wq, 1, config, 1, 0, bad_bias), std::invalid_argument);
+}
+
+TEST(ReferenceConvTest, KnownValue) {
+  Tensor w(Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor img(Shape{1, 2, 2}, std::vector<float>{1, 1, 1, 1});
+  Tensor out = reference_conv(w, img, 1, 0);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 10.0F);
+}
+
+}  // namespace
+}  // namespace flightnn::inference

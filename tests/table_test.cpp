@@ -1,0 +1,72 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flightnn::support {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table table({"Model", "Acc"});
+  table.add_row({"Full", "86.36"});
+  table.add_row({"L-2", "86.17"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("86.36"), std::string::npos);
+  EXPECT_NE(out.find("L-2"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table table({"A", "B", "C"});
+  table.add_row({"x"});
+  EXPECT_NE(table.to_string().find("x"), std::string::npos);
+}
+
+TEST(TableTest, CsvHasHeaderAndCommas) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, SeparatorInsertsRule) {
+  Table table({"x"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.to_string();
+  // Rules: top, below header, separator, bottom = 4 lines starting with '+'.
+  int rules = 0;
+  for (std::size_t pos = 0; pos < out.size(); ++pos) {
+    if (out[pos] == '+' && (pos == 0 || out[pos - 1] == '\n')) ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(FormatTest, FixedDigits) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 1), "-1.0");
+}
+
+TEST(FormatTest, SciMatchesPaperStyle) {
+  EXPECT_EQ(format_sci(2200.0), "2.2e3");
+  EXPECT_EQ(format_sci(320.0), "3.2e2");
+  // Values below 100 print plainly (the paper mixes "7.4e1" and "39.2";
+  // we standardize on plain below 1e2).
+  EXPECT_EQ(format_sci(74.0), "74.0");
+  EXPECT_EQ(format_sci(10.2), "10.2");
+  EXPECT_EQ(format_sci(1.3), "1.3");
+  EXPECT_EQ(format_sci(0.0), "0");
+}
+
+TEST(FormatTest, Speedup) {
+  EXPECT_EQ(format_speedup(7.0), "7.00x");
+  EXPECT_EQ(format_speedup(15.2), "15.2x");
+}
+
+TEST(FormatTest, Megabytes) {
+  EXPECT_EQ(format_mb(0.08 * 1024 * 1024), "0.08");
+  EXPECT_EQ(format_mb(18.5 * 1024 * 1024), "18.5");
+}
+
+}  // namespace
+}  // namespace flightnn::support

@@ -1,0 +1,213 @@
+// End-to-end tests of Algorithm 1: the trainer must actually learn, for
+// every quantizer variant, on a small synthetic task -- and the FLightNN
+// run must move its thresholds and produce a valid per-filter k profile.
+
+#include <gtest/gtest.h>
+
+#include "core/quantize_model.hpp"
+#include "core/trainer.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace flightnn::core {
+namespace {
+
+data::TrainTest tiny_task(float noise = 0.5F) {
+  data::DatasetSpec spec;
+  spec.classes = 4;
+  spec.channels = 1;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_size = 256;
+  spec.test_size = 128;
+  spec.noise = noise;
+  spec.max_shift = 1;
+  spec.seed = 5;
+  return data::make_synthetic(spec);
+}
+
+std::unique_ptr<nn::Sequential> tiny_model(int act_bits, std::uint64_t seed) {
+  support::Rng rng(seed);
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Conv2d>(1, 8, 3, 1, 1, false, rng);
+  model->emplace<nn::BatchNorm2d>(8);
+  model->emplace<nn::LeakyReLU>(0.01F);
+  if (act_bits > 0) model->emplace<nn::ActivationQuant>(act_bits);
+  model->emplace<nn::MaxPool2d>(2);
+  model->emplace<nn::Conv2d>(8, 16, 3, 1, 1, false, rng);
+  model->emplace<nn::BatchNorm2d>(16);
+  model->emplace<nn::LeakyReLU>(0.01F);
+  if (act_bits > 0) model->emplace<nn::ActivationQuant>(act_bits);
+  model->emplace<nn::GlobalAvgPool>();
+  model->emplace<nn::Linear>(16, 4, true, rng);
+  return model;
+}
+
+TrainConfig fast_config(int epochs = 6) {
+  TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 32;
+  config.learning_rate = 3e-3F;
+  config.threshold_learning_rate = 1e-3F;
+  config.seed = 9;
+  return config;
+}
+
+TEST(TrainerTest, FullPrecisionLearns) {
+  auto split = tiny_task();
+  auto model = tiny_model(0, 1);
+  Trainer trainer(*model, fast_config());
+  const auto result = trainer.fit(split.train, split.test);
+  EXPECT_GT(result.test_accuracy, 0.6) << "chance is 0.25";
+  // Loss decreased over training.
+  EXPECT_LT(result.epochs.back().mean_loss, result.epochs.front().mean_loss);
+}
+
+TEST(TrainerTest, LightNN2Learns) {
+  auto split = tiny_task();
+  auto model = tiny_model(8, 2);
+  install_lightnn(*model, 2);
+  Trainer trainer(*model, fast_config());
+  EXPECT_GT(trainer.fit(split.train, split.test).test_accuracy, 0.55);
+}
+
+TEST(TrainerTest, LightNN1Learns) {
+  auto split = tiny_task();
+  auto model = tiny_model(8, 3);
+  install_lightnn(*model, 1);
+  Trainer trainer(*model, fast_config());
+  EXPECT_GT(trainer.fit(split.train, split.test).test_accuracy, 0.5);
+}
+
+TEST(TrainerTest, FixedPointLearns) {
+  auto split = tiny_task();
+  auto model = tiny_model(8, 4);
+  install_fixed_point(*model, 4);
+  Trainer trainer(*model, fast_config());
+  EXPECT_GT(trainer.fit(split.train, split.test).test_accuracy, 0.5);
+}
+
+TEST(TrainerTest, FLightNNLearnsAndReportsRegLoss) {
+  auto split = tiny_task();
+  auto model = tiny_model(8, 5);
+  FLightNNConfig fl;
+  fl.lambdas = {1e-5F, 3e-5F};
+  const auto transforms = install_flightnn(*model, fl);
+  Trainer trainer(*model, fast_config());
+  const auto result = trainer.fit(split.train, split.test);
+  EXPECT_GT(result.test_accuracy, 0.5);
+  EXPECT_GT(result.epochs.front().mean_reg_loss, 0.0F);
+  // Per-filter k values are valid for every layer.
+  for (auto* transform : transforms) {
+    (void)transform;
+  }
+  for (const auto& layer : quantizable_layers(*model)) {
+    auto* fl_transform = dynamic_cast<FLightNNTransform*>(layer.transform);
+    ASSERT_NE(fl_transform, nullptr);
+    for (int k : fl_transform->filter_k(layer.weight->value)) {
+      EXPECT_GE(k, 0);
+      EXPECT_LE(k, 2);
+    }
+  }
+}
+
+TEST(TrainerTest, StrongRegularizationReducesMeanK) {
+  // The paper's lambda knob: larger lambda -> smaller k_i on average.
+  auto split = tiny_task();
+
+  auto run = [&](float scale) {
+    auto model = tiny_model(8, 6);
+    FLightNNConfig fl;
+    fl.lambdas = {1e-5F * scale, 3e-5F * scale};
+    install_flightnn(*model, fl);
+    Trainer trainer(*model, fast_config(8));
+    (void)trainer.fit(split.train, split.test);
+    double mean_k = 0.0;
+    int layers = 0;
+    for (const auto& layer : quantizable_layers(*model)) {
+      auto* transform = dynamic_cast<FLightNNTransform*>(layer.transform);
+      mean_k += transform->mean_k(layer.weight->value);
+      ++layers;
+    }
+    return mean_k / layers;
+  };
+
+  const double weak = run(1.0F);
+  const double strong = run(3000.0F);
+  EXPECT_LE(strong, weak + 1e-9);
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  auto split = tiny_task();
+  auto run = [&] {
+    auto model = tiny_model(8, 7);
+    install_lightnn(*model, 2);
+    Trainer trainer(*model, fast_config(2));
+    return trainer.fit(split.train, split.test).test_accuracy;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(TrainerTest, LrSchedules) {
+  auto split = tiny_task();
+  auto model = tiny_model(0, 9);
+  TrainConfig config = fast_config(4);
+
+  config.schedule = LrSchedule::kConstant;
+  config.learning_rate = 2e-3F;
+  Trainer constant(*model, config);
+  EXPECT_FLOAT_EQ(constant.scheduled_learning_rate(0), 2e-3F);
+  EXPECT_FLOAT_EQ(constant.scheduled_learning_rate(3), 2e-3F);
+
+  config.schedule = LrSchedule::kStepDecay;
+  config.lr_decay = 0.5F;
+  Trainer step(*model, config);
+  EXPECT_FLOAT_EQ(step.scheduled_learning_rate(0), 2e-3F);
+  EXPECT_FLOAT_EQ(step.scheduled_learning_rate(2), 5e-4F);
+
+  config.schedule = LrSchedule::kCosine;
+  config.lr_min = 1e-4F;
+  Trainer cosine(*model, config);
+  EXPECT_FLOAT_EQ(cosine.scheduled_learning_rate(0), 2e-3F);
+  EXPECT_FLOAT_EQ(cosine.scheduled_learning_rate(3), 1e-4F);  // last epoch
+  EXPECT_GT(cosine.scheduled_learning_rate(1), cosine.scheduled_learning_rate(2));
+}
+
+TEST(TrainerTest, GradientClippingStillLearns) {
+  auto split = tiny_task();
+  auto model = tiny_model(0, 10);
+  TrainConfig config = fast_config(4);
+  config.grad_clip_norm = 1.0F;
+  Trainer trainer(*model, config);
+  const auto result = trainer.fit(split.train, split.test);
+  EXPECT_GT(result.test_accuracy, 0.5);
+}
+
+TEST(TrainerTest, EarlyStoppingTriggersOnPlateau) {
+  auto split = tiny_task();
+  auto model = tiny_model(0, 11);
+  TrainConfig config = fast_config(50);
+  config.learning_rate = 0.0F;  // nothing improves: plateau immediately
+  config.early_stop_patience = 2;
+  Trainer trainer(*model, config);
+  const auto result = trainer.fit(split.train, split.test);
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_LT(result.epochs.size(), 10u);
+}
+
+TEST(TrainerTest, EvaluateTopKExpandsAccuracy) {
+  auto split = tiny_task();
+  auto model = tiny_model(0, 8);
+  Trainer trainer(*model, fast_config(2));
+  (void)trainer.train_epoch(split.train);
+  const double top1 = trainer.evaluate(split.test, 1);
+  const double top3 = trainer.evaluate(split.test, 3);
+  EXPECT_GE(top3, top1);
+  EXPECT_LE(top3, 1.0);
+}
+
+}  // namespace
+}  // namespace flightnn::core
