@@ -1,0 +1,37 @@
+# Wires FLIGHTNN_SANITIZE into every target configured after this point.
+# Accepts a ;- or ,-separated list ("address;undefined", "thread", "memory").
+# All sanitizer builds also force FLIGHTNN_DCHECK on (FLIGHTNN_FORCE_DCHECKS)
+# so debug-only contracts are exercised under the same instrumentation, and
+# disable sanitizer recovery so the first report fails the run.
+
+if(FLIGHTNN_SANITIZE)
+  string(REPLACE "," ";" _flightnn_san_list "${FLIGHTNN_SANITIZE}")
+
+  if("memory" IN_LIST _flightnn_san_list AND
+     NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+        "FLIGHTNN_SANITIZE=memory requires clang (current compiler: "
+        "${CMAKE_CXX_COMPILER_ID}). Use -DCMAKE_CXX_COMPILER=clang++.")
+  endif()
+  if("thread" IN_LIST _flightnn_san_list AND
+     ("address" IN_LIST _flightnn_san_list OR
+      "memory" IN_LIST _flightnn_san_list))
+    message(FATAL_ERROR
+        "FLIGHTNN_SANITIZE: thread cannot be combined with address/memory.")
+  endif()
+
+  string(REPLACE ";" "," _flightnn_san "${_flightnn_san_list}")
+  message(STATUS "FLightNN: sanitizers enabled: ${_flightnn_san}")
+
+  add_compile_options(
+    -fsanitize=${_flightnn_san}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all
+    -g
+  )
+  add_link_options(-fsanitize=${_flightnn_san})
+  add_compile_definitions(FLIGHTNN_FORCE_DCHECKS=1)
+
+  unset(_flightnn_san)
+  unset(_flightnn_san_list)
+endif()

@@ -1,0 +1,25 @@
+# clang-tidy integration. When FLIGHTNN_ENABLE_CLANG_TIDY is ON the tidy
+# command is stored in FLIGHTNN_CLANG_TIDY_COMMAND; src/CMakeLists.txt sets
+# CMAKE_CXX_CLANG_TIDY from it so the gate covers the library code but not
+# tests/bench (GTest/benchmark macro expansions drown the signal there).
+# Checks live in the top-level .clang-tidy; warnings are promoted to errors
+# so a tidy finding fails the build.
+
+set(FLIGHTNN_CLANG_TIDY_COMMAND "" CACHE INTERNAL "clang-tidy command line")
+
+if(FLIGHTNN_ENABLE_CLANG_TIDY)
+  find_program(FLIGHTNN_CLANG_TIDY_EXE
+      NAMES clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18
+            clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14)
+  if(NOT FLIGHTNN_CLANG_TIDY_EXE)
+    message(FATAL_ERROR
+        "FLIGHTNN_ENABLE_CLANG_TIDY=ON but clang-tidy was not found in PATH. "
+        "Install clang-tidy or reconfigure with -DFLIGHTNN_ENABLE_CLANG_TIDY=OFF.")
+  endif()
+  set(FLIGHTNN_CLANG_TIDY_COMMAND
+      "${FLIGHTNN_CLANG_TIDY_EXE};--warnings-as-errors=*"
+      CACHE INTERNAL "clang-tidy command line")
+  # Tidy needs a compilation database for header filtering in some setups.
+  set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+  message(STATUS "FLightNN: clang-tidy gate enabled (${FLIGHTNN_CLANG_TIDY_EXE})")
+endif()

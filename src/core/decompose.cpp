@@ -1,7 +1,8 @@
 #include "core/decompose.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "support/check.hpp"
 
 namespace flightnn::core {
 
@@ -18,11 +19,12 @@ tensor::Tensor Decomposition::reconstruct(const tensor::Shape& shape) const {
 
 Decomposition decompose_to_lightnn1(const tensor::Tensor& quantized_weights,
                                     int k_max, const quant::Pow2Config& config) {
-  if (k_max < 1) throw std::invalid_argument("decompose_to_lightnn1: k_max < 1");
+  FLIGHTNN_CHECK(k_max >= 1, "decompose_to_lightnn1: k_max must be >= 1, got ",
+                 k_max);
   const auto& shape = quantized_weights.shape();
-  if (shape.rank() < 1 || shape[0] <= 0) {
-    throw std::invalid_argument("decompose_to_lightnn1: filter-major tensor required");
-  }
+  FLIGHTNN_CHECK(shape.rank() >= 1 && shape[0] > 0,
+                 "decompose_to_lightnn1: filter-major tensor required, got ",
+                 shape.to_string());
   const std::int64_t filters = shape[0];
   const std::int64_t per_filter = quantized_weights.numel() / filters;
 
@@ -64,12 +66,13 @@ Decomposition decompose_to_lightnn1(const tensor::Tensor& quantized_weights,
       ++result.filter_k[static_cast<std::size_t>(i)];
     }
     for (float v : residual) {
-      if (v != 0.0F) {
-        throw std::invalid_argument(
-            "decompose_to_lightnn1: filter " + std::to_string(i) +
-            " is not a sum of <= " + std::to_string(k_max) + " powers of two");
-      }
+      FLIGHTNN_CHECK(v == 0.0F, "decompose_to_lightnn1: filter ", i,
+                     " is not a sum of <= ", k_max, " powers of two");
     }
+    FLIGHTNN_DCHECK(result.filter_k[static_cast<std::size_t>(i)] <= k_max,
+                    "decompose_to_lightnn1: filter ", i, " produced ",
+                    result.filter_k[static_cast<std::size_t>(i)],
+                    " terms, k_max ", k_max);
   }
   return result;
 }

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "support/check.hpp"
 
 namespace flightnn::core {
 
@@ -17,9 +18,9 @@ double sigmoid_prime(double x, double temperature) {
 }
 
 std::int64_t filter_count(const tensor::Tensor& w, bool per_layer) {
-  if (w.shape().rank() < 1 || w.shape()[0] <= 0) {
-    throw std::invalid_argument("FLightNNTransform: weights must be filter-major");
-  }
+  FLIGHTNN_CHECK(w.shape().rank() >= 1 && w.shape()[0] > 0,
+                 "FLightNNTransform: weights must be filter-major, got ",
+                 w.shape().to_string());
   return per_layer ? 1 : w.shape()[0];
 }
 
@@ -30,10 +31,14 @@ FLightNNTransform::FLightNNTransform(FLightNNConfig config)
       thresholds_(static_cast<std::size_t>(config_.k_max), config_.threshold_init),
       threshold_grads_(static_cast<std::size_t>(config_.k_max), 0.0F),
       threshold_adam_(static_cast<std::size_t>(config_.k_max)) {
-  if (config_.k_max < 1) throw std::invalid_argument("FLightNNConfig: k_max < 1");
-  if (config_.temperature <= 0.0F) {
-    throw std::invalid_argument("FLightNNConfig: temperature <= 0");
-  }
+  FLIGHTNN_CHECK(config_.k_max >= 1, "FLightNNConfig: k_max must be >= 1, got ",
+                 config_.k_max);
+  FLIGHTNN_CHECK(config_.temperature > 0.0F,
+                 "FLightNNConfig: temperature must be > 0, got ",
+                 config_.temperature);
+  FLIGHTNN_CHECK(config_.pow2.e_min <= config_.pow2.e_max,
+                 "FLightNNConfig: e_min ", config_.pow2.e_min, " > e_max ",
+                 config_.pow2.e_max);
   if (config_.lambdas.empty()) config_.lambdas = {0.0F};
   // Extend lambdas to k_max levels by repeating the last coefficient.
   while (static_cast<int>(config_.lambdas.size()) < config_.k_max) {
@@ -43,6 +48,12 @@ FLightNNTransform::FLightNNTransform(FLightNNConfig config)
 
 FLightNNTransform::FilterTrace FLightNNTransform::quantize_filter(
     const float* filter, std::int64_t count, float* out) const {
+  // One learned threshold per quantization level (Sec. 4.1): if these fall
+  // out of step, the early-exit comparison below reads garbage.
+  FLIGHTNN_DCHECK(
+      static_cast<int>(thresholds_.size()) == config_.k_max,
+      "FLightNNTransform: ", thresholds_.size(), " thresholds for k_max ",
+      config_.k_max);
   FilterTrace trace;
   std::vector<float> residual(filter, filter + count);
   if (out != nullptr) {
@@ -76,6 +87,15 @@ FLightNNTransform::FilterTrace FLightNNTransform::quantize_filter(
     trace.rounded.push_back(std::move(rounded));
     ++trace.k;
   }
+  // A filter may fire at most k_max levels, and the per-level histories must
+  // stay in lockstep with the fired-level count.
+  FLIGHTNN_DCHECK(trace.k <= config_.k_max, "FLightNNTransform: filter fired ",
+                  trace.k, " levels, k_max ", config_.k_max);
+  FLIGHTNN_DCHECK(trace.residuals.size() == static_cast<std::size_t>(trace.k) &&
+                      trace.norms.size() == static_cast<std::size_t>(trace.k) &&
+                      trace.rounded.size() == static_cast<std::size_t>(trace.k),
+                  "FLightNNTransform: trace vectors out of step with k=",
+                  trace.k);
   return trace;
 }
 
@@ -107,6 +127,7 @@ tensor::Tensor FLightNNTransform::forward(const tensor::Tensor& w) {
 void FLightNNTransform::backward(const tensor::Tensor& w,
                                  const tensor::Tensor& grad_wq,
                                  tensor::Tensor& grad_w) {
+  FLIGHTNN_CHECK_SHAPE(grad_wq.shape(), w.shape(), "FLightNNTransform::backward");
   // Straight-through for the weights themselves.
   grad_w += grad_wq;
 
@@ -240,9 +261,9 @@ double FLightNNTransform::mean_k(const tensor::Tensor& w) const {
 }
 
 void FLightNNTransform::set_thresholds(std::vector<float> thresholds) {
-  if (static_cast<int>(thresholds.size()) != config_.k_max) {
-    throw std::invalid_argument("set_thresholds: expected k_max values");
-  }
+  FLIGHTNN_CHECK(static_cast<int>(thresholds.size()) == config_.k_max,
+                 "set_thresholds: expected ", config_.k_max, " values, got ",
+                 thresholds.size());
   thresholds_ = std::move(thresholds);
 }
 

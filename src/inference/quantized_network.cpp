@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/check.hpp"
+
 #include "core/flightnn_transform.hpp"
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
@@ -101,10 +103,10 @@ class AffineStep final : public Step {
   tensor::Tensor run(const tensor::Tensor& input,
                      NetworkOpCounts* /*counts*/) const override {
     const auto& s = input.shape();
-    if (s.rank() != 3 ||
-        s[0] != static_cast<std::int64_t>(scale_.size())) {
-      throw std::invalid_argument("AffineStep: bad input shape");
-    }
+    FLIGHTNN_CHECK(s.rank() == 3 &&
+                       s[0] == static_cast<std::int64_t>(scale_.size()),
+                   "AffineStep: expected [", scale_.size(),
+                   ", H, W] input, got ", s.to_string());
     tensor::Tensor out(s);
     const std::int64_t hw = s[1] * s[2];
     for (std::size_t c = 0; c < scale_.size(); ++c) {
@@ -147,8 +149,12 @@ class MaxPoolStep final : public Step {
   tensor::Tensor run(const tensor::Tensor& input,
                      NetworkOpCounts* /*counts*/) const override {
     const auto& s = input.shape();
-    if (s.rank() != 3) throw std::invalid_argument("MaxPoolStep: CHW expected");
+    FLIGHTNN_CHECK(s.rank() == 3, "MaxPoolStep: CHW input expected, got ",
+                   s.to_string());
     const std::int64_t channels = s[0], in_h = s[1], in_w = s[2];
+    FLIGHTNN_CHECK(in_h >= window_ && in_w >= window_,
+                   "MaxPoolStep: window ", window_, " larger than input ",
+                   s.to_string());
     const std::int64_t out_h = (in_h - window_) / stride_ + 1;
     const std::int64_t out_w = (in_w - window_) / stride_ + 1;
     tensor::Tensor out(tensor::Shape{channels, out_h, out_w});
@@ -181,7 +187,8 @@ class GapStep final : public Step {
   tensor::Tensor run(const tensor::Tensor& input,
                      NetworkOpCounts* /*counts*/) const override {
     const auto& s = input.shape();
-    if (s.rank() != 3) throw std::invalid_argument("GapStep: CHW expected");
+    FLIGHTNN_CHECK(s.rank() == 3, "GapStep: CHW input expected, got ",
+                   s.to_string());
     const std::int64_t channels = s[0], hw = s[1] * s[2];
     tensor::Tensor out(tensor::Shape{channels});
     for (std::int64_t c = 0; c < channels; ++c) {
@@ -242,9 +249,9 @@ class FloatLinearStep final : public Step {
     tensor::Tensor flat = input.shape().rank() == 1
                               ? input
                               : input.reshaped(tensor::Shape{input.numel()});
-    if (flat.numel() != in_features) {
-      throw std::invalid_argument("FloatLinearStep: bad input size");
-    }
+    FLIGHTNN_CHECK(flat.numel() == in_features,
+                   "FloatLinearStep: input numel ", flat.numel(),
+                   " does not match in features ", in_features);
     if (counts != nullptr) counts->float_macs += out_features * in_features;
     tensor::Tensor out(tensor::Shape{out_features});
     for (std::int64_t o = 0; o < out_features; ++o) {
@@ -433,9 +440,9 @@ void compile_into(nn::Sequential& seq, CompileState& state,
 QuantizedNetwork QuantizedNetwork::compile(nn::Sequential& model,
                                            const tensor::Shape& input_shape,
                                            const CompileOptions& options) {
-  if (input_shape.rank() != 4 || input_shape[0] != 1) {
-    throw std::invalid_argument("QuantizedNetwork: expected [1, C, H, W]");
-  }
+  FLIGHTNN_CHECK(input_shape.rank() == 4 && input_shape[0] == 1,
+                 "QuantizedNetwork: expected [1, C, H, W] input shape, got ",
+                 input_shape.to_string());
   // One eval forward so batch-norm statistics and conv geometry are final.
   tensor::Tensor dummy(input_shape);
   (void)model.forward(dummy, /*training=*/false);
@@ -450,12 +457,13 @@ tensor::Tensor QuantizedNetwork::run(const tensor::Tensor& image,
                                      NetworkOpCounts* counts) const {
   tensor::Tensor current;
   const auto& s = image.shape();
+  FLIGHTNN_CHECK(s.rank() == 3 || (s.rank() == 4 && s[0] == 1),
+                 "QuantizedNetwork::run: expected [C,H,W] or [1,C,H,W], got ",
+                 s.to_string());
   if (s.rank() == 3) {
     current = image;
-  } else if (s.rank() == 4 && s[0] == 1) {
-    current = image.reshaped(tensor::Shape{s[1], s[2], s[3]});
   } else {
-    throw std::invalid_argument("QuantizedNetwork::run: expected [C,H,W]");
+    current = image.reshaped(tensor::Shape{s[1], s[2], s[3]});
   }
   for (const auto& step : steps_) {
     current = step->run(current, counts);

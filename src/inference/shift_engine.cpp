@@ -1,22 +1,66 @@
 #include "inference/shift_engine.hpp"
 
 #include <cmath>
-#include <stdexcept>
+#include <cstdlib>
+
+#include "support/check.hpp"
 
 namespace flightnn::inference {
+
+namespace {
+
+// Accumulators hold values scaled by 2^(scale_exp + e_min); anything nearing
+// the int64 ceiling means a shift went wrong, not a big activation.
+constexpr std::int64_t kAccumulatorGuard = std::int64_t{1} << 62;
+
+// Shared engine-construction invariants: the decomposition's terms must
+// address real filters, carry full-size element vectors, and hold exponents
+// inside the barrel shifter's budget. A violation here means the quantizer
+// and the engine disagree about the datapath.
+void validate_decomposition(const core::Decomposition& decomposition,
+                            std::int64_t filters, std::int64_t elements,
+                            const quant::Pow2Config& config, const char* what) {
+  FLIGHTNN_CHECK(
+      static_cast<std::int64_t>(decomposition.filter_k.size()) == filters, what,
+      ": decomposition covers ", decomposition.filter_k.size(),
+      " filters, weights have ", filters);
+  FLIGHTNN_CHECK(decomposition.elements_per_filter == elements, what,
+                 ": decomposition elements per filter ",
+                 decomposition.elements_per_filter, ", weights have ", elements);
+  for (const auto& term : decomposition.terms) {
+    FLIGHTNN_CHECK(term.filter >= 0 && term.filter < filters, what,
+                   ": term filter index ", term.filter, " outside [0, ",
+                   filters, ")");
+    FLIGHTNN_CHECK(
+        static_cast<std::int64_t>(term.elements.size()) == elements, what,
+        ": term has ", term.elements.size(), " elements, expected ", elements);
+    for (const auto& element : term.elements) {
+      if (element.sign == 0) continue;
+      FLIGHTNN_CHECK(element.exponent >= config.e_min &&
+                         element.exponent <= config.e_max,
+                     what, ": term exponent ",
+                     static_cast<int>(element.exponent), " outside [",
+                     config.e_min, ", ", config.e_max, "]");
+    }
+  }
+}
+
+}  // namespace
 
 QuantizedActivations quantize_image(const tensor::Tensor& image, int bits) {
   const auto& s = image.shape();
   tensor::Shape chw;
   const float* data = image.data();
+  FLIGHTNN_CHECK(s.rank() == 3 || (s.rank() == 4 && s[0] == 1),
+                 "quantize_image: expected [C,H,W] or [1,C,H,W], got ",
+                 s.to_string());
   if (s.rank() == 3) {
     chw = s;
-  } else if (s.rank() == 4 && s[0] == 1) {
-    chw = tensor::Shape{s[1], s[2], s[3]};
   } else {
-    throw std::invalid_argument("quantize_image: expected [C,H,W] or [1,C,H,W]");
+    chw = tensor::Shape{s[1], s[2], s[3]};
   }
-  if (bits < 2 || bits > 16) throw std::invalid_argument("quantize_image: bad bits");
+  FLIGHTNN_CHECK(bits >= 2 && bits <= 16, "quantize_image: bits ", bits,
+                 " outside [2, 16]");
 
   const std::int64_t q_max = (1LL << (bits - 1)) - 1;
   const float abs_max = image.abs_max();
@@ -40,7 +84,8 @@ QuantizedActivations quantize_image(const tensor::Tensor& image, int bits) {
 }
 
 QuantizedActivations quantize_tensor(const tensor::Tensor& x, int bits) {
-  if (bits < 2 || bits > 16) throw std::invalid_argument("quantize_tensor: bad bits");
+  FLIGHTNN_CHECK(bits >= 2 && bits <= 16, "quantize_tensor: bits ", bits,
+                 " outside [2, 16]");
   const std::int64_t q_max = (1LL << (bits - 1)) - 1;
   const float abs_max = x.abs_max();
   int scale_exp = 0;
@@ -63,6 +108,10 @@ QuantizedActivations quantize_tensor(const tensor::Tensor& x, int bits) {
 }
 
 tensor::Tensor dequantize(const QuantizedActivations& activations) {
+  FLIGHTNN_CHECK(static_cast<std::int64_t>(activations.values.size()) ==
+                     activations.shape.numel(),
+                 "dequantize: ", activations.values.size(),
+                 " values do not fill shape ", activations.shape.to_string());
   tensor::Tensor out(activations.shape);
   const float scale = std::ldexp(1.0F, activations.scale_exp);
   for (std::int64_t i = 0; i < out.numel(); ++i) {
@@ -80,21 +129,32 @@ ShiftConv2d::ShiftConv2d(const tensor::Tensor& quantized_weights, int k_max,
       padding_(padding),
       bias_(std::move(bias)) {
   const auto& s = quantized_weights.shape();
-  if (s.rank() != 4) throw std::invalid_argument("ShiftConv2d: OIHW weights required");
+  FLIGHTNN_CHECK(s.rank() == 4, "ShiftConv2d: OIHW weights required, got ",
+                 s.to_string());
   out_channels_ = s[0];
   in_channels_ = s[1];
   kernel_ = s[2];
-  if (s[2] != s[3]) throw std::invalid_argument("ShiftConv2d: square kernels only");
-  if (!bias_.empty() && bias_.numel() != out_channels_) {
-    throw std::invalid_argument("ShiftConv2d: bias size mismatch");
-  }
+  FLIGHTNN_CHECK(s[2] == s[3], "ShiftConv2d: square kernels only, got ",
+                 s.to_string());
+  FLIGHTNN_CHECK(stride_ > 0 && padding_ >= 0, "ShiftConv2d: bad stride ",
+                 stride_, " / padding ", padding_);
+  FLIGHTNN_CHECK(bias_.empty() || bias_.numel() == out_channels_,
+                 "ShiftConv2d: bias size ", bias_.numel(),
+                 " does not match out channels ", out_channels_);
+  validate_decomposition(decomposition_, out_channels_,
+                         in_channels_ * kernel_ * kernel_, config_,
+                         "ShiftConv2d");
 }
 
 tensor::Tensor ShiftConv2d::run(const QuantizedActivations& input,
                                 OpCounts* counts) const {
-  if (input.shape.rank() != 3 || input.shape[0] != in_channels_) {
-    throw std::invalid_argument("ShiftConv2d::run: bad input shape");
-  }
+  FLIGHTNN_CHECK(input.shape.rank() == 3 && input.shape[0] == in_channels_,
+                 "ShiftConv2d::run: expected [", in_channels_,
+                 ", H, W] input, got ", input.shape.to_string());
+  FLIGHTNN_CHECK(static_cast<std::int64_t>(input.values.size()) ==
+                     input.shape.numel(),
+                 "ShiftConv2d::run: ", input.values.size(),
+                 " values do not fill shape ", input.shape.to_string());
   const std::int64_t in_h = input.shape[1], in_w = input.shape[2];
   const tensor::ConvGeometry geom{in_channels_, in_h, in_w, kernel_, stride_,
                                   padding_};
@@ -119,6 +179,9 @@ tensor::Tensor ShiftConv2d::run(const QuantizedActivations& input,
           const quant::Pow2Term w = term.elements[static_cast<std::size_t>(e)];
           if (w.sign == 0) continue;
           const int shift = static_cast<int>(w.exponent) - config_.e_min;
+          FLIGHTNN_DCHECK(shift >= 0 && shift < 62,
+                          "ShiftConv2d::run: shift ", shift,
+                          " outside the barrel shifter's range");
           for (std::int64_t oy = 0; oy < out_h; ++oy) {
             const std::int64_t iy = oy * stride_ + ky - padding_;
             if (iy < 0 || iy >= in_h) continue;
@@ -129,6 +192,10 @@ tensor::Tensor ShiftConv2d::run(const QuantizedActivations& input,
               const std::int64_t contribution =
                   (w.sign > 0 ? q : -q) << shift;
               out_plane[oy * out_w + ox] += contribution;
+              FLIGHTNN_DCHECK(std::llabs(out_plane[oy * out_w + ox]) <
+                                  kAccumulatorGuard,
+                              "ShiftConv2d::run: accumulator overflow at "
+                              "filter ", term.filter);
               ++local.shifts;
               ++local.adds;
             }
@@ -162,19 +229,26 @@ ShiftLinear::ShiftLinear(const tensor::Tensor& quantized_weights, int k_max,
       config_(config),
       bias_(std::move(bias)) {
   const auto& s = quantized_weights.shape();
-  if (s.rank() != 2) throw std::invalid_argument("ShiftLinear: [out, in] weights");
+  FLIGHTNN_CHECK(s.rank() == 2, "ShiftLinear: [out, in] weights required, got ",
+                 s.to_string());
   out_features_ = s[0];
   in_features_ = s[1];
-  if (!bias_.empty() && bias_.numel() != out_features_) {
-    throw std::invalid_argument("ShiftLinear: bias size mismatch");
-  }
+  FLIGHTNN_CHECK(bias_.empty() || bias_.numel() == out_features_,
+                 "ShiftLinear: bias size ", bias_.numel(),
+                 " does not match out features ", out_features_);
+  validate_decomposition(decomposition_, out_features_, in_features_, config_,
+                         "ShiftLinear");
 }
 
 tensor::Tensor ShiftLinear::run(const QuantizedActivations& input,
                                 OpCounts* counts) const {
-  if (input.shape.numel() != in_features_) {
-    throw std::invalid_argument("ShiftLinear::run: bad input size");
-  }
+  FLIGHTNN_CHECK(input.shape.numel() == in_features_,
+                 "ShiftLinear::run: input numel ", input.shape.numel(),
+                 " does not match in features ", in_features_);
+  FLIGHTNN_CHECK(static_cast<std::int64_t>(input.values.size()) ==
+                     input.shape.numel(),
+                 "ShiftLinear::run: ", input.values.size(),
+                 " values do not fill shape ", input.shape.to_string());
   std::vector<std::int64_t> accumulator(static_cast<std::size_t>(out_features_), 0);
   OpCounts local{};
   for (const auto& term : decomposition_.terms) {
@@ -183,8 +257,13 @@ tensor::Tensor ShiftLinear::run(const QuantizedActivations& input,
       const quant::Pow2Term w = term.elements[static_cast<std::size_t>(e)];
       if (w.sign == 0) continue;
       const int shift = static_cast<int>(w.exponent) - config_.e_min;
+      FLIGHTNN_DCHECK(shift >= 0 && shift < 62, "ShiftLinear::run: shift ",
+                      shift, " outside the barrel shifter's range");
       const std::int64_t q = input.values[static_cast<std::size_t>(e)];
       acc += (w.sign > 0 ? q : -q) << shift;
+      FLIGHTNN_DCHECK(std::llabs(acc) < kAccumulatorGuard,
+                      "ShiftLinear::run: accumulator overflow at filter ",
+                      term.filter);
       ++local.shifts;
       ++local.adds;
     }
@@ -208,9 +287,10 @@ tensor::Tensor reference_conv(const tensor::Tensor& weights,
                               std::int64_t padding, const tensor::Tensor& bias) {
   const auto& ws = weights.shape();
   const auto& is = image.shape();
-  if (ws.rank() != 4 || is.rank() != 3 || ws[1] != is[0] || ws[2] != ws[3]) {
-    throw std::invalid_argument("reference_conv: bad shapes");
-  }
+  FLIGHTNN_CHECK(ws.rank() == 4 && is.rank() == 3 && ws[1] == is[0] &&
+                     ws[2] == ws[3],
+                 "reference_conv: bad shapes, weights ", ws.to_string(),
+                 " image ", is.to_string());
   const std::int64_t out_ch = ws[0], in_ch = ws[1], kernel = ws[2];
   const std::int64_t in_h = is[1], in_w = is[2];
   const tensor::ConvGeometry geom{in_ch, in_h, in_w, kernel, stride, padding};

@@ -1,9 +1,9 @@
 #include "nn/activations.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "quant/fixedpoint.hpp"
+#include "support/check.hpp"
 
 namespace flightnn::nn {
 
@@ -18,9 +18,10 @@ tensor::Tensor LeakyReLU::forward(const tensor::Tensor& input, bool training) {
 }
 
 tensor::Tensor LeakyReLU::backward(const tensor::Tensor& grad_output) {
-  if (input_cache_.empty()) {
-    throw std::logic_error("LeakyReLU::backward before forward(training=true)");
-  }
+  FLIGHTNN_CHECK(!input_cache_.empty(),
+                 "LeakyReLU::backward before forward(training=true)");
+  FLIGHTNN_CHECK_SHAPE(grad_output.shape(), input_cache_.shape(),
+                       "LeakyReLU::backward");
   tensor::Tensor grad_input(grad_output.shape());
   for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
     grad_input[i] =
@@ -30,9 +31,8 @@ tensor::Tensor LeakyReLU::backward(const tensor::Tensor& grad_output) {
 }
 
 ActivationQuant::ActivationQuant(int bits) : bits_(bits) {
-  if (bits < 2 || bits > 16) {
-    throw std::invalid_argument("ActivationQuant: bits out of [2, 16]");
-  }
+  FLIGHTNN_CHECK(bits >= 2 && bits <= 16, "ActivationQuant: bits ", bits,
+                 " outside [2, 16]");
 }
 
 tensor::Tensor ActivationQuant::forward(const tensor::Tensor& input,
@@ -44,9 +44,10 @@ tensor::Tensor ActivationQuant::forward(const tensor::Tensor& input,
 }
 
 tensor::Tensor ActivationQuant::backward(const tensor::Tensor& grad_output) {
-  if (input_cache_.empty()) {
-    throw std::logic_error("ActivationQuant::backward before forward(training=true)");
-  }
+  FLIGHTNN_CHECK(!input_cache_.empty(),
+                 "ActivationQuant::backward before forward(training=true)");
+  FLIGHTNN_CHECK_SHAPE(grad_output.shape(), input_cache_.shape(),
+                       "ActivationQuant::backward");
   const quant::FixedPointConfig config{bits_};
   const float limit = last_scale_ * static_cast<float>(config.q_max());
   tensor::Tensor grad_input(grad_output.shape());

@@ -1,7 +1,8 @@
 #include "nn/batchnorm.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "support/check.hpp"
 
 namespace flightnn::nn {
 
@@ -15,15 +16,17 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float epsilon)
             /*apply_decay=*/false),
       running_mean_(tensor::Shape{channels}),
       running_var_(tensor::Shape{channels}, 1.0F) {
-  if (channels <= 0) throw std::invalid_argument("BatchNorm2d: channels <= 0");
+  FLIGHTNN_CHECK(channels > 0, "BatchNorm2d: channels must be > 0, got ",
+                 channels);
+  FLIGHTNN_CHECK(epsilon > 0.0F, "BatchNorm2d: epsilon must be > 0, got ",
+                 epsilon);
 }
 
 tensor::Tensor BatchNorm2d::forward(const tensor::Tensor& input, bool training) {
   const auto& s = input.shape();
-  if (s.rank() != 4 || s[1] != channels_) {
-    throw std::invalid_argument("BatchNorm2d::forward: bad input shape " +
-                                s.to_string());
-  }
+  FLIGHTNN_CHECK(s.rank() == 4 && s[1] == channels_,
+                 "BatchNorm2d::forward: expected [N, ", channels_,
+                 ", H, W] input, got ", s.to_string());
   const std::int64_t batch = s[0], hw = s[2] * s[3];
   const std::int64_t plane = hw;
   const std::int64_t image = channels_ * hw;
@@ -88,9 +91,10 @@ tensor::Tensor BatchNorm2d::forward(const tensor::Tensor& input, bool training) 
 }
 
 tensor::Tensor BatchNorm2d::backward(const tensor::Tensor& grad_output) {
-  if (input_cache_.empty()) {
-    throw std::logic_error("BatchNorm2d::backward before forward(training=true)");
-  }
+  FLIGHTNN_CHECK(!input_cache_.empty(),
+                 "BatchNorm2d::backward before forward(training=true)");
+  FLIGHTNN_CHECK_SHAPE(grad_output.shape(), input_cache_.shape(),
+                       "BatchNorm2d::backward");
   const auto& s = input_cache_.shape();
   const std::int64_t batch = s[0], hw = s[2] * s[3];
   const std::int64_t plane = hw, image = channels_ * hw;

@@ -1,7 +1,8 @@
 #include "nn/conv2d.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "support/check.hpp"
 
 namespace flightnn::nn {
 
@@ -28,10 +29,11 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
               "conv.weight"),
       bias_(tensor::Tensor(tensor::Shape{out_channels}), "conv.bias",
             /*apply_decay=*/false) {
-  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 ||
-      padding < 0) {
-    throw std::invalid_argument("Conv2d: invalid geometry");
-  }
+  FLIGHTNN_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+                     stride > 0 && padding >= 0,
+                 "Conv2d: invalid geometry in=", in_channels,
+                 " out=", out_channels, " kernel=", kernel, " stride=", stride,
+                 " padding=", padding);
 }
 
 tensor::Tensor Conv2d::quantized_weight() {
@@ -40,9 +42,12 @@ tensor::Tensor Conv2d::quantized_weight() {
 
 tensor::Tensor Conv2d::forward(const tensor::Tensor& input, bool training) {
   const auto& s = input.shape();
-  if (s.rank() != 4 || s[1] != in_channels_) {
-    throw std::invalid_argument("Conv2d::forward: bad input shape " + s.to_string());
-  }
+  FLIGHTNN_CHECK(s.rank() == 4 && s[1] == in_channels_,
+                 "Conv2d::forward: expected [N, ", in_channels_,
+                 ", H, W] input, got ", s.to_string());
+  FLIGHTNN_CHECK(s[2] + 2 * padding_ >= kernel_ && s[3] + 2 * padding_ >= kernel_,
+                 "Conv2d::forward: padded input ", s.to_string(),
+                 " smaller than kernel ", kernel_);
   geometry_ = tensor::ConvGeometry{in_channels_, s[2], s[3], kernel_, stride_,
                                    padding_};
   const std::int64_t batch = s[0];
@@ -77,9 +82,13 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& input, bool training) {
 }
 
 tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
-  if (input_cache_.empty()) {
-    throw std::logic_error("Conv2d::backward before forward(training=true)");
-  }
+  FLIGHTNN_CHECK(!input_cache_.empty(),
+                 "Conv2d::backward before forward(training=true)");
+  FLIGHTNN_CHECK_SHAPE(
+      grad_output.shape(),
+      (tensor::Shape{input_cache_.shape()[0], out_channels_, geometry_.out_h(),
+                     geometry_.out_w()}),
+      "Conv2d::backward");
   const auto& in_shape = input_cache_.shape();
   const std::int64_t batch = in_shape[0];
   const std::int64_t out_h = geometry_.out_h();

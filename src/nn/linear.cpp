@@ -1,7 +1,8 @@
 #include "nn/linear.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "support/check.hpp"
 
 namespace flightnn::nn {
 
@@ -16,9 +17,9 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features,
               "linear.weight"),
       bias_(tensor::Tensor(tensor::Shape{out_features}), "linear.bias",
             /*apply_decay=*/false) {
-  if (in_features <= 0 || out_features <= 0) {
-    throw std::invalid_argument("Linear: invalid dimensions");
-  }
+  FLIGHTNN_CHECK(in_features > 0 && out_features > 0,
+                 "Linear: invalid dimensions in=", in_features,
+                 " out=", out_features);
 }
 
 tensor::Tensor Linear::quantized_weight() {
@@ -27,9 +28,9 @@ tensor::Tensor Linear::quantized_weight() {
 
 tensor::Tensor Linear::forward(const tensor::Tensor& input, bool training) {
   const auto& s = input.shape();
-  if (s.rank() != 2 || s[1] != in_features_) {
-    throw std::invalid_argument("Linear::forward: bad input shape " + s.to_string());
-  }
+  FLIGHTNN_CHECK(s.rank() == 2 && s[1] == in_features_,
+                 "Linear::forward: expected [N, ", in_features_,
+                 "] input, got ", s.to_string());
   effective_weight_ = quantized_weight();
   if (training) input_cache_ = input;
 
@@ -46,9 +47,11 @@ tensor::Tensor Linear::forward(const tensor::Tensor& input, bool training) {
 }
 
 tensor::Tensor Linear::backward(const tensor::Tensor& grad_output) {
-  if (input_cache_.empty()) {
-    throw std::logic_error("Linear::backward before forward(training=true)");
-  }
+  FLIGHTNN_CHECK(!input_cache_.empty(),
+                 "Linear::backward before forward(training=true)");
+  FLIGHTNN_CHECK_SHAPE(grad_output.shape(),
+                       (tensor::Shape{input_cache_.shape()[0], out_features_}),
+                       "Linear::backward");
   // dW = dY^T * X; dX = dY * W; db = column sums of dY.
   tensor::Tensor grad_wq = tensor::matmul_tn(grad_output, input_cache_);
   tensor::Tensor grad_input = tensor::matmul(grad_output, effective_weight_);

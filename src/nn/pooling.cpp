@@ -1,22 +1,25 @@
 #include "nn/pooling.hpp"
 
 #include <limits>
-#include <stdexcept>
+
+#include "support/check.hpp"
 
 namespace flightnn::nn {
 
 MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride)
     : window_(window), stride_(stride == 0 ? window : stride) {
-  if (window <= 0) throw std::invalid_argument("MaxPool2d: window <= 0");
+  FLIGHTNN_CHECK(window > 0, "MaxPool2d: window must be > 0, got ", window);
+  FLIGHTNN_CHECK(stride >= 0, "MaxPool2d: stride must be >= 0, got ", stride);
 }
 
 tensor::Tensor MaxPool2d::forward(const tensor::Tensor& input, bool training) {
   const auto& s = input.shape();
-  if (s.rank() != 4) throw std::invalid_argument("MaxPool2d: expects NCHW");
+  FLIGHTNN_CHECK(s.rank() == 4, "MaxPool2d: expects NCHW input, got ",
+                 s.to_string());
   const std::int64_t batch = s[0], channels = s[1], in_h = s[2], in_w = s[3];
-  if (in_h < window_ || in_w < window_) {
-    throw std::invalid_argument("MaxPool2d: window larger than input");
-  }
+  FLIGHTNN_CHECK(in_h >= window_ && in_w >= window_,
+                 "MaxPool2d: window ", window_, " larger than input ",
+                 s.to_string());
   const std::int64_t out_h = (in_h - window_) / stride_ + 1;
   const std::int64_t out_w = (in_w - window_) / stride_ + 1;
   input_shape_ = s;
@@ -53,9 +56,12 @@ tensor::Tensor MaxPool2d::forward(const tensor::Tensor& input, bool training) {
 }
 
 tensor::Tensor MaxPool2d::backward(const tensor::Tensor& grad_output) {
-  if (argmax_.empty()) {
-    throw std::logic_error("MaxPool2d::backward before forward(training=true)");
-  }
+  FLIGHTNN_CHECK(!argmax_.empty(),
+                 "MaxPool2d::backward before forward(training=true)");
+  FLIGHTNN_CHECK(
+      grad_output.numel() == static_cast<std::int64_t>(argmax_.size()),
+      "MaxPool2d::backward: grad numel ", grad_output.numel(),
+      " does not match forward output ", argmax_.size());
   tensor::Tensor grad_input(input_shape_);
   for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
     grad_input[argmax_[static_cast<std::size_t>(i)]] += grad_output[i];
@@ -65,7 +71,8 @@ tensor::Tensor MaxPool2d::backward(const tensor::Tensor& grad_output) {
 
 tensor::Tensor GlobalAvgPool::forward(const tensor::Tensor& input, bool training) {
   const auto& s = input.shape();
-  if (s.rank() != 4) throw std::invalid_argument("GlobalAvgPool: expects NCHW");
+  FLIGHTNN_CHECK(s.rank() == 4, "GlobalAvgPool: expects NCHW input, got ",
+                 s.to_string());
   if (training) input_shape_ = s;
   else input_shape_ = s;  // cheap; needed for shape-only backward too
   const std::int64_t batch = s[0], channels = s[1], hw = s[2] * s[3];
@@ -82,9 +89,11 @@ tensor::Tensor GlobalAvgPool::forward(const tensor::Tensor& input, bool training
 }
 
 tensor::Tensor GlobalAvgPool::backward(const tensor::Tensor& grad_output) {
-  if (input_shape_.rank() != 4) {
-    throw std::logic_error("GlobalAvgPool::backward before forward");
-  }
+  FLIGHTNN_CHECK(input_shape_.rank() == 4,
+                 "GlobalAvgPool::backward before forward");
+  FLIGHTNN_CHECK_SHAPE(grad_output.shape(),
+                       (tensor::Shape{input_shape_[0], input_shape_[1]}),
+                       "GlobalAvgPool::backward");
   const std::int64_t batch = input_shape_[0], channels = input_shape_[1];
   const std::int64_t hw = input_shape_[2] * input_shape_[3];
   tensor::Tensor grad_input(input_shape_);
@@ -100,7 +109,8 @@ tensor::Tensor GlobalAvgPool::backward(const tensor::Tensor& grad_output) {
 
 tensor::Tensor Flatten::forward(const tensor::Tensor& input, bool /*training*/) {
   const auto& s = input.shape();
-  if (s.rank() < 2) throw std::invalid_argument("Flatten: rank < 2");
+  FLIGHTNN_CHECK(s.rank() >= 2, "Flatten: expected rank >= 2, got ",
+                 s.to_string());
   input_shape_ = s;
   std::int64_t features = 1;
   for (std::size_t axis = 1; axis < s.rank(); ++axis) features *= s[axis];
@@ -108,9 +118,7 @@ tensor::Tensor Flatten::forward(const tensor::Tensor& input, bool /*training*/) 
 }
 
 tensor::Tensor Flatten::backward(const tensor::Tensor& grad_output) {
-  if (input_shape_.rank() < 2) {
-    throw std::logic_error("Flatten::backward before forward");
-  }
+  FLIGHTNN_CHECK(input_shape_.rank() >= 2, "Flatten::backward before forward");
   return grad_output.reshaped(input_shape_);
 }
 

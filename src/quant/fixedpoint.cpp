@@ -1,11 +1,14 @@
 #include "quant/fixedpoint.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "support/check.hpp"
 
 namespace flightnn::quant {
 
 float choose_pow2_scale(const tensor::Tensor& x, const FixedPointConfig& config) {
+  FLIGHTNN_DCHECK(config.bits >= 2 && config.bits <= 16,
+                  "choose_pow2_scale: bits ", config.bits, " outside [2, 16]");
   const float abs_max = x.abs_max();
   if (abs_max == 0.0F) return 1.0F;
   // Smallest power-of-two scale with q_max * scale >= abs_max.
@@ -16,7 +19,8 @@ float choose_pow2_scale(const tensor::Tensor& x, const FixedPointConfig& config)
 
 tensor::Tensor quantize_fixed_point(const tensor::Tensor& x, float scale,
                                     const FixedPointConfig& config) {
-  if (scale <= 0.0F) throw std::invalid_argument("quantize_fixed_point: scale <= 0");
+  FLIGHTNN_CHECK(scale > 0.0F, "quantize_fixed_point: scale must be > 0, got ",
+                 scale);
   const float q_max = static_cast<float>(config.q_max());
   tensor::Tensor out(x.shape());
   for (std::int64_t i = 0; i < x.numel(); ++i) {
@@ -35,9 +39,8 @@ tensor::Tensor quantize_fixed_point(const tensor::Tensor& x,
 
 FixedPointTransform::FixedPointTransform(FixedPointConfig config)
     : config_(config) {
-  if (config.bits < 2 || config.bits > 16) {
-    throw std::invalid_argument("FixedPointTransform: bits out of [2, 16]");
-  }
+  FLIGHTNN_CHECK(config.bits >= 2 && config.bits <= 16,
+                 "FixedPointTransform: bits ", config.bits, " outside [2, 16]");
 }
 
 tensor::Tensor FixedPointTransform::forward(const tensor::Tensor& w) {

@@ -1,12 +1,14 @@
 #include "quant/lightnn.hpp"
 
-#include <stdexcept>
+#include "support/check.hpp"
 
 namespace flightnn::quant {
 
 tensor::Tensor quantize_lightnn(const tensor::Tensor& w, int k,
                                 const Pow2Config& config) {
-  if (k < 1) throw std::invalid_argument("quantize_lightnn: k must be >= 1");
+  FLIGHTNN_CHECK(k >= 1, "quantize_lightnn: k must be >= 1, got ", k);
+  FLIGHTNN_CHECK(config.e_min <= config.e_max, "quantize_lightnn: e_min ",
+                 config.e_min, " > e_max ", config.e_max);
   tensor::Tensor out(w.shape());
   for (std::int64_t i = 0; i < w.numel(); ++i) {
     float acc = 0.0F;
@@ -19,12 +21,17 @@ tensor::Tensor quantize_lightnn(const tensor::Tensor& w, int k,
     }
     out[i] = acc;
   }
+  // Every output must decompose back into <= k shifter terms; anything else
+  // is a quantizer bug the inference engine would silently mis-execute.
+  FLIGHTNN_DCHECK(is_sum_of_pow2(out, k, config),
+                  "quantize_lightnn: output not a sum of <= ", k,
+                  " power-of-two terms");
   return out;
 }
 
 LightNNTransform::LightNNTransform(int k, Pow2Config config)
     : k_(k), config_(config) {
-  if (k < 1) throw std::invalid_argument("LightNNTransform: k must be >= 1");
+  FLIGHTNN_CHECK(k >= 1, "LightNNTransform: k must be >= 1, got ", k);
 }
 
 tensor::Tensor LightNNTransform::forward(const tensor::Tensor& w) {

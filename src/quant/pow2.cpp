@@ -2,14 +2,20 @@
 
 #include <cmath>
 
+#include "support/check.hpp"
+
 namespace flightnn::quant {
 
 float Pow2Term::value() const {
+  FLIGHTNN_DCHECK(sign >= -1 && sign <= 1, "Pow2Term: sign ",
+                  static_cast<int>(sign), " not in {-1, 0, 1}");
   if (sign == 0) return 0.0F;
   return static_cast<float>(sign) * std::ldexp(1.0F, exponent);
 }
 
 Pow2Term round_to_pow2(float x, const Pow2Config& config) {
+  FLIGHTNN_DCHECK(config.e_min <= config.e_max, "Pow2Config: e_min ",
+                  config.e_min, " > e_max ", config.e_max);
   Pow2Term term;
   if (x == 0.0F || std::isnan(x)) return term;
   const float mag = std::fabs(x);
@@ -20,12 +26,19 @@ Pow2Term round_to_pow2(float x, const Pow2Config& config) {
   int e = static_cast<int>(std::lround(std::log2(mag)));
   if (e < config.e_min) e = config.e_min;
   if (e > config.e_max) e = config.e_max;
-  term.sign = x > 0.0F ? 1 : -1;
+  term.sign = static_cast<std::int8_t>(x > 0.0F ? 1 : -1);
   term.exponent = static_cast<std::int8_t>(e);
+  // The clamped exponent must sit inside the representable budget; a term
+  // outside it cannot be realized by the shift engine's barrel shifter.
+  FLIGHTNN_DCHECK(term.exponent >= config.e_min && term.exponent <= config.e_max,
+                  "round_to_pow2: exponent ", static_cast<int>(term.exponent),
+                  " outside [", config.e_min, ", ", config.e_max, "]");
   return term;
 }
 
 tensor::Tensor round_to_pow2(const tensor::Tensor& x, const Pow2Config& config) {
+  FLIGHTNN_CHECK(config.e_min <= config.e_max, "round_to_pow2: e_min ",
+                 config.e_min, " > e_max ", config.e_max);
   tensor::Tensor out(x.shape());
   for (std::int64_t i = 0; i < x.numel(); ++i) {
     out[i] = round_to_pow2(x[i], config).value();
@@ -47,6 +60,7 @@ bool is_pow2_representable(const tensor::Tensor& x, const Pow2Config& config) {
 }
 
 bool is_sum_of_pow2(const tensor::Tensor& x, int k, const Pow2Config& config) {
+  FLIGHTNN_CHECK(k >= 1, "is_sum_of_pow2: k must be >= 1, got ", k);
   // Greedy residual peeling: a value is a sum of <= k representable terms iff
   // peeling the nearest power of two k times reaches (close to) zero. The
   // greedy check matches how the quantizers construct values, so it is exact

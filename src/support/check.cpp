@@ -1,0 +1,51 @@
+#include "support/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace flightnn::support {
+
+namespace {
+
+std::atomic<CheckPolicy>& policy_storage() {
+  static std::atomic<CheckPolicy> policy{[] {
+    const char* env = std::getenv("FLIGHTNN_CHECK_ABORT");
+    const bool abort_requested =
+        env != nullptr && env[0] != '\0' && env[0] != '0';
+    return abort_requested ? CheckPolicy::kAbort : CheckPolicy::kThrow;
+  }()};
+  return policy;
+}
+
+}  // namespace
+
+CheckPolicy check_policy() { return policy_storage().load(); }
+
+void set_check_policy(CheckPolicy policy) { policy_storage().store(policy); }
+
+void check_failed(const char* file, int line, const char* condition,
+                  const std::string& message) {
+  std::string full = "FLIGHTNN_CHECK failed";
+  if (condition != nullptr && condition[0] != '\0') {
+    full += ": ";
+    full += condition;
+  }
+  if (!message.empty()) {
+    full += ": ";
+    full += message;
+  }
+  full += " (";
+  full += file;
+  full += ":";
+  full += std::to_string(line);
+  full += ")";
+  if (check_policy() == CheckPolicy::kAbort) {
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  throw CheckFailure(full);
+}
+
+}  // namespace flightnn::support

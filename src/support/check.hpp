@@ -1,0 +1,116 @@
+#pragma once
+
+// Contract-checking macros used at every library boundary. Quantized
+// pipelines fail silently -- a wrong shift exponent or a narrowed index still
+// "trains" -- so preconditions are machine-checked instead of eyeballed:
+//
+//   FLIGHTNN_CHECK(cond, msg...)        always-on precondition; streams msg
+//   FLIGHTNN_CHECK_SHAPE(a, b, what)    shape agreement with both shapes in
+//                                       the failure message
+//   FLIGHTNN_DCHECK(cond, msg...)       debug-only (compiled out when NDEBUG
+//                                       and not FLIGHTNN_FORCE_DCHECKS)
+//   FLIGHTNN_UNREACHABLE(msg...)        marks impossible control flow;
+//                                       always fatal
+//
+// Failure policy is a process-wide switch (set_check_policy):
+//   kThrow (default)  raise support::CheckFailure, which derives from
+//                     std::invalid_argument so existing callers and tests
+//                     that catch the standard type keep working.
+//   kAbort            print the formatted message to stderr and abort();
+//                     the mode used by death tests and by sanitizer runs,
+//                     where an exception would unwind past the bug.
+// The FLIGHTNN_CHECK_ABORT=1 environment variable selects kAbort at first
+// use, so sanitizer CI jobs can flip the policy without code changes.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flightnn::support {
+
+enum class CheckPolicy {
+  kThrow,  // raise CheckFailure (default)
+  kAbort,  // print to stderr and std::abort()
+};
+
+// Thrown by failed checks under CheckPolicy::kThrow. Derives from
+// std::invalid_argument: a failed contract is a malformed-argument bug at
+// some library boundary, and pre-contract call sites threw exactly that.
+class CheckFailure : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+// Process-wide failure policy. The first call (either accessor) also honors
+// the FLIGHTNN_CHECK_ABORT environment variable.
+[[nodiscard]] CheckPolicy check_policy();
+void set_check_policy(CheckPolicy policy);
+
+// Report a failed contract at file:line. Throws or aborts per policy.
+[[noreturn]] void check_failed(const char* file, int line, const char* condition,
+                               const std::string& message);
+
+namespace detail {
+
+// Stream-format a variadic message: concat(1, " vs ", shape.to_string()).
+// An empty pack yields an empty string, so FLIGHTNN_CHECK(cond) is legal.
+template <typename... Args>
+std::string concat(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream stream;
+    (stream << ... << args);
+    return stream.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace flightnn::support
+
+// Always-on contract check. The message arguments are only evaluated on
+// failure, so call sites may format freely without a hot-path cost.
+#define FLIGHTNN_CHECK(condition, ...)                                    \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::flightnn::support::check_failed(                                  \
+          __FILE__, __LINE__, #condition,                                 \
+          ::flightnn::support::detail::concat(__VA_ARGS__));              \
+    }                                                                     \
+  } while (false)
+
+// Shape agreement between two tensor::Shape values (anything with
+// operator!= and to_string()). `what` names the operation for the message.
+#define FLIGHTNN_CHECK_SHAPE(lhs, rhs, what)                              \
+  do {                                                                    \
+    const auto& flightnn_check_lhs = (lhs);                               \
+    const auto& flightnn_check_rhs = (rhs);                               \
+    if (flightnn_check_lhs != flightnn_check_rhs) {                       \
+      ::flightnn::support::check_failed(                                  \
+          __FILE__, __LINE__, #lhs " == " #rhs,                           \
+          ::flightnn::support::detail::concat(                            \
+              what, ": shape mismatch ", flightnn_check_lhs.to_string(),  \
+              " vs ", flightnn_check_rhs.to_string()));                   \
+    }                                                                     \
+  } while (false)
+
+// Debug-only check: active in debug builds (or when FLIGHTNN_FORCE_DCHECKS
+// is defined, which the sanitizer presets set so Release+ASan still checks).
+#if !defined(NDEBUG) || defined(FLIGHTNN_FORCE_DCHECKS)
+#define FLIGHTNN_DCHECKS_ENABLED 1
+#define FLIGHTNN_DCHECK(condition, ...) FLIGHTNN_CHECK(condition, __VA_ARGS__)
+#else
+#define FLIGHTNN_DCHECKS_ENABLED 0
+// Keeps the condition syntactically checked but never evaluated.
+#define FLIGHTNN_DCHECK(condition, ...) \
+  do {                                  \
+    (void)sizeof((condition) ? 1 : 0);  \
+  } while (false)
+#endif
+
+// Impossible control flow (e.g. an exhausted switch over a closed enum).
+// Always fatal regardless of build type.
+#define FLIGHTNN_UNREACHABLE(...)                                 \
+  ::flightnn::support::check_failed(                              \
+      __FILE__, __LINE__, "unreachable",                          \
+      ::flightnn::support::detail::concat(__VA_ARGS__))

@@ -1,12 +1,17 @@
 #include "tensor/ops.hpp"
 
 #include <cstring>
-#include <stdexcept>
+
+#include "support/check.hpp"
 
 namespace flightnn::tensor {
 
 void gemm(const float* a, const float* b, float* c, std::int64_t m,
           std::int64_t k, std::int64_t n, bool accumulate) {
+  FLIGHTNN_DCHECK(m >= 0 && k >= 0 && n >= 0,
+                  "gemm: negative dimensions m=", m, " k=", k, " n=", n);
+  FLIGHTNN_DCHECK(a != nullptr && b != nullptr && c != nullptr,
+                  "gemm: null operand");
   if (!accumulate) {
     std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
   }
@@ -28,10 +33,8 @@ void gemm(const float* a, const float* b, float* c, std::int64_t m,
 
 namespace {
 void require_rank2(const Tensor& t, const char* what) {
-  if (t.shape().rank() != 2) {
-    throw std::invalid_argument(std::string(what) + ": expected rank-2 tensor, got " +
-                                t.shape().to_string());
-  }
+  FLIGHTNN_CHECK(t.shape().rank() == 2, what, ": expected rank-2 tensor, got ",
+                 t.shape().to_string());
 }
 }  // namespace
 
@@ -39,7 +42,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   require_rank2(a, "matmul");
   require_rank2(b, "matmul");
   const std::int64_t m = a.shape()[0], k = a.shape()[1];
-  if (b.shape()[0] != k) throw std::invalid_argument("matmul: inner dim mismatch");
+  FLIGHTNN_CHECK(b.shape()[0] == k, "matmul: inner dim mismatch ",
+                 a.shape().to_string(), " x ", b.shape().to_string());
   const std::int64_t n = b.shape()[1];
   Tensor c(Shape{m, n});
   gemm(a.data(), b.data(), c.data(), m, k, n);
@@ -50,7 +54,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   require_rank2(a, "matmul_tn");
   require_rank2(b, "matmul_tn");
   const std::int64_t k = a.shape()[0], m = a.shape()[1];
-  if (b.shape()[0] != k) throw std::invalid_argument("matmul_tn: inner dim mismatch");
+  FLIGHTNN_CHECK(b.shape()[0] == k, "matmul_tn: inner dim mismatch ",
+                 a.shape().to_string(), " x ", b.shape().to_string());
   const std::int64_t n = b.shape()[1];
   Tensor c(Shape{m, n});
   // c[i, j] = sum_p a[p, i] * b[p, j]
@@ -71,7 +76,8 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   require_rank2(a, "matmul_nt");
   require_rank2(b, "matmul_nt");
   const std::int64_t m = a.shape()[0], k = a.shape()[1];
-  if (b.shape()[1] != k) throw std::invalid_argument("matmul_nt: inner dim mismatch");
+  FLIGHTNN_CHECK(b.shape()[1] == k, "matmul_nt: inner dim mismatch ",
+                 a.shape().to_string(), " x ", b.shape().to_string());
   const std::int64_t n = b.shape()[0];
   Tensor c(Shape{m, n});
   for (std::int64_t i = 0; i < m; ++i) {
@@ -88,6 +94,12 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 }
 
 void im2col(const float* image, const ConvGeometry& geom, float* columns) {
+  FLIGHTNN_DCHECK(geom.stride > 0 && geom.kernel > 0 && geom.padding >= 0,
+                  "im2col: bad geometry kernel=", geom.kernel,
+                  " stride=", geom.stride, " padding=", geom.padding);
+  FLIGHTNN_DCHECK(geom.out_h() > 0 && geom.out_w() > 0,
+                  "im2col: empty output window for input ", geom.in_h, "x",
+                  geom.in_w);
   const std::int64_t out_h = geom.out_h();
   const std::int64_t out_w = geom.out_w();
   const std::int64_t out_hw = out_h * out_w;
@@ -117,6 +129,9 @@ void im2col(const float* image, const ConvGeometry& geom, float* columns) {
 }
 
 void col2im(const float* columns, const ConvGeometry& geom, float* image) {
+  FLIGHTNN_DCHECK(geom.stride > 0 && geom.kernel > 0 && geom.padding >= 0,
+                  "col2im: bad geometry kernel=", geom.kernel,
+                  " stride=", geom.stride, " padding=", geom.padding);
   const std::int64_t out_h = geom.out_h();
   const std::int64_t out_w = geom.out_w();
   const std::int64_t out_hw = out_h * out_w;

@@ -1,19 +1,20 @@
 #include "tensor/shape.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "support/check.hpp"
 
 namespace flightnn::tensor {
 
 Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
   for (auto d : dims_) {
-    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+    FLIGHTNN_CHECK(d >= 0, "Shape: negative dimension ", d);
   }
 }
 
 Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
   for (auto d : dims_) {
-    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+    FLIGHTNN_CHECK(d >= 0, "Shape: negative dimension ", d);
   }
 }
 
@@ -29,12 +30,14 @@ std::int64_t Shape::numel() const {
 }
 
 std::int64_t Shape::offset(const std::vector<std::int64_t>& index) const {
-  if (index.size() != dims_.size()) {
-    throw std::invalid_argument("Shape::offset: index rank mismatch");
-  }
+  FLIGHTNN_CHECK(index.size() == dims_.size(),
+                 "Shape::offset: index rank ", index.size(),
+                 " does not match shape rank ", dims_.size());
   std::int64_t off = 0;
   for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
-    assert(index[axis] >= 0 && index[axis] < dims_[axis]);
+    FLIGHTNN_DCHECK(index[axis] >= 0 && index[axis] < dims_[axis],
+                    "Shape::offset: index ", index[axis],
+                    " out of range for axis ", axis, " of ", to_string());
     off = off * dims_[axis] + index[axis];
   }
   return off;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "support/check.hpp"
 
 namespace flightnn::tensor {
 
@@ -14,9 +15,9 @@ Tensor::Tensor(Shape shape, float fill)
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
-  if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
-    throw std::invalid_argument("Tensor: data size does not match shape");
-  }
+  FLIGHTNN_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                 "Tensor: data size ", data_.size(),
+                 " does not match shape ", shape_.to_string());
 }
 
 Tensor Tensor::randn(Shape shape, support::Rng& rng, float mean, float stddev) {
@@ -32,9 +33,9 @@ Tensor Tensor::rand_uniform(Shape shape, support::Rng& rng, float lo, float hi) 
 }
 
 Tensor Tensor::reshaped(Shape new_shape) const {
-  if (new_shape.numel() != shape_.numel()) {
-    throw std::invalid_argument("Tensor::reshaped: numel mismatch");
-  }
+  FLIGHTNN_CHECK(new_shape.numel() == shape_.numel(),
+                 "Tensor::reshaped: numel mismatch ", shape_.to_string(),
+                 " -> ", new_shape.to_string());
   Tensor t = *this;
   t.shape_ = std::move(new_shape);
   return t;
@@ -44,23 +45,14 @@ void Tensor::fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
-namespace {
-void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
-  if (a.shape() != b.shape()) {
-    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
-                                a.shape().to_string() + " vs " + b.shape().to_string());
-  }
-}
-}  // namespace
-
 Tensor& Tensor::operator+=(const Tensor& other) {
-  check_same_shape(*this, other, "Tensor::operator+=");
+  FLIGHTNN_CHECK_SHAPE(shape(), other.shape(), "Tensor::operator+=");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
-  check_same_shape(*this, other, "Tensor::operator-=");
+  FLIGHTNN_CHECK_SHAPE(shape(), other.shape(), "Tensor::operator-=");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
   return *this;
 }
@@ -71,7 +63,7 @@ Tensor& Tensor::operator*=(float scalar) {
 }
 
 void Tensor::add_scaled(const Tensor& other, float scale) {
-  check_same_shape(*this, other, "Tensor::add_scaled");
+  FLIGHTNN_CHECK_SHAPE(shape(), other.shape(), "Tensor::add_scaled");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
 }
 
@@ -82,12 +74,12 @@ float Tensor::sum() const {
 }
 
 float Tensor::min() const {
-  if (data_.empty()) throw std::logic_error("Tensor::min on empty tensor");
+  FLIGHTNN_CHECK(!data_.empty(), "Tensor::min on empty tensor");
   return *std::min_element(data_.begin(), data_.end());
 }
 
 float Tensor::max() const {
-  if (data_.empty()) throw std::logic_error("Tensor::max on empty tensor");
+  FLIGHTNN_CHECK(!data_.empty(), "Tensor::max on empty tensor");
   return *std::max_element(data_.begin(), data_.end());
 }
 
@@ -119,9 +111,7 @@ Tensor operator*(Tensor lhs, float scalar) {
 }
 
 float max_abs_diff(const Tensor& a, const Tensor& b) {
-  if (a.shape() != b.shape()) {
-    throw std::invalid_argument("max_abs_diff: shape mismatch");
-  }
+  FLIGHTNN_CHECK_SHAPE(a.shape(), b.shape(), "max_abs_diff");
   float m = 0.0F;
   for (std::int64_t i = 0; i < a.numel(); ++i) {
     m = std::max(m, std::fabs(a[i] - b[i]));

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/check.hpp"
 #include "support/rng.hpp"
 #include "tensor/shape.hpp"
 
@@ -35,8 +36,16 @@ class Tensor {
   [[nodiscard]] float* data() { return data_.data(); }
   [[nodiscard]] const float* data() const { return data_.data(); }
 
-  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
-  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+  float& operator[](std::int64_t i) {
+    FLIGHTNN_DCHECK(i >= 0 && i < numel(), "Tensor::operator[]: index ", i,
+                    " out of range for numel ", numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    FLIGHTNN_DCHECK(i >= 0 && i < numel(), "Tensor::operator[]: index ", i,
+                    " out of range for numel ", numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
 
   // Multi-index access (bounds-checked through Shape::offset in debug).
   float& at(const std::vector<std::int64_t>& index) { return data_[static_cast<std::size_t>(shape_.offset(index))]; }

@@ -1,0 +1,160 @@
+// Contract-API tests: the FLIGHTNN_CHECK family must (a) format useful
+// messages, (b) respect the throw-vs-abort policy, and (c) actually fire at
+// the library boundaries it guards -- death tests prove malformed shapes
+// cannot sneak past conv2d/linear/engine entry points.
+
+#include "support/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "inference/shift_engine.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "quant/lightnn.hpp"
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using flightnn::support::CheckFailure;
+using flightnn::support::CheckPolicy;
+using flightnn::tensor::Shape;
+using flightnn::tensor::Tensor;
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  FLIGHTNN_CHECK(1 + 1 == 2, "arithmetic broke");
+  FLIGHTNN_CHECK(true);  // message-free form
+  SUCCEED();
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(FLIGHTNN_CHECK(false, "boom"), CheckFailure);
+}
+
+TEST(CheckTest, CheckFailureIsInvalidArgument) {
+  // Contract violations are malformed-argument bugs; callers that caught the
+  // standard type before the contract API existed must keep working.
+  EXPECT_THROW(FLIGHTNN_CHECK(false, "boom"), std::invalid_argument);
+  EXPECT_THROW(FLIGHTNN_CHECK(false, "boom"), std::logic_error);
+}
+
+TEST(CheckTest, MessageCarriesFormattedArgumentsAndLocation) {
+  try {
+    const int bits = 42;
+    FLIGHTNN_CHECK(bits <= 16, "bits ", bits, " outside [2, 16]");
+    FAIL() << "check did not fire";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bits <= 16"), std::string::npos) << what;
+    EXPECT_NE(what.find("bits 42 outside [2, 16]"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, MessageArgumentsNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "side effect";
+  };
+  FLIGHTNN_CHECK(true, count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckTest, CheckShapeComparesAndFormatsBothShapes) {
+  const Shape a{2, 3};
+  const Shape b{2, 3};
+  FLIGHTNN_CHECK_SHAPE(a, b, "same");  // must not fire
+  const Shape c{4};
+  try {
+    FLIGHTNN_CHECK_SHAPE(a, c, "CheckShapeTest");
+    FAIL() << "shape check did not fire";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CheckShapeTest: shape mismatch [2, 3] vs [4]"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(CheckTest, UnreachableAlwaysFires) {
+  EXPECT_THROW(FLIGHTNN_UNREACHABLE("fell off a closed enum"), CheckFailure);
+}
+
+TEST(CheckTest, DcheckMatchesBuildConfiguration) {
+#if FLIGHTNN_DCHECKS_ENABLED
+  EXPECT_THROW(FLIGHTNN_DCHECK(false, "debug contract"), CheckFailure);
+#else
+  FLIGHTNN_DCHECK(false, "compiled out in release");
+  SUCCEED();
+#endif
+}
+
+TEST(CheckTest, PolicyDefaultsToThrow) {
+  EXPECT_EQ(flightnn::support::check_policy(), CheckPolicy::kThrow);
+}
+
+// --- Death tests: the abort policy and the deployed boundary contracts -----
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, AbortPolicyAborts) {
+  EXPECT_DEATH(
+      {
+        flightnn::support::set_check_policy(CheckPolicy::kAbort);
+        FLIGHTNN_CHECK(false, "abort path");
+      },
+      "FLIGHTNN_CHECK failed.*abort path");
+}
+
+TEST(CheckDeathTest, TensorShapeMismatchDies) {
+  EXPECT_DEATH(
+      {
+        flightnn::support::set_check_policy(CheckPolicy::kAbort);
+        Tensor a(Shape{2, 2});
+        Tensor b(Shape{3});
+        a += b;
+      },
+      "shape mismatch \\[2, 2\\] vs \\[3\\]");
+}
+
+TEST(CheckDeathTest, Conv2dRejectsMismatchedInput) {
+  EXPECT_DEATH(
+      {
+        flightnn::support::set_check_policy(CheckPolicy::kAbort);
+        flightnn::support::Rng rng(7);
+        flightnn::nn::Conv2d conv(3, 4, 3, 1, 1, /*with_bias=*/false, rng);
+        // 5 channels into a 3-channel convolution.
+        (void)conv.forward(Tensor(Shape{1, 5, 8, 8}), /*training=*/false);
+      },
+      "Conv2d::forward: expected \\[N, 3, H, W\\] input");
+}
+
+TEST(CheckDeathTest, LinearRejectsMismatchedInput) {
+  EXPECT_DEATH(
+      {
+        flightnn::support::set_check_policy(CheckPolicy::kAbort);
+        flightnn::support::Rng rng(7);
+        flightnn::nn::Linear linear(8, 4, /*with_bias=*/true, rng);
+        (void)linear.forward(Tensor(Shape{2, 6}), /*training=*/false);
+      },
+      "Linear::forward: expected \\[N, 8\\] input");
+}
+
+TEST(CheckDeathTest, ShiftEngineRejectsWrongChannelCount) {
+  EXPECT_DEATH(
+      {
+        flightnn::support::set_check_policy(CheckPolicy::kAbort);
+        flightnn::support::Rng rng(7);
+        const flightnn::quant::Pow2Config pow2;
+        const Tensor w = flightnn::quant::quantize_lightnn(
+            Tensor::randn(Shape{2, 3, 3, 3}, rng, 0.0F, 0.25F), 2, pow2);
+        const flightnn::inference::ShiftConv2d engine(w, 2, pow2, 1, 1);
+        const auto input = flightnn::inference::quantize_image(
+            Tensor::rand_uniform(Shape{5, 8, 8}, rng, -1.0F, 1.0F), 8);
+        (void)engine.run(input);
+      },
+      "ShiftConv2d::run: expected \\[3, H, W\\] input");
+}
+
+}  // namespace

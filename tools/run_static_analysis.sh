@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Static-analysis and correctness driver.
+#
+# Runs, in order:
+#   1. clang-format check over src/, tests/, bench/, examples/, tools/
+#   2. clang-tidy gate (configure with FLIGHTNN_ENABLE_CLANG_TIDY=ON + build)
+#   3. sanitizer presets (debug-asan, debug-ubsan) build + ctest
+#
+# Each stage is gated on tool availability: a missing clang-format or
+# clang-tidy produces a SKIP, not a failure, so the script is usable both in
+# CI (where the tools are installed) and in minimal local containers (where
+# only gcc may exist). Sanitizer stages only need a working compiler and are
+# never skipped unless --no-sanitizers is given.
+#
+# Usage: tools/run_static_analysis.sh [--no-format] [--no-tidy] [--no-sanitizers]
+# Exit code: 0 if every stage that ran passed, 1 otherwise.
+
+set -u -o pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+RUN_FORMAT=1
+RUN_TIDY=1
+RUN_SANITIZERS=1
+for arg in "$@"; do
+  case "${arg}" in
+    --no-format) RUN_FORMAT=0 ;;
+    --no-tidy) RUN_TIDY=0 ;;
+    --no-sanitizers) RUN_SANITIZERS=0 ;;
+    *)
+      echo "unknown option: ${arg}" >&2
+      echo "usage: $0 [--no-format] [--no-tidy] [--no-sanitizers]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+JOBS="${FLIGHTNN_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+FAILURES=0
+SUMMARY=()
+
+note() { printf '\n==> %s\n' "$*"; }
+record() { SUMMARY+=("$1"); }
+
+find_tool() {
+  # Accept both plain and Debian-style versioned names (clang-tidy-18 ...).
+  local base="$1"
+  if command -v "${base}" > /dev/null 2>&1; then
+    command -v "${base}"
+    return 0
+  fi
+  local candidate
+  for version in 20 19 18 17 16 15 14; do
+    candidate="${base}-${version}"
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      command -v "${candidate}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+# --- 1. clang-format -------------------------------------------------------
+if [[ ${RUN_FORMAT} -eq 1 ]]; then
+  note "clang-format check"
+  if CLANG_FORMAT="$(find_tool clang-format)"; then
+    mapfile -t FILES < <(git ls-files -- 'src/**/*.cpp' 'src/**/*.hpp' \
+      'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp' 'tools/*.cpp')
+    if "${CLANG_FORMAT}" --dry-run -Werror "${FILES[@]}"; then
+      record "format: PASS (${#FILES[@]} files)"
+    else
+      record "format: FAIL (run: ${CLANG_FORMAT} -i <files>)"
+      FAILURES=$((FAILURES + 1))
+    fi
+  else
+    record "format: SKIP (clang-format not installed)"
+  fi
+else
+  record "format: SKIP (--no-format)"
+fi
+
+# --- 2. clang-tidy ---------------------------------------------------------
+if [[ ${RUN_TIDY} -eq 1 ]]; then
+  note "clang-tidy gate"
+  if find_tool clang-tidy > /dev/null; then
+    TIDY_BUILD="build/tidy"
+    if cmake -B "${TIDY_BUILD}" -S . -DCMAKE_BUILD_TYPE=Debug \
+        -DFLIGHTNN_ENABLE_CLANG_TIDY=ON \
+      && cmake --build "${TIDY_BUILD}" -j "${JOBS}"; then
+      record "tidy: PASS"
+    else
+      record "tidy: FAIL"
+      FAILURES=$((FAILURES + 1))
+    fi
+  else
+    record "tidy: SKIP (clang-tidy not installed)"
+  fi
+else
+  record "tidy: SKIP (--no-tidy)"
+fi
+
+# --- 3. sanitizer presets --------------------------------------------------
+if [[ ${RUN_SANITIZERS} -eq 1 ]]; then
+  for preset in debug-asan debug-ubsan; do
+    note "sanitizer preset: ${preset}"
+    if cmake --preset "${preset}" \
+      && cmake --build --preset "${preset}" -j "${JOBS}" \
+      && ctest --preset "${preset}" -j "${JOBS}"; then
+      record "${preset}: PASS"
+    else
+      record "${preset}: FAIL"
+      FAILURES=$((FAILURES + 1))
+    fi
+  done
+else
+  record "sanitizers: SKIP (--no-sanitizers)"
+fi
+
+note "summary"
+for line in "${SUMMARY[@]}"; do
+  echo "  ${line}"
+done
+
+if [[ ${FAILURES} -gt 0 ]]; then
+  echo "FAILED: ${FAILURES} stage(s) failed" >&2
+  exit 1
+fi
+echo "OK: all stages that ran passed"
