@@ -10,7 +10,9 @@
 #include "core/decompose.hpp"
 #include "core/flightnn_transform.hpp"
 #include "inference/shift_engine.hpp"
+#include "nn/conv2d.hpp"
 #include "quant/lightnn.hpp"
+#include "runtime/thread_pool.hpp"
 #include "support/rng.hpp"
 #include "tensor/ops.hpp"
 
@@ -88,6 +90,44 @@ void BM_ShiftEngineConv(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32 * 32 * 16 * 16 * 9);
 }
 BENCHMARK(BM_ShiftEngineConv)->Arg(1)->Arg(2);
+
+// Same shift-add convolution with the output-filter blocks fanned out over
+// the runtime pool. Arg is the thread count; Arg(1) should match
+// BM_ShiftEngineConv/2 (the serial fast path) to within noise.
+void BM_ShiftEngineConvParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  support::Rng rng(6);
+  const quant::Pow2Config config;
+  tensor::Tensor w = random_weights(32, 32, 7);
+  tensor::Tensor wq = quant::quantize_lightnn(w, 2, config);
+  tensor::Tensor img = tensor::Tensor::randn(tensor::Shape{32, 16, 16}, rng);
+  const auto qimg = inference::quantize_image(img, 8);
+  inference::ShiftConv2d engine(wq, 2, config, 1, 1);
+  runtime::set_num_threads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(qimg));
+  }
+  runtime::set_num_threads(1);
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * 16 * 16 * 9);
+}
+BENCHMARK(BM_ShiftEngineConvParallel)->Arg(1)->Arg(2)->Arg(4);
+
+// Batched float Conv2d forward (training-path kernel), parallel across the
+// batch dimension. Arg is the thread count.
+void BM_Conv2dForwardBatchParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  support::Rng rng(12);
+  nn::Conv2d conv(16, 16, 3, 1, 1, /*with_bias=*/true, rng);
+  tensor::Tensor x =
+      tensor::Tensor::randn(tensor::Shape{8, 16, 16, 16}, rng);
+  runtime::set_num_threads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+  runtime::set_num_threads(1);
+  state.SetItemsProcessed(state.iterations() * 8 * 16 * 16 * 16 * 16 * 9);
+}
+BENCHMARK(BM_Conv2dForwardBatchParallel)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_ReferenceFloatConv(benchmark::State& state) {
   support::Rng rng(8);

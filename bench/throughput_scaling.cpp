@@ -1,0 +1,132 @@
+// Throughput scaling of the batched inference runtime: images/second of a
+// Table-1 CIFAR-10 network (id 1, VGG-7/64) compiled to the integer
+// shift-add plan, swept over thread counts. The parallelism is across batch
+// elements (BatchRunner) composed with output-filter blocks inside each
+// kernel, all drawing from one shared pool -- so scaling reflects the whole
+// runtime, not a single kernel.
+//
+//   $ ./bench/throughput_scaling [--batch N] [--repeats R] [--width-scale S]
+//
+// Results are bit-identical across thread counts (asserted per sweep), so
+// the img/s column is the only thing that changes.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/quantize_model.hpp"
+#include "inference/quantized_network.hpp"
+#include "models/networks.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/argparse.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace flightnn;
+
+double run_once(const runtime::BatchRunner& runner,
+                const std::vector<tensor::Tensor>& images, int repeats,
+                std::vector<tensor::Tensor>* logits_out) {
+  // One warm-up pass (pool spin-up, cache warming), then timed repeats.
+  runtime::BatchResult result = runner.run(images);
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    result = runner.run(images);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(stop - start).count() / repeats;
+  if (logits_out != nullptr) *logits_out = std::move(result.logits);
+  return static_cast<double>(images.size()) / seconds;
+}
+
+bool bitwise_equal(const std::vector<tensor::Tensor>& a,
+                   const std::vector<tensor::Tensor>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].shape() != b[i].shape()) return false;
+    if (std::memcmp(a[i].data(), b[i].data(),
+                    static_cast<std::size_t>(a[i].numel()) * sizeof(float)) !=
+        0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser parser("throughput_scaling",
+                            "img/s of a Table-1 CIFAR-10 network vs threads");
+  parser.add_flag("--batch", "images per inference batch", "32");
+  parser.add_flag("--repeats", "timed repetitions per thread count", "3");
+  parser.add_flag("--width-scale", "channel-width multiplier of network 1",
+                  "0.25");
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!parser.parse(args)) {
+    std::fprintf(stderr, "%s\n%s", parser.error().c_str(),
+                 parser.usage().c_str());
+    return 1;
+  }
+  const std::int64_t batch = parser.get_int("--batch");
+  const int repeats = parser.get_int("--repeats");
+
+  models::BuildOptions build;
+  build.classes = 10;
+  build.width_scale = static_cast<float>(parser.get_double("--width-scale"));
+  build.seed = 1;
+  auto model = models::build_network(models::table1_network(1), build);
+  core::install_lightnn(*model, 2);
+
+  runtime::set_num_threads(1);
+  const auto network = inference::QuantizedNetwork::compile(
+      *model, tensor::Shape{1, 3, 32, 32});
+  const runtime::BatchRunner runner(network);
+  std::printf("plan: %s\n", network.describe().c_str());
+
+  support::Rng rng(2);
+  std::vector<tensor::Tensor> images;
+  images.reserve(static_cast<std::size_t>(batch));
+  for (std::int64_t i = 0; i < batch; ++i) {
+    images.push_back(tensor::Tensor::randn(tensor::Shape{3, 32, 32}, rng));
+  }
+
+  const int hw = runtime::num_threads();
+  std::vector<int> sweep{1, 2, 4};
+  if (hw > 4) sweep.push_back(hw);
+
+  support::Table table({"threads", "img/s", "speedup vs 1", "bit-identical"});
+  double baseline = 0.0;
+  std::vector<tensor::Tensor> reference;
+  for (const int threads : sweep) {
+    runtime::set_num_threads(threads);
+    std::vector<tensor::Tensor> logits;
+    const double throughput = run_once(runner, images, repeats, &logits);
+    if (threads == 1) {
+      baseline = throughput;
+      reference = std::move(logits);
+    }
+    const bool identical =
+        threads == 1 || bitwise_equal(reference, logits);
+    table.add_row({std::to_string(threads),
+                   support::format_fixed(throughput, 1),
+                   support::format_fixed(throughput / baseline, 2),
+                   identical ? "yes" : "NO (BUG)"});
+    if (!identical) {
+      std::fprintf(stderr, "FATAL: %d-thread output differs from serial\n",
+                   threads);
+      return 1;
+    }
+  }
+  runtime::set_num_threads(1);
+
+  std::printf("\nbatch=%lld repeats=%d hardware_concurrency-default=%d\n\n%s",
+              static_cast<long long>(batch), repeats, hw,
+              table.to_string().c_str());
+  return 0;
+}

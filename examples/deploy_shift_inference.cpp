@@ -4,9 +4,15 @@
 // verify the integer engine agrees with the float path and report the op
 // census the hardware would execute.
 //
-//   $ ./examples/deploy_shift_inference
+//   $ ./examples/deploy_shift_inference [--threads N]
+//
+// --threads sets the runtime pool size for both training and the shift
+// engine (0 = FLIGHTNN_NUM_THREADS / hardware default). Outputs are
+// bit-identical at every thread count.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/quantize_model.hpp"
 #include "core/trainer.hpp"
@@ -14,9 +20,24 @@
 #include "inference/shift_engine.hpp"
 #include "models/networks.hpp"
 #include "nn/conv2d.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/argparse.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flightnn;
+
+  support::ArgParser parser("deploy_shift_inference",
+                            "decompose a trained layer onto the shift engine");
+  parser.add_flag("--threads", "runtime pool size (0 = env/hardware default)",
+                  "0");
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (!parser.parse(args)) {
+    std::fprintf(stderr, "%s\n%s", parser.error().c_str(),
+                 parser.usage().c_str());
+    return 1;
+  }
+  runtime::set_num_threads(parser.get_int("--threads"));
+  std::printf("runtime threads: %d\n", runtime::num_threads());
 
   // Train a small FLightNN (as in quickstart, fewer epochs).
   auto spec = data::cifar10_like(0.25F);

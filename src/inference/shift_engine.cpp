@@ -1,8 +1,11 @@
 #include "inference/shift_engine.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 
+#include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
 
 namespace flightnn::inference {
@@ -43,6 +46,46 @@ void validate_decomposition(const core::Decomposition& decomposition,
                      config.e_min, ", ", config.e_max, "]");
     }
   }
+}
+
+// Group term indices by output filter (preserving decomposition order, so a
+// filter's terms accumulate in the same order serial execution used) and
+// precompute each filter's worst-case accumulator gain: the sum of 2^shift
+// over its nonzero weight elements, saturated at the guard. With max|q| the
+// largest input magnitude, |accumulator| never exceeds max|q| * gain, which
+// is what lets run() hoist the overflow check out of the inner loop.
+void index_terms_by_filter(const core::Decomposition& decomposition,
+                           const quant::Pow2Config& config,
+                           std::int64_t filters,
+                           std::vector<std::vector<std::size_t>>& filter_terms,
+                           std::vector<std::int64_t>& filter_gain) {
+  filter_terms.assign(static_cast<std::size_t>(filters), {});
+  filter_gain.assign(static_cast<std::size_t>(filters), 0);
+  for (std::size_t t = 0; t < decomposition.terms.size(); ++t) {
+    const auto& term = decomposition.terms[t];
+    const auto f = static_cast<std::size_t>(term.filter);
+    filter_terms[f].push_back(t);
+    for (const auto& element : term.elements) {
+      if (element.sign == 0) continue;
+      const int shift = static_cast<int>(element.exponent) - config.e_min;
+      const std::int64_t gain = std::int64_t{1} << shift;
+      filter_gain[f] = filter_gain[f] > kAccumulatorGuard - gain
+                           ? kAccumulatorGuard
+                           : filter_gain[f] + gain;
+    }
+  }
+}
+
+// Largest input magnitude, for the hoisted overflow bound. Unused when
+// DCHECKs are compiled out (NDEBUG without FLIGHTNN_FORCE_DCHECKS).
+[[maybe_unused]] std::int64_t max_abs_value(
+    const std::vector<std::int32_t>& values) {
+  std::int64_t max_abs = 0;
+  for (const std::int32_t v : values) {
+    const std::int64_t a = v < 0 ? -static_cast<std::int64_t>(v) : v;
+    if (a > max_abs) max_abs = a;
+  }
+  return max_abs;
 }
 
 }  // namespace
@@ -144,6 +187,8 @@ ShiftConv2d::ShiftConv2d(const tensor::Tensor& quantized_weights, int k_max,
   validate_decomposition(decomposition_, out_channels_,
                          in_channels_ * kernel_ * kernel_, config_,
                          "ShiftConv2d");
+  index_terms_by_filter(decomposition_, config_, out_channels_, filter_terms_,
+                        filter_gain_);
 }
 
 tensor::Tensor ShiftConv2d::run(const QuantizedActivations& input,
@@ -160,65 +205,92 @@ tensor::Tensor ShiftConv2d::run(const QuantizedActivations& input,
                                   padding_};
   const std::int64_t out_h = geom.out_h(), out_w = geom.out_w();
 
-  // Integer accumulators at scale 2^(input.scale_exp + e_min): each weight
-  // term sign * 2^e contributes sign * (q << (e - e_min)), a non-negative
-  // left shift since e >= e_min.
-  std::vector<std::int64_t> accumulator(
-      static_cast<std::size_t>(out_channels_ * out_h * out_w), 0);
+  // Hoisted overflow contract: |accumulator| <= max|q| * filter_gain, so
+  // one check per filter replaces the per-element DCHECK the inner loop
+  // used to carry. (The bound sums absolute contributions, so it also
+  // covers every intermediate partial sum.)
+#if FLIGHTNN_DCHECKS_ENABLED
+  {
+    const std::int64_t max_q = max_abs_value(input.values);
+    for (std::int64_t o = 0; o < out_channels_; ++o) {
+      const std::int64_t gain = filter_gain_[static_cast<std::size_t>(o)];
+      FLIGHTNN_DCHECK(gain == 0 ||
+                          (gain < kAccumulatorGuard &&
+                           max_q <= (kAccumulatorGuard - 1) / gain),
+                      "ShiftConv2d::run: accumulator could overflow at "
+                      "filter ", o, " (gain ", gain, ", max |q| ", max_q, ")");
+    }
+  }
+#endif
 
-  OpCounts local{};
-  for (const auto& term : decomposition_.terms) {
-    std::int64_t* out_plane =
-        accumulator.data() + term.filter * out_h * out_w;
-    // Walk the filter elements; each nonzero element is one shifter lane.
-    std::int64_t e = 0;
-    for (std::int64_t c = 0; c < in_channels_; ++c) {
-      const std::int32_t* in_plane = input.values.data() + c * in_h * in_w;
-      for (std::int64_t ky = 0; ky < kernel_; ++ky) {
-        for (std::int64_t kx = 0; kx < kernel_; ++kx, ++e) {
-          const quant::Pow2Term w = term.elements[static_cast<std::size_t>(e)];
-          if (w.sign == 0) continue;
-          const int shift = static_cast<int>(w.exponent) - config_.e_min;
-          FLIGHTNN_DCHECK(shift >= 0 && shift < 62,
-                          "ShiftConv2d::run: shift ", shift,
-                          " outside the barrel shifter's range");
-          for (std::int64_t oy = 0; oy < out_h; ++oy) {
-            const std::int64_t iy = oy * stride_ + ky - padding_;
-            if (iy < 0 || iy >= in_h) continue;
-            for (std::int64_t ox = 0; ox < out_w; ++ox) {
-              const std::int64_t ix = ox * stride_ + kx - padding_;
-              if (ix < 0 || ix >= in_w) continue;
-              const std::int64_t q = in_plane[iy * in_w + ix];
-              const std::int64_t contribution =
-                  (w.sign > 0 ? q : -q) << shift;
-              out_plane[oy * out_w + ox] += contribution;
-              FLIGHTNN_DCHECK(std::llabs(out_plane[oy * out_w + ox]) <
-                                  kAccumulatorGuard,
-                              "ShiftConv2d::run: accumulator overflow at "
-                              "filter ", term.filter);
-              ++local.shifts;
-              ++local.adds;
+  const std::int64_t out_hw = out_h * out_w;
+  const float scale = std::ldexp(1.0F, input.scale_exp + config_.e_min);
+  tensor::Tensor output(tensor::Shape{out_channels_, out_h, out_w});
+  std::atomic<std::int64_t> total_shifts{0};
+  std::atomic<std::int64_t> total_adds{0};
+
+  // Parallel across output-filter blocks: each filter's accumulator plane is
+  // owned by exactly one chunk, and its terms run in decomposition order, so
+  // the integer result (and therefore the dequantized float plane) is
+  // bit-identical to serial execution at any thread count.
+  runtime::parallel_for(0, out_channels_, 1, [&](std::int64_t f_begin,
+                                                 std::int64_t f_end) {
+    std::vector<std::int64_t> accumulator(static_cast<std::size_t>(out_hw));
+    OpCounts local{};
+    for (std::int64_t f = f_begin; f < f_end; ++f) {
+      // Integer accumulators at scale 2^(input.scale_exp + e_min): each
+      // weight term sign * 2^e contributes sign * (q << (e - e_min)), a
+      // non-negative left shift since e >= e_min.
+      std::fill(accumulator.begin(), accumulator.end(), std::int64_t{0});
+      for (const std::size_t t : filter_terms_[static_cast<std::size_t>(f)]) {
+        const auto& term = decomposition_.terms[t];
+        // Walk the filter elements; each nonzero element is one shifter lane.
+        std::int64_t e = 0;
+        for (std::int64_t c = 0; c < in_channels_; ++c) {
+          const std::int32_t* in_plane = input.values.data() + c * in_h * in_w;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx, ++e) {
+              const quant::Pow2Term w =
+                  term.elements[static_cast<std::size_t>(e)];
+              if (w.sign == 0) continue;
+              const int shift = static_cast<int>(w.exponent) - config_.e_min;
+              FLIGHTNN_DCHECK(shift >= 0 && shift < 62,
+                              "ShiftConv2d::run: shift ", shift,
+                              " outside the barrel shifter's range");
+              for (std::int64_t oy = 0; oy < out_h; ++oy) {
+                const std::int64_t iy = oy * stride_ + ky - padding_;
+                if (iy < 0 || iy >= in_h) continue;
+                for (std::int64_t ox = 0; ox < out_w; ++ox) {
+                  const std::int64_t ix = ox * stride_ + kx - padding_;
+                  if (ix < 0 || ix >= in_w) continue;
+                  const std::int64_t q = in_plane[iy * in_w + ix];
+                  accumulator[static_cast<std::size_t>(oy * out_w + ox)] +=
+                      (w.sign > 0 ? q : -q) << shift;
+                  ++local.shifts;
+                  ++local.adds;
+                }
+              }
             }
           }
         }
       }
+      // Dequantize and fold in the float bias.
+      const float b = bias_.empty() ? 0.0F : bias_[f];
+      float* out_plane = output.data() + f * out_hw;
+      for (std::int64_t i = 0; i < out_hw; ++i) {
+        out_plane[i] =
+            static_cast<float>(accumulator[static_cast<std::size_t>(i)]) *
+                scale +
+            b;
+      }
     }
-  }
-  if (counts != nullptr) {
-    counts->shifts += local.shifts;
-    counts->adds += local.adds;
-  }
+    total_shifts.fetch_add(local.shifts, std::memory_order_relaxed);
+    total_adds.fetch_add(local.adds, std::memory_order_relaxed);
+  });
 
-  // Dequantize and fold in the float bias.
-  const float scale = std::ldexp(1.0F, input.scale_exp + config_.e_min);
-  tensor::Tensor output(tensor::Shape{out_channels_, out_h, out_w});
-  for (std::int64_t o = 0; o < out_channels_; ++o) {
-    const float b = bias_.empty() ? 0.0F : bias_[o];
-    const std::int64_t* acc = accumulator.data() + o * out_h * out_w;
-    float* out_plane = output.data() + o * out_h * out_w;
-    for (std::int64_t i = 0; i < out_h * out_w; ++i) {
-      out_plane[i] = static_cast<float>(acc[i]) * scale + b;
-    }
+  if (counts != nullptr) {
+    counts->shifts += total_shifts.load(std::memory_order_relaxed);
+    counts->adds += total_adds.load(std::memory_order_relaxed);
   }
   return output;
 }
@@ -238,6 +310,8 @@ ShiftLinear::ShiftLinear(const tensor::Tensor& quantized_weights, int k_max,
                  " does not match out features ", out_features_);
   validate_decomposition(decomposition_, out_features_, in_features_, config_,
                          "ShiftLinear");
+  index_terms_by_filter(decomposition_, config_, out_features_, filter_terms_,
+                        filter_gain_);
 }
 
 tensor::Tensor ShiftLinear::run(const QuantizedActivations& input,
@@ -249,35 +323,60 @@ tensor::Tensor ShiftLinear::run(const QuantizedActivations& input,
                      input.shape.numel(),
                  "ShiftLinear::run: ", input.values.size(),
                  " values do not fill shape ", input.shape.to_string());
-  std::vector<std::int64_t> accumulator(static_cast<std::size_t>(out_features_), 0);
-  OpCounts local{};
-  for (const auto& term : decomposition_.terms) {
-    std::int64_t acc = 0;
-    for (std::int64_t e = 0; e < in_features_; ++e) {
-      const quant::Pow2Term w = term.elements[static_cast<std::size_t>(e)];
-      if (w.sign == 0) continue;
-      const int shift = static_cast<int>(w.exponent) - config_.e_min;
-      FLIGHTNN_DCHECK(shift >= 0 && shift < 62, "ShiftLinear::run: shift ",
-                      shift, " outside the barrel shifter's range");
-      const std::int64_t q = input.values[static_cast<std::size_t>(e)];
-      acc += (w.sign > 0 ? q : -q) << shift;
-      FLIGHTNN_DCHECK(std::llabs(acc) < kAccumulatorGuard,
-                      "ShiftLinear::run: accumulator overflow at filter ",
-                      term.filter);
-      ++local.shifts;
-      ++local.adds;
+  // Hoisted overflow contract, as in ShiftConv2d::run.
+#if FLIGHTNN_DCHECKS_ENABLED
+  {
+    const std::int64_t max_q = max_abs_value(input.values);
+    for (std::int64_t o = 0; o < out_features_; ++o) {
+      const std::int64_t gain = filter_gain_[static_cast<std::size_t>(o)];
+      FLIGHTNN_DCHECK(gain == 0 ||
+                          (gain < kAccumulatorGuard &&
+                           max_q <= (kAccumulatorGuard - 1) / gain),
+                      "ShiftLinear::run: accumulator could overflow at "
+                      "filter ", o, " (gain ", gain, ", max |q| ", max_q, ")");
     }
-    accumulator[static_cast<std::size_t>(term.filter)] += acc;
   }
-  if (counts != nullptr) {
-    counts->shifts += local.shifts;
-    counts->adds += local.adds;
-  }
+#endif
+
   const float scale = std::ldexp(1.0F, input.scale_exp + config_.e_min);
   tensor::Tensor output(tensor::Shape{out_features_});
-  for (std::int64_t o = 0; o < out_features_; ++o) {
-    const float b = bias_.empty() ? 0.0F : bias_[o];
-    output[o] = static_cast<float>(accumulator[static_cast<std::size_t>(o)]) * scale + b;
+  std::atomic<std::int64_t> total_shifts{0};
+  std::atomic<std::int64_t> total_adds{0};
+
+  // Parallel across output features; each feature's accumulator is private
+  // to one chunk and integer addition has no reduction-order ambiguity, so
+  // the result is bit-identical to serial execution.
+  runtime::parallel_for(0, out_features_, 1, [&](std::int64_t f_begin,
+                                                 std::int64_t f_end) {
+    OpCounts local{};
+    for (std::int64_t f = f_begin; f < f_end; ++f) {
+      std::int64_t filter_acc = 0;
+      for (const std::size_t t : filter_terms_[static_cast<std::size_t>(f)]) {
+        const auto& term = decomposition_.terms[t];
+        std::int64_t acc = 0;
+        for (std::int64_t e = 0; e < in_features_; ++e) {
+          const quant::Pow2Term w = term.elements[static_cast<std::size_t>(e)];
+          if (w.sign == 0) continue;
+          const int shift = static_cast<int>(w.exponent) - config_.e_min;
+          FLIGHTNN_DCHECK(shift >= 0 && shift < 62, "ShiftLinear::run: shift ",
+                          shift, " outside the barrel shifter's range");
+          const std::int64_t q = input.values[static_cast<std::size_t>(e)];
+          acc += (w.sign > 0 ? q : -q) << shift;
+          ++local.shifts;
+          ++local.adds;
+        }
+        filter_acc += acc;
+      }
+      const float b = bias_.empty() ? 0.0F : bias_[f];
+      output[f] = static_cast<float>(filter_acc) * scale + b;
+    }
+    total_shifts.fetch_add(local.shifts, std::memory_order_relaxed);
+    total_adds.fetch_add(local.adds, std::memory_order_relaxed);
+  });
+
+  if (counts != nullptr) {
+    counts->shifts += total_shifts.load(std::memory_order_relaxed);
+    counts->adds += total_adds.load(std::memory_order_relaxed);
   }
   return output;
 }

@@ -74,6 +74,15 @@ class ShiftConv2d {
   quant::Pow2Config config_;
   std::int64_t out_channels_, in_channels_, kernel_, stride_, padding_;
   tensor::Tensor bias_;  // float; folded in after dequantization
+  // Term indices grouped by output filter, preserving decomposition order.
+  // run() parallelizes across filter blocks; each filter's accumulator plane
+  // is written by exactly one thread, so parallel results are bit-identical
+  // to serial execution.
+  std::vector<std::vector<std::size_t>> filter_terms_;
+  // Per-filter sum of 2^shift over nonzero weight elements, saturated at the
+  // accumulator guard: |accumulator| <= max|q| * filter_gain_[f], which lets
+  // run() check for overflow once per filter instead of per element.
+  std::vector<std::int64_t> filter_gain_;
 };
 
 // A fully-connected layer compiled to the single-shift datapath: weights
@@ -97,6 +106,10 @@ class ShiftLinear {
   quant::Pow2Config config_;
   std::int64_t out_features_, in_features_;
   tensor::Tensor bias_;
+  // Same per-filter term grouping / overflow-gain precomputation as
+  // ShiftConv2d (see there); enables filter-block parallelism in run().
+  std::vector<std::vector<std::size_t>> filter_terms_;
+  std::vector<std::int64_t> filter_gain_;
 };
 
 // Reference float convolution of one image (for bit-exactness tests):

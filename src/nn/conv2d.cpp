@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
 
 namespace flightnn::nn {
@@ -60,24 +61,28 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& input, bool training) {
   if (training) input_cache_ = input;
 
   tensor::Tensor output(tensor::Shape{batch, out_channels_, out_h, out_w});
-  std::vector<float> columns(static_cast<std::size_t>(patch * out_hw));
   const std::int64_t in_image = in_channels_ * s[2] * s[3];
   const std::int64_t out_image = out_channels_ * out_hw;
-  for (std::int64_t n = 0; n < batch; ++n) {
-    tensor::im2col(input.data() + n * in_image, geometry_, columns.data());
-    // [out_ch, patch] x [patch, out_hw]
-    tensor::gemm(effective_weight_.data(), columns.data(),
-                 output.data() + n * out_image, out_channels_, patch, out_hw);
-  }
-  if (has_bias_) {
-    for (std::int64_t n = 0; n < batch; ++n) {
-      for (std::int64_t o = 0; o < out_channels_; ++o) {
-        float* plane = output.data() + n * out_image + o * out_hw;
-        const float b = bias_.value[o];
-        for (std::int64_t i = 0; i < out_hw; ++i) plane[i] += b;
+  // Range kernel over batch elements: each image's im2col buffer and output
+  // block are private to the chunk, so parallel execution is bit-identical
+  // to serial (the per-image arithmetic is untouched).
+  runtime::parallel_for(0, batch, 1, [&](std::int64_t n_begin,
+                                         std::int64_t n_end) {
+    std::vector<float> columns(static_cast<std::size_t>(patch * out_hw));
+    for (std::int64_t n = n_begin; n < n_end; ++n) {
+      tensor::im2col(input.data() + n * in_image, geometry_, columns.data());
+      // [out_ch, patch] x [patch, out_hw]
+      tensor::gemm(effective_weight_.data(), columns.data(),
+                   output.data() + n * out_image, out_channels_, patch, out_hw);
+      if (has_bias_) {
+        for (std::int64_t o = 0; o < out_channels_; ++o) {
+          float* plane = output.data() + n * out_image + o * out_hw;
+          const float b = bias_.value[o];
+          for (std::int64_t i = 0; i < out_hw; ++i) plane[i] += b;
+        }
       }
     }
-  }
+  });
   return output;
 }
 

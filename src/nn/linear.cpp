@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
 
 namespace flightnn::nn {
@@ -34,15 +35,30 @@ tensor::Tensor Linear::forward(const tensor::Tensor& input, bool training) {
   effective_weight_ = quantized_weight();
   if (training) input_cache_ = input;
 
-  // y = x * W^T (+ b)
-  tensor::Tensor output = tensor::matmul_nt(input, effective_weight_);
-  if (has_bias_) {
-    const std::int64_t batch = s[0];
-    for (std::int64_t n = 0; n < batch; ++n) {
-      float* row = output.data() + n * out_features_;
-      for (std::int64_t o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
+  // y = x * W^T (+ b). Range kernel over batch rows: every output element is
+  // computed entirely by one thread with the same inner-loop order as
+  // matmul_nt (double accumulation over in_features), so the result is
+  // bit-identical at any thread count.
+  const std::int64_t batch = s[0];
+  tensor::Tensor output(tensor::Shape{batch, out_features_});
+  const float* w = effective_weight_.data();
+  runtime::parallel_for(0, batch, 1, [&](std::int64_t n_begin,
+                                         std::int64_t n_end) {
+    for (std::int64_t n = n_begin; n < n_end; ++n) {
+      const float* x_row = input.data() + n * in_features_;
+      float* out_row = output.data() + n * out_features_;
+      for (std::int64_t o = 0; o < out_features_; ++o) {
+        const float* w_row = w + o * in_features_;
+        double acc = 0.0;
+        for (std::int64_t e = 0; e < in_features_; ++e) {
+          acc += static_cast<double>(x_row[e]) * w_row[e];
+        }
+        float value = static_cast<float>(acc);
+        if (has_bias_) value += bias_.value[o];
+        out_row[o] = value;
+      }
     }
-  }
+  });
   return output;
 }
 

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
 
 namespace flightnn::nn {
@@ -27,10 +28,14 @@ tensor::Tensor MaxPool2d::forward(const tensor::Tensor& input, bool training) {
   if (training) {
     argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
   }
-  std::int64_t out_idx = 0;
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < channels; ++c) {
-      const float* plane = input.data() + (n * channels + c) * in_h * in_w;
+  // Range kernel over (image, channel) planes; every output element (and its
+  // argmax slot) is written by exactly one thread.
+  const std::int64_t out_plane_size = out_h * out_w;
+  runtime::parallel_for(0, batch * channels, 1, [&](std::int64_t p_begin,
+                                                    std::int64_t p_end) {
+    for (std::int64_t p = p_begin; p < p_end; ++p) {
+      const float* plane = input.data() + p * in_h * in_w;
+      std::int64_t out_idx = p * out_plane_size;
       for (std::int64_t oy = 0; oy < out_h; ++oy) {
         for (std::int64_t ox = 0; ox < out_w; ++ox, ++out_idx) {
           float best = -std::numeric_limits<float>::infinity();
@@ -42,7 +47,7 @@ tensor::Tensor MaxPool2d::forward(const tensor::Tensor& input, bool training) {
               const std::int64_t idx = iy * in_w + ix;
               if (plane[idx] > best) {
                 best = plane[idx];
-                best_idx = (n * channels + c) * in_h * in_w + idx;
+                best_idx = p * in_h * in_w + idx;
               }
             }
           }
@@ -51,7 +56,7 @@ tensor::Tensor MaxPool2d::forward(const tensor::Tensor& input, bool training) {
         }
       }
     }
-  }
+  });
   return output;
 }
 
@@ -77,14 +82,17 @@ tensor::Tensor GlobalAvgPool::forward(const tensor::Tensor& input, bool training
   else input_shape_ = s;  // cheap; needed for shape-only backward too
   const std::int64_t batch = s[0], channels = s[1], hw = s[2] * s[3];
   tensor::Tensor output(tensor::Shape{batch, channels});
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < channels; ++c) {
-      const float* plane = input.data() + (n * channels + c) * hw;
+  // One output element per (image, channel) plane, each owned by one thread;
+  // the double accumulation order within a plane never changes.
+  runtime::parallel_for(0, batch * channels, 1, [&](std::int64_t p_begin,
+                                                    std::int64_t p_end) {
+    for (std::int64_t p = p_begin; p < p_end; ++p) {
+      const float* plane = input.data() + p * hw;
       double acc = 0.0;
       for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
-      output[n * channels + c] = static_cast<float>(acc / static_cast<double>(hw));
+      output[p] = static_cast<float>(acc / static_cast<double>(hw));
     }
-  }
+  });
   return output;
 }
 

@@ -1,0 +1,83 @@
+#include "runtime/batch_runner.hpp"
+
+#include <cstring>
+
+#include "nn/loss.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/check.hpp"
+
+namespace flightnn::runtime {
+
+namespace {
+
+void merge_counts(inference::NetworkOpCounts& into,
+                  const inference::NetworkOpCounts& from) {
+  into.shifts += from.shifts;
+  into.adds += from.adds;
+  into.float_macs += from.float_macs;
+  into.images += from.images;
+}
+
+}  // namespace
+
+BatchResult BatchRunner::run(const std::vector<tensor::Tensor>& images) const {
+  const auto n = static_cast<std::int64_t>(images.size());
+  BatchResult result;
+  result.logits.resize(images.size());
+  // Per-image count slots keep the aggregation race-free and deterministic:
+  // the final merge happens on the calling thread in index order.
+  std::vector<inference::NetworkOpCounts> counts(images.size());
+  parallel_for(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      result.logits[idx] = network_->run(images[idx], &counts[idx]);
+    }
+  });
+  for (const auto& c : counts) merge_counts(result.counts, c);
+  return result;
+}
+
+BatchResult BatchRunner::run(const tensor::Tensor& batch) const {
+  const auto& s = batch.shape();
+  FLIGHTNN_CHECK(s.rank() == 4, "BatchRunner::run: NCHW batch expected, got ",
+                 s.to_string());
+  const std::int64_t n = s[0];
+  const std::int64_t image_numel = s[1] * s[2] * s[3];
+  std::vector<tensor::Tensor> images(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    tensor::Tensor image(tensor::Shape{s[1], s[2], s[3]});
+    std::memcpy(image.data(), batch.data() + i * image_numel,
+                static_cast<std::size_t>(image_numel) * sizeof(float));
+    images[static_cast<std::size_t>(i)] = std::move(image);
+  }
+  return run(images);
+}
+
+double BatchRunner::evaluate(const data::Dataset& dataset, int top_k,
+                             inference::NetworkOpCounts* counts) const {
+  const std::int64_t n = dataset.size();
+  if (n == 0) return 0.0;
+  std::vector<inference::NetworkOpCounts> image_counts(
+      static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> hit(static_cast<std::size_t>(n), 0);
+  parallel_for(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      tensor::Tensor logits =
+          network_->run(dataset.image(i), &image_counts[idx]);
+      const tensor::Tensor row =
+          logits.reshaped(tensor::Shape{1, logits.numel()});
+      hit[idx] = nn::top_k_accuracy(row, {dataset.labels[idx]}, top_k) > 0.5
+                     ? 1
+                     : 0;
+    }
+  });
+  std::int64_t hits = 0;
+  for (const std::uint8_t h : hit) hits += h;
+  if (counts != nullptr) {
+    for (const auto& c : image_counts) merge_counts(*counts, c);
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace flightnn::runtime

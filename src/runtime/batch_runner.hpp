@@ -1,0 +1,48 @@
+#pragma once
+
+// Batched inference driver: fans one compiled QuantizedNetwork out across
+// batch elements on the shared thread pool. The network is immutable after
+// compile(), so concurrent run() calls share weights with no synchronization;
+// each image's forward pass is fully independent and the kernels inside each
+// pass may themselves parallelize across output-filter blocks (nested
+// parallel_for draws from the same pool).
+//
+// Determinism: per-image results are bit-identical to serial execution at
+// any thread count, and the aggregate op counts are sums of per-image
+// integers, so they are thread-count-invariant too.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "inference/quantized_network.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flightnn::runtime {
+
+struct BatchResult {
+  std::vector<tensor::Tensor> logits;  // one logits tensor per image, in order
+  inference::NetworkOpCounts counts;
+};
+
+class BatchRunner {
+ public:
+  // The network must outlive the runner; it is shared, never copied.
+  explicit BatchRunner(const inference::QuantizedNetwork& network)
+      : network_(&network) {}
+
+  // Run every image ([C, H, W] or [1, C, H, W]) through the network.
+  [[nodiscard]] BatchResult run(const std::vector<tensor::Tensor>& images) const;
+
+  // Run an NCHW batch tensor.
+  [[nodiscard]] BatchResult run(const tensor::Tensor& batch) const;
+
+  // Top-k classification accuracy over a dataset, images evaluated in
+  // parallel. Matches QuantizedNetwork::evaluate exactly.
+  [[nodiscard]] double evaluate(const data::Dataset& dataset, int top_k = 1,
+                                inference::NetworkOpCounts* counts = nullptr) const;
+
+ private:
+  const inference::QuantizedNetwork* network_;
+};
+
+}  // namespace flightnn::runtime

@@ -1,0 +1,225 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "support/check.hpp"
+#include "support/env.hpp"
+#include "support/logging.hpp"
+
+namespace flightnn::runtime {
+
+namespace {
+
+// Shared state of one parallel_for invocation. Chunks are claimed by atomic
+// increment; completion is a counted-down rendezvous on `all_done`. Helpers
+// hold the state via shared_ptr so a task that was still queued when the
+// loop finished can wake up late, find no chunk, and exit harmlessly --
+// `body` is only dereferenced while the owning parallel_for is blocked, and
+// only for claimed chunks.
+struct ParallelState {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t chunk = 1;
+  std::int64_t chunks = 0;
+  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::exception_ptr error;  // guarded by mutex
+
+  void run_chunks() {
+    for (;;) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          const std::int64_t lo = begin + c * chunk;
+          const std::int64_t hi = std::min(end, lo + chunk);
+          (*body)(lo, hi);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      // Release pairs with the caller's acquire load in wait(): everything
+      // the body wrote is visible once done == chunks is observed.
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 0; w < threads_ - 1; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  support::log_debug() << "ThreadPool: " << threads_ << " thread(s) ("
+                       << workers_.size() << " worker(s) + caller)";
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and the queue is drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  FLIGHTNN_CHECK(task != nullptr, "ThreadPool::submit: null task");
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    FLIGHTNN_CHECK(!stopping_, "ThreadPool::submit: pool is shutting down");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  FLIGHTNN_CHECK(grain > 0, "parallel_for: grain must be >= 1, got ", grain);
+  if (end <= begin) return;
+  const std::int64_t range = end - begin;
+  // A handful of chunks per thread balances load without shrinking chunks
+  // below `grain` (the caller's statement of worthwhile work size).
+  const std::int64_t target_chunks = static_cast<std::int64_t>(threads_) * 4;
+  const std::int64_t chunk =
+      std::max(grain, (range + target_chunks - 1) / target_chunks);
+  const std::int64_t chunks = (range + chunk - 1) / chunk;
+  if (threads_ == 1 || chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelState>();
+  state->begin = begin;
+  state->end = end;
+  state->chunk = chunk;
+  state->chunks = chunks;
+  state->body = &body;
+
+  const std::int64_t helpers = std::min<std::int64_t>(
+      static_cast<std::int64_t>(workers_.size()), chunks - 1);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_) {
+      for (std::int64_t h = 0; h < helpers; ++h) {
+        queue_.emplace_back([state] { state->run_chunks(); });
+      }
+    }
+  }
+  work_available_.notify_all();
+
+  // The caller works too; afterwards it waits only on chunks claimed by
+  // worker threads that are actively executing them.
+  state->run_chunks();
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->all_done.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->chunks;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+// --- Global configuration ----------------------------------------------------
+
+namespace {
+
+constexpr int kMaxThreads = 1024;
+
+std::mutex g_config_mutex;
+int g_threads = 0;  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> g_pool;
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int resolve_default_threads() {
+  if (const auto env = support::env_int("FLIGHTNN_NUM_THREADS")) {
+    if (*env >= 1 && *env <= kMaxThreads) return static_cast<int>(*env);
+    support::log_warn() << "FLIGHTNN_NUM_THREADS=" << *env << " outside [1, "
+                        << kMaxThreads << "]; using hardware concurrency";
+  }
+  return hardware_threads();
+}
+
+}  // namespace
+
+int num_threads() {
+  const std::lock_guard<std::mutex> lock(g_config_mutex);
+  if (g_threads == 0) g_threads = resolve_default_threads();
+  return g_threads;
+}
+
+void set_num_threads(int threads) {
+  FLIGHTNN_CHECK(threads >= 0 && threads <= kMaxThreads,
+                 "set_num_threads: ", threads, " outside [0, ", kMaxThreads,
+                 "]");
+  std::unique_ptr<ThreadPool> retired;
+  {
+    const std::lock_guard<std::mutex> lock(g_config_mutex);
+    g_threads = threads == 0 ? resolve_default_threads() : threads;
+    if (g_pool && g_pool->size() != g_threads) retired = std::move(g_pool);
+  }
+  // Join the old pool's workers outside the lock so a straggler task that
+  // itself consults the global configuration cannot deadlock the teardown.
+  retired.reset();
+}
+
+ThreadPool& global_pool() {
+  const std::lock_guard<std::mutex> lock(g_config_mutex);
+  if (g_threads == 0) g_threads = resolve_default_threads();
+  if (!g_pool || g_pool->size() != g_threads) {
+    g_pool = std::make_unique<ThreadPool>(g_threads);
+  }
+  return *g_pool;
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  FLIGHTNN_CHECK(grain > 0, "parallel_for: grain must be >= 1, got ", grain);
+  if (end <= begin) return;
+  if (num_threads() == 1) {
+    // Serial fast path: no pool, no chunking, one call over the full range.
+    body(begin, end);
+    return;
+  }
+  global_pool().parallel_for(begin, end, grain, body);
+}
+
+}  // namespace flightnn::runtime

@@ -1,0 +1,90 @@
+#pragma once
+
+// Fixed-size thread pool and the `parallel_for` primitive the inference
+// kernels are built on. Deliberately work-stealing-free: one shared FIFO of
+// tasks plus atomic chunk claiming inside each parallel_for, which is simple
+// enough to reason about under ThreadSanitizer and fully sufficient for the
+// regular, statically-partitionable loops in this codebase (batch elements,
+// output-filter blocks, image planes).
+//
+// Design properties the tests rely on:
+//   - The calling thread participates in its own parallel_for, so a pool of
+//     size N uses N-1 workers and nested parallel_for calls issued from
+//     inside a worker cannot deadlock: the nested caller claims chunks
+//     itself and only waits on chunks actively running elsewhere.
+//   - Results are bit-identical to serial execution for kernels that
+//     partition their output: chunk boundaries never change what a single
+//     output element computes, only which thread computes it.
+//   - Exceptions thrown by a body are captured and rethrown on the calling
+//     thread (first one wins; remaining chunks are skipped).
+//   - The destructor drains pending submitted tasks before joining.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flightnn::runtime {
+
+class ThreadPool {
+ public:
+  // `threads` is the total parallelism including the calling thread; values
+  // < 1 are clamped to 1 (a pool with no workers that runs everything
+  // inline -- the serial path).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return threads_; }
+
+  // Fire-and-forget task. Runs inline when the pool has no workers. Pending
+  // tasks are executed (not dropped) during destruction.
+  void submit(std::function<void()> task);
+
+  // Invoke `body(lo, hi)` over disjoint subranges covering [begin, end)
+  // exactly once, with each subrange at least `grain` long (except possibly
+  // the last). Blocks until every subrange has completed. Safe to call
+  // concurrently from multiple threads and from inside another
+  // parallel_for body.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+ private:
+  void worker_loop();
+
+  int threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+// --- Process-wide thread configuration ---------------------------------------
+//
+// The inference kernels all run on one shared pool so that composed
+// parallelism (BatchRunner across images, shift engine across filters) draws
+// from a single budget instead of multiplying thread counts.
+
+// Configured parallelism. Resolved on first use from FLIGHTNN_NUM_THREADS
+// (clamped to [1, 1024]), falling back to std::thread::hardware_concurrency.
+[[nodiscard]] int num_threads();
+
+// Override the thread count; 0 restores the environment/hardware default.
+// Takes effect on the next global_pool()/parallel_for call. Not safe to call
+// concurrently with in-flight parallel work.
+void set_num_threads(int threads);
+
+// The shared pool, (re)built lazily to match num_threads().
+ThreadPool& global_pool();
+
+// parallel_for on the shared pool. At num_threads() == 1 this degrades to a
+// direct `body(begin, end)` call -- the serial path, no pool involved.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+}  // namespace flightnn::runtime

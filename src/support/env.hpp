@@ -1,0 +1,21 @@
+#pragma once
+
+// Typed environment-variable access for runtime configuration knobs
+// (FLIGHTNN_NUM_THREADS, FLIGHTNN_LOG_LEVEL, ...). Malformed values are
+// reported once via the logging layer and treated as unset, so a typo in a
+// deployment script degrades to the built-in default instead of silently
+// picking up a garbage configuration.
+
+#include <optional>
+#include <string>
+
+namespace flightnn::support {
+
+// Raw lookup; nullopt when the variable is unset or empty.
+std::optional<std::string> env_string(const char* name);
+
+// Integer lookup. Returns nullopt when unset; logs a warning and returns
+// nullopt when the value is present but not a (fully consumed) integer.
+std::optional<long long> env_int(const char* name);
+
+}  // namespace flightnn::support

@@ -1,0 +1,155 @@
+// Seeded randomized stress test for the batched inference runtime: several
+// client threads hammer one BatchRunner (shared immutable weights) with
+// concurrent randomized requests while the kernels inside each request
+// parallelize on the shared pool. Run under the `debug-tsan` preset this is
+// the data-race gate for the whole runtime; in any build it also checks that
+// every concurrent result is bit-identical to the serial reference.
+//
+// RNG conventions follow tests/properties_test.cpp: every stochastic site
+// takes an explicit seed, derived per-thread so runs are reproducible.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/quantize_model.hpp"
+#include "inference/quantized_network.hpp"
+#include "models/networks.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace flightnn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr std::uint64_t kBaseSeed = 7000;
+constexpr int kClientThreads = 4;
+constexpr int kRequestsPerClient = 3;
+constexpr std::int64_t kMaxBatch = 5;
+
+std::vector<Tensor> random_batch(std::uint64_t seed, std::int64_t batch) {
+  support::Rng rng(seed);
+  std::vector<Tensor> images;
+  images.reserve(static_cast<std::size_t>(batch));
+  for (std::int64_t i = 0; i < batch; ++i) {
+    images.push_back(Tensor::randn(Shape{3, 12, 12}, rng));
+  }
+  return images;
+}
+
+TEST(RuntimeStressTest, ConcurrentBatchRunnersOverSharedWeights) {
+  models::BuildOptions build;
+  build.classes = 10;
+  build.width_scale = 0.125F;
+  build.seed = kBaseSeed;
+  auto model = models::build_network(models::table1_network(1), build);
+  core::install_lightnn(*model, 2);
+
+  runtime::set_num_threads(1);
+  const auto network =
+      inference::QuantizedNetwork::compile(*model, Shape{1, 3, 12, 12});
+  const runtime::BatchRunner runner(network);
+
+  // Serial references, computed before any concurrency starts. Request r of
+  // client t uses batch size (t + r) % kMaxBatch + 1 -- odd sizes included.
+  std::vector<std::vector<Tensor>> reference(
+      static_cast<std::size_t>(kClientThreads * kRequestsPerClient));
+  for (int t = 0; t < kClientThreads; ++t) {
+    for (int r = 0; r < kRequestsPerClient; ++r) {
+      const std::uint64_t seed =
+          kBaseSeed + static_cast<std::uint64_t>(t * 100 + r);
+      const std::int64_t batch = (t + r) % kMaxBatch + 1;
+      const auto result = runner.run(random_batch(seed, batch));
+      reference[static_cast<std::size_t>(t * kRequestsPerClient + r)] =
+          result.logits;
+    }
+  }
+
+  // Hammer: every client thread issues its requests concurrently while the
+  // pool parallelizes inside each forward pass (nested parallelism).
+  runtime::set_num_threads(4);
+  std::vector<std::vector<std::vector<Tensor>>> results(
+      static_cast<std::size_t>(kClientThreads));
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      auto& mine = results[static_cast<std::size_t>(t)];
+      mine.resize(kRequestsPerClient);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const std::uint64_t seed =
+            kBaseSeed + static_cast<std::uint64_t>(t * 100 + r);
+        const std::int64_t batch = (t + r) % kMaxBatch + 1;
+        mine[static_cast<std::size_t>(r)] =
+            runner.run(random_batch(seed, batch)).logits;
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  runtime::set_num_threads(1);
+
+  for (int t = 0; t < kClientThreads; ++t) {
+    for (int r = 0; r < kRequestsPerClient; ++r) {
+      const auto& expected =
+          reference[static_cast<std::size_t>(t * kRequestsPerClient + r)];
+      const auto& actual =
+          results[static_cast<std::size_t>(t)][static_cast<std::size_t>(r)];
+      ASSERT_EQ(expected.size(), actual.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(expected[i].shape(), actual[i].shape());
+        EXPECT_EQ(std::memcmp(expected[i].data(), actual[i].data(),
+                              static_cast<std::size_t>(expected[i].numel()) *
+                                  sizeof(float)),
+                  0)
+            << "client " << t << " request " << r << " image " << i;
+      }
+    }
+  }
+}
+
+TEST(RuntimeStressTest, ConcurrentEvaluateIsDeterministic) {
+  models::BuildOptions build;
+  build.classes = 4;
+  build.width_scale = 0.125F;
+  build.seed = kBaseSeed + 1;
+  auto model = models::build_network(models::table1_network(4), build);
+  core::install_lightnn(*model, 1);
+
+  data::DatasetSpec spec;
+  spec.classes = 4;
+  spec.height = 12;
+  spec.width = 12;
+  spec.train_size = 4;
+  spec.test_size = 12;
+  spec.seed = kBaseSeed + 2;
+  const auto split = data::make_synthetic(spec);
+
+  runtime::set_num_threads(1);
+  const auto network =
+      inference::QuantizedNetwork::compile(*model, Shape{1, 3, 12, 12});
+  const runtime::BatchRunner runner(network);
+  inference::NetworkOpCounts serial_counts{};
+  const double serial = runner.evaluate(split.test, 1, &serial_counts);
+  EXPECT_EQ(serial_counts.images, split.test.size());
+  // The parallel evaluate must agree with the serial one and with the
+  // QuantizedNetwork's own (always serial) evaluate.
+  EXPECT_DOUBLE_EQ(serial, network.evaluate(split.test, 1));
+
+  runtime::set_num_threads(7);
+  inference::NetworkOpCounts parallel_counts{};
+  const double parallel = runner.evaluate(split.test, 1, &parallel_counts);
+  runtime::set_num_threads(1);
+  EXPECT_DOUBLE_EQ(serial, parallel);
+  EXPECT_EQ(serial_counts.shifts, parallel_counts.shifts);
+  EXPECT_EQ(serial_counts.adds, parallel_counts.adds);
+  EXPECT_EQ(serial_counts.float_macs, parallel_counts.float_macs);
+  EXPECT_EQ(serial_counts.images, parallel_counts.images);
+}
+
+}  // namespace
+}  // namespace flightnn

@@ -1,0 +1,180 @@
+// Property tests for the runtime thread pool: parallel_for covers every
+// index exactly once under adversarial range/grain combinations, nested
+// submission cannot deadlock, worker exceptions propagate to the caller,
+// and destruction drains pending submitted work.
+
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace flightnn::runtime {
+namespace {
+
+struct CoverageParam {
+  int threads;
+  std::int64_t begin;
+  std::int64_t end;
+  std::int64_t grain;
+};
+
+class CoverageProperty : public ::testing::TestWithParam<CoverageParam> {};
+
+TEST_P(CoverageProperty, EveryIndexExactlyOnce) {
+  const auto p = GetParam();
+  ThreadPool pool(p.threads);
+  const std::int64_t range = p.end > p.begin ? p.end - p.begin : 0;
+  // One counter slot per index; chunks are disjoint so no atomics needed for
+  // the increments themselves -- TSan would flag any overlap as a race.
+  std::vector<int> seen(static_cast<std::size_t>(range), 0);
+  std::atomic<int> calls{0};
+  pool.parallel_for(p.begin, p.end, p.grain,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      calls.fetch_add(1);
+                      ASSERT_LE(p.begin, lo);
+                      ASSERT_LE(lo, hi);
+                      ASSERT_LE(hi, p.end);
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        ++seen[static_cast<std::size_t>(i - p.begin)];
+                      }
+                    });
+  for (std::int64_t i = 0; i < range; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], 1) << "index " << i;
+  }
+  if (range == 0) {
+    EXPECT_EQ(calls.load(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdversarialRanges, CoverageProperty,
+    ::testing::Values(
+        // Empty and single-element ranges.
+        CoverageParam{4, 0, 0, 1}, CoverageParam{4, 5, 5, 3},
+        CoverageParam{4, 0, 1, 1}, CoverageParam{1, 0, 1, 1},
+        // Range smaller than thread count / than grain.
+        CoverageParam{7, 0, 3, 1}, CoverageParam{4, 0, 10, 100},
+        // Grain that does not divide the range; non-power-of-two threads.
+        CoverageParam{3, 0, 100, 7}, CoverageParam{7, 0, 1000, 13},
+        // Nonzero begin; serial pool on a large range.
+        CoverageParam{4, 1000, 1777, 5}, CoverageParam{1, 0, 10000, 1},
+        // Many tiny chunks hammering the claim path.
+        CoverageParam{7, 0, 5000, 1}));
+
+TEST(ThreadPoolTest, SizeClampsToAtLeastOne) {
+  EXPECT_EQ(ThreadPool(0).size(), 1);
+  EXPECT_EQ(ThreadPool(-3).size(), 1);
+  EXPECT_EQ(ThreadPool(5).size(), 5);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);  // one worker: nesting must self-serve, not wait
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(0, 8, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 64, 1, [&](std::int64_t ilo, std::int64_t ihi) {
+        total.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 64);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedSubmissionCompletes) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(0, 4, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 4, 1, [&](std::int64_t mlo, std::int64_t mhi) {
+        for (std::int64_t m = mlo; m < mhi; ++m) {
+          pool.parallel_for(0, 16, 1, [&](std::int64_t ilo, std::int64_t ihi) {
+            total.fetch_add(ihi - ilo);
+          });
+        }
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 4 * 4 * 16);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [&](std::int64_t lo, std::int64_t /*hi*/) {
+                          if (lo >= 40) throw std::runtime_error("chunk failed");
+                        }),
+      std::runtime_error);
+  // The pool survives a failed loop and runs subsequent work.
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(0, 100, 1, [&](std::int64_t lo, std::int64_t hi) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionFromSerialPathPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 10, 1,
+                                 [](std::int64_t, std::int64_t) {
+                                   throw std::invalid_argument("serial");
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsPendingWork) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int t = 0; t < 64; ++t) {
+      pool.submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        executed.fetch_add(1);
+      });
+    }
+    // Destructor runs here with most tasks still queued.
+  }
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitRunsInlineWithoutWorkers) {
+  ThreadPool pool(1);
+  int ran = 0;
+  pool.submit([&ran] { ++ran; });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, BadGrainThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10, 0, [](std::int64_t, std::int64_t) {}),
+               std::invalid_argument);
+}
+
+TEST(ThreadPoolConfigTest, SetNumThreadsControlsGlobalPool) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  EXPECT_EQ(global_pool().size(), 3);
+  set_num_threads(7);
+  EXPECT_EQ(global_pool().size(), 7);
+  std::vector<int> seen(1000, 0);
+  parallel_for(0, 1000, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) ++seen[static_cast<std::size_t>(i)];
+  });
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), 1000);
+  set_num_threads(1);  // restore the serial default for other suites
+}
+
+TEST(ThreadPoolConfigTest, ZeroRestoresDefault) {
+  set_num_threads(0);
+  EXPECT_GE(num_threads(), 1);
+  set_num_threads(1);
+}
+
+}  // namespace
+}  // namespace flightnn::runtime
