@@ -1,0 +1,87 @@
+#pragma once
+
+// Minimal JSON emission for benchmark result files (BENCH_*.json). The
+// benches record their measured numbers together with the git revision so a
+// result file is traceable to the code that produced it. No external JSON
+// dependency: the writer only needs objects, arrays, strings and numbers.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace flightnn::bench {
+
+// Short git revision of the working tree, or "unknown" outside a checkout.
+inline std::string git_sha() {
+  FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buffer[64] = {0};
+  std::string sha;
+  if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) sha = buffer;
+  ::pclose(pipe);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+// Incremental writer producing one top-level object. Keys are emitted in
+// call order; values are raw JSON fragments produced by the helpers below.
+class JsonObject {
+ public:
+  void add(const std::string& key, const std::string& raw_json) {
+    fields_.push_back("\"" + key + "\": " + raw_json);
+  }
+  void add_string(const std::string& key, const std::string& value) {
+    add(key, "\"" + value + "\"");
+  }
+  void add_number(const std::string& key, double value) {
+    std::ostringstream out;
+    out << value;
+    add(key, out.str());
+  }
+  void add_int(const std::string& key, long long value) {
+    add(key, std::to_string(value));
+  }
+  void add_bool(const std::string& key, bool value) {
+    add(key, value ? "true" : "false");
+  }
+
+  [[nodiscard]] std::string to_string(int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += pad + fields_[i];
+      if (i + 1 < fields_.size()) out += ",";
+      out += "\n";
+    }
+    out += std::string(static_cast<std::size_t>(indent), ' ') + "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+inline std::string json_array(const std::vector<std::string>& raw_items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < raw_items.size(); ++i) {
+    out += raw_items[i];
+    if (i + 1 < raw_items.size()) out += ", ";
+  }
+  return out + "]";
+}
+
+inline bool write_json_file(const std::string& path,
+                            const JsonObject& object) {
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string text = object.to_string() + "\n";
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace flightnn::bench

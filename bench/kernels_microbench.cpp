@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
 #include "core/decompose.hpp"
 #include "core/flightnn_transform.hpp"
 #include "inference/shift_engine.hpp"
@@ -91,6 +95,64 @@ void BM_ShiftEngineConv(benchmark::State& state) {
 }
 BENCHMARK(BM_ShiftEngineConv)->Arg(1)->Arg(2);
 
+// The pre-plan reference term-walk on the same layer: the seed engine the
+// compiled plan is measured against. BM_ShiftEngineConv/2 vs
+// BM_ShiftEngineConvReference/2 is the per-layer plan speedup.
+void BM_ShiftEngineConvReference(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  support::Rng rng(6);
+  const quant::Pow2Config config;
+  tensor::Tensor w = random_weights(32, 32, 7);
+  tensor::Tensor wq = quant::quantize_lightnn(w, k, config);
+  tensor::Tensor img = tensor::Tensor::randn(tensor::Shape{32, 16, 16}, rng);
+  const auto qimg = inference::quantize_image(img, 8);
+  inference::ShiftConv2d engine(wq, k, config, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_reference(qimg));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * 16 * 16 * 9);
+}
+BENCHMARK(BM_ShiftEngineConvReference)->Arg(1)->Arg(2);
+
+// Sparsity elision payoff: the same layer with a fraction of its filters
+// pruned to zero. Arg is the pruned percentage; plan work is proportional
+// to surviving entries, so 50 should run ~2x faster than 0.
+void BM_ShiftEngineConvSparse(benchmark::State& state) {
+  const auto pruned_percent = static_cast<std::int64_t>(state.range(0));
+  support::Rng rng(6);
+  const quant::Pow2Config config;
+  tensor::Tensor w = random_weights(32, 32, 7);
+  tensor::Tensor wq = quant::quantize_lightnn(w, 2, config);
+  const std::int64_t pruned_filters = 32 * pruned_percent / 100;
+  const std::int64_t filter_numel = 32 * 3 * 3;
+  for (std::int64_t f = 0; f < pruned_filters; ++f) {
+    float* row = wq.data() + f * filter_numel;
+    for (std::int64_t i = 0; i < filter_numel; ++i) row[i] = 0.0F;
+  }
+  tensor::Tensor img = tensor::Tensor::randn(tensor::Shape{32, 16, 16}, rng);
+  const auto qimg = inference::quantize_image(img, 8);
+  inference::ShiftConv2d engine(wq, 2, config, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(qimg));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * 16 * 16 * 9);
+}
+BENCHMARK(BM_ShiftEngineConvSparse)->Arg(0)->Arg(50)->Arg(90);
+
+// One-time plan-compilation cost (decompose + SoA lowering), amortized over
+// an engine's lifetime.
+void BM_PlanCompile(benchmark::State& state) {
+  const quant::Pow2Config config;
+  tensor::Tensor w = random_weights(64, 64, 13);
+  tensor::Tensor wq = quant::quantize_lightnn(w, 2, config);
+  for (auto _ : state) {
+    inference::ShiftConv2d engine(wq, 2, config, 1, 1);
+    benchmark::DoNotOptimize(engine.plan().entries());
+  }
+  state.SetItemsProcessed(state.iterations() * w.numel());
+}
+BENCHMARK(BM_PlanCompile);
+
 // Same shift-add convolution with the output-filter blocks fanned out over
 // the runtime pool. Arg is the thread count; Arg(1) should match
 // BM_ShiftEngineConv/2 (the serial fast path) to within noise.
@@ -160,4 +222,21 @@ BENCHMARK(BM_Im2ColGemmConv);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so CI can pass a bare `--smoke` switch: it becomes a short
+// minimum measuring time, keeping the full suite under a few seconds.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char min_time[] = "--benchmark_min_time=0.01";
+  const auto smoke = std::find_if(args.begin(), args.end(), [](char* arg) {
+    return std::strcmp(arg, "--smoke") == 0;
+  });
+  if (smoke != args.end()) *smoke = min_time;
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,23 +1,32 @@
-// Throughput scaling of the batched inference runtime: images/second of a
-// Table-1 CIFAR-10 network (id 1, VGG-7/64) compiled to the integer
-// shift-add plan, swept over thread counts. The parallelism is across batch
-// elements (BatchRunner) composed with output-filter blocks inside each
-// kernel, all drawing from one shared pool -- so scaling reflects the whole
-// runtime, not a single kernel.
+// Throughput of the compiled shift-plan runtime: images/second of a Table-1
+// CIFAR-10 network (id 1, VGG-7/64) swept over thread counts, the
+// whole-network speedup of the compiled plan over the pre-plan reference
+// engine, per-term kernel cost, and the sparsity payoff of a 50%-pruned
+// layer vs its dense twin. The parallelism is across batch elements
+// (BatchRunner) composed with output-filter blocks inside each kernel, all
+// drawing from one shared pool -- so scaling reflects the whole runtime,
+// not a single kernel.
 //
 //   $ ./bench/throughput_scaling [--batch N] [--repeats R] [--width-scale S]
+//                                [--json PATH] [--smoke]
 //
 // Results are bit-identical across thread counts (asserted per sweep), so
-// the img/s column is the only thing that changes.
+// the img/s column is the only thing that changes. Measurements land in a
+// BENCH_shift_engine.json file stamped with the git revision.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/quantize_model.hpp"
 #include "inference/quantized_network.hpp"
+#include "inference/shift_engine.hpp"
 #include "models/networks.hpp"
+#include "quant/lightnn.hpp"
 #include "runtime/batch_runner.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/argparse.hpp"
@@ -31,11 +40,14 @@ using namespace flightnn;
 double run_once(const runtime::BatchRunner& runner,
                 const std::vector<tensor::Tensor>& images, int repeats,
                 std::vector<tensor::Tensor>* logits_out) {
-  // One warm-up pass (pool spin-up, cache warming), then timed repeats.
-  runtime::BatchResult result = runner.run(images);
+  // One warm-up pass (pool spin-up, cache warming), then timed repeats into
+  // a reused result -- the zero-allocation steady state the runtime is
+  // built around.
+  runtime::BatchResult result;
+  runner.run(images, result);
   const auto start = std::chrono::steady_clock::now();
   for (int r = 0; r < repeats; ++r) {
-    result = runner.run(images);
+    runner.run(images, result);
   }
   const auto stop = std::chrono::steady_clock::now();
   const double seconds =
@@ -58,6 +70,22 @@ bool bitwise_equal(const std::vector<tensor::Tensor>& a,
   return true;
 }
 
+// Median-of-repeats wall time of one engine run, in seconds.
+template <typename Fn>
+double time_layer(int repeats, const Fn& fn) {
+  fn();  // warm-up
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,14 +95,20 @@ int main(int argc, char** argv) {
   parser.add_flag("--repeats", "timed repetitions per thread count", "3");
   parser.add_flag("--width-scale", "channel-width multiplier of network 1",
                   "0.25");
+  parser.add_flag("--json", "result file path", "BENCH_shift_engine.json");
   std::vector<std::string> args(argv + 1, argv + argc);
+  // --smoke is a bare switch: tiny batch / single repeat, for CI.
+  const auto smoke_it = std::find(args.begin(), args.end(), "--smoke");
+  const bool smoke = smoke_it != args.end();
+  if (smoke) args.erase(smoke_it);
   if (!parser.parse(args)) {
-    std::fprintf(stderr, "%s\n%s", parser.error().c_str(),
-                 parser.usage().c_str());
+    std::fprintf(stderr, "%s\n%s  --smoke: CI-sized run (tiny batch, one repeat)\n",
+                 parser.error().c_str(), parser.usage().c_str());
     return 1;
   }
-  const std::int64_t batch = parser.get_int("--batch");
-  const int repeats = parser.get_int("--repeats");
+  const std::int64_t batch = smoke ? 4 : parser.get_int("--batch");
+  const int repeats = smoke ? 1 : parser.get_int("--repeats");
+  const int layer_repeats = smoke ? 3 : 15;
 
   models::BuildOptions build;
   build.classes = 10;
@@ -86,7 +120,12 @@ int main(int argc, char** argv) {
   runtime::set_num_threads(1);
   const auto network = inference::QuantizedNetwork::compile(
       *model, tensor::Shape{1, 3, 32, 32});
+  inference::CompileOptions reference_options;
+  reference_options.use_reference_engine = true;
+  const auto reference_network = inference::QuantizedNetwork::compile(
+      *model, tensor::Shape{1, 3, 32, 32}, reference_options);
   const runtime::BatchRunner runner(network);
+  const runtime::BatchRunner reference_runner(reference_network);
   std::printf("plan: %s\n", network.describe().c_str());
 
   support::Rng rng(2);
@@ -100,7 +139,9 @@ int main(int argc, char** argv) {
   std::vector<int> sweep{1, 2, 4};
   if (hw > 4) sweep.push_back(hw);
 
+  // --- Thread sweep (compiled plan) --------------------------------------
   support::Table table({"threads", "img/s", "speedup vs 1", "bit-identical"});
+  std::vector<std::string> sweep_json;
   double baseline = 0.0;
   std::vector<tensor::Tensor> reference;
   for (const int threads : sweep) {
@@ -117,16 +158,87 @@ int main(int argc, char** argv) {
                    support::format_fixed(throughput, 1),
                    support::format_fixed(throughput / baseline, 2),
                    identical ? "yes" : "NO (BUG)"});
+    bench::JsonObject point;
+    point.add_int("threads", threads);
+    point.add_number("img_per_s", throughput);
+    point.add_number("speedup_vs_1", throughput / baseline);
+    sweep_json.push_back(point.to_string(2));
     if (!identical) {
       std::fprintf(stderr, "FATAL: %d-thread output differs from serial\n",
                    threads);
       return 1;
     }
   }
-  runtime::set_num_threads(1);
 
-  std::printf("\nbatch=%lld repeats=%d hardware_concurrency-default=%d\n\n%s",
+  // --- Plan vs pre-plan reference engine, whole network, 1 thread ---------
+  runtime::set_num_threads(1);
+  const double plan_img_s = run_once(runner, images, repeats, nullptr);
+  const double ref_img_s =
+      run_once(reference_runner, images, repeats, nullptr);
+  const double engine_speedup = plan_img_s / ref_img_s;
+
+  // --- Per-term kernel cost + sparsity payoff on one conv layer -----------
+  // Dense 32x32x3x3 layer vs the same layer with half its filters pruned:
+  // plan work is proportional to surviving entries, so the pruned layer
+  // should run close to 2x faster.
+  const quant::Pow2Config pow2;
+  support::Rng layer_rng(3);
+  tensor::Tensor w = tensor::Tensor::randn(tensor::Shape{32, 32, 3, 3},
+                                           layer_rng, 0.0F, 0.3F);
+  tensor::Tensor wq_dense = quant::quantize_lightnn(w, 2, pow2);
+  tensor::Tensor wq_pruned(wq_dense);
+  const std::int64_t filter_numel = 32 * 3 * 3;
+  for (std::int64_t f = 0; f < 16; ++f) {
+    float* row = wq_pruned.data() + f * filter_numel;
+    std::fill(row, row + filter_numel, 0.0F);
+  }
+  const inference::ShiftConv2d dense(wq_dense, 2, pow2, 1, 1);
+  const inference::ShiftConv2d pruned(wq_pruned, 2, pow2, 1, 1);
+  tensor::Tensor layer_img =
+      tensor::Tensor::randn(tensor::Shape{32, 16, 16}, layer_rng);
+  const auto qimg = inference::quantize_image(layer_img, 8);
+  const double dense_s =
+      time_layer(layer_repeats, [&] { (void)dense.run(qimg); });
+  const double pruned_s =
+      time_layer(layer_repeats, [&] { (void)pruned.run(qimg); });
+  const double sparse_speedup = dense_s / pruned_s;
+  const double ns_per_term =
+      dense_s * 1e9 / static_cast<double>(dense.term_count());
+
+  std::printf("\nbatch=%lld repeats=%d hardware_concurrency-default=%d%s\n\n%s",
               static_cast<long long>(batch), repeats, hw,
-              table.to_string().c_str());
+              smoke ? " (smoke)" : "", table.to_string().c_str());
+  std::printf(
+      "\nplan vs reference engine (1 thread): %.1f img/s vs %.1f img/s "
+      "(%.2fx)\n",
+      plan_img_s, ref_img_s, engine_speedup);
+  std::printf("dense conv layer: %.3f ms (%lld terms, %.1f ns/term)\n",
+              dense_s * 1e3, static_cast<long long>(dense.term_count()),
+              ns_per_term);
+  std::printf("50%%-pruned layer: %.3f ms (%.2fx faster than dense)\n",
+              pruned_s * 1e3, sparse_speedup);
+
+  // --- Result file --------------------------------------------------------
+  bench::JsonObject out;
+  out.add_string("bench", "shift_engine");
+  out.add_string("git_sha", bench::git_sha());
+  out.add_bool("smoke", smoke);
+  out.add_int("batch", batch);
+  out.add_int("repeats", repeats);
+  out.add_number("width_scale", parser.get_double("--width-scale"));
+  out.add("thread_sweep", bench::json_array(sweep_json));
+  out.add_number("plan_img_per_s_1thread", plan_img_s);
+  out.add_number("reference_img_per_s_1thread", ref_img_s);
+  out.add_number("plan_speedup_vs_reference", engine_speedup);
+  out.add_number("dense_layer_ms", dense_s * 1e3);
+  out.add_number("pruned50_layer_ms", pruned_s * 1e3);
+  out.add_number("pruned50_speedup_vs_dense", sparse_speedup);
+  out.add_number("ns_per_term_dense_conv", ns_per_term);
+  const std::string json_path = parser.get("--json");
+  if (!bench::write_json_file(json_path, out)) {
+    std::fprintf(stderr, "FATAL: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
   return 0;
 }

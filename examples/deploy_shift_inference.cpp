@@ -4,12 +4,15 @@
 // verify the integer engine agrees with the float path and report the op
 // census the hardware would execute.
 //
-//   $ ./examples/deploy_shift_inference [--threads N]
+//   $ ./examples/deploy_shift_inference [--threads N] [--profile]
 //
 // --threads sets the runtime pool size for both training and the shift
 // engine (0 = FLIGHTNN_NUM_THREADS / hardware default). Outputs are
-// bit-identical at every thread count.
+// bit-identical at every thread count. --profile additionally compiles the
+// whole trained network to the integer plan and prints per-layer wall time
+// and shift-term counts (QuantizedNetwork::profile).
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -17,11 +20,13 @@
 #include "core/quantize_model.hpp"
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
+#include "inference/quantized_network.hpp"
 #include "inference/shift_engine.hpp"
 #include "models/networks.hpp"
 #include "nn/conv2d.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/argparse.hpp"
+#include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace flightnn;
@@ -30,10 +35,16 @@ int main(int argc, char** argv) {
                             "decompose a trained layer onto the shift engine");
   parser.add_flag("--threads", "runtime pool size (0 = env/hardware default)",
                   "0");
-  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args(argv + 1, argv + argc);
+  // --profile is a bare switch (no value).
+  const auto profile_it = std::find(args.begin(), args.end(),
+                                    std::string("--profile"));
+  const bool profile = profile_it != args.end();
+  if (profile) args.erase(profile_it);
   if (!parser.parse(args)) {
-    std::fprintf(stderr, "%s\n%s", parser.error().c_str(),
-                 parser.usage().c_str());
+    std::fprintf(stderr,
+                 "%s\n%s  --profile: per-layer wall time / term counts\n",
+                 parser.error().c_str(), parser.usage().c_str());
     return 1;
   }
   runtime::set_num_threads(parser.get_int("--threads"));
@@ -102,5 +113,31 @@ int main(int argc, char** argv) {
       target->out_channels() * target->in_channels() * 9 * side * side);
   std::printf("shifts per multiply-equivalent: %.2f (k=2 everywhere would be 2.0)\n",
               static_cast<double>(counts.shifts) / macs);
-  return diff < 1e-4F ? 0 : 1;
+  if (diff >= 1e-4F) return 1;
+
+  if (profile) {
+    // Compile the whole trained model to the integer plan and break one
+    // image's inference cost down per step: where the wall time goes and
+    // how many single-shift terms each shift layer executes.
+    const auto network = inference::QuantizedNetwork::compile(
+        *model, tensor::Shape{1, spec.channels, spec.height, spec.width});
+    tensor::Tensor image = tensor::Tensor::randn(
+        tensor::Shape{spec.channels, spec.height, spec.width}, rng);
+    const auto steps = network.profile(image, /*repeats=*/20);
+    double total_us = 0.0;
+    for (const auto& step : steps) total_us += step.seconds * 1e6;
+    support::Table table({"step", "time (us)", "% of total", "terms",
+                          "shifts", "adds", "float MACs"});
+    for (const auto& step : steps) {
+      const double us = step.seconds * 1e6;
+      table.add_row({step.name, support::format_fixed(us, 1),
+                     support::format_fixed(100.0 * us / total_us, 1),
+                     std::to_string(step.terms), std::to_string(step.shifts),
+                     std::to_string(step.adds),
+                     std::to_string(step.float_macs)});
+    }
+    std::printf("\nper-layer profile (%zu steps, %.1f us/image total):\n%s",
+                steps.size(), total_us, table.to_string().c_str());
+  }
+  return 0;
 }

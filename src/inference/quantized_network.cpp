@@ -1,5 +1,6 @@
 #include "inference/quantized_network.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -22,6 +23,16 @@ namespace {
 using Step = QuantizedNetwork::Step;
 using StepPtr = std::unique_ptr<Step>;
 
+// Quantization scratch shared by the steps on one thread. Safe because a
+// thread runs its forward pass step by step: the quantized values are
+// consumed (by dequantize or an engine run) before the next step overwrites
+// them. Reusing one buffer across layers keeps steady-state quantization
+// allocation-free once the largest layer has sized it.
+QuantizedActivations& quant_scratch() {
+  thread_local QuantizedActivations scratch;
+  return scratch;
+}
+
 // --- Steps --------------------------------------------------------------------
 
 class QuantizeActStep final : public Step {
@@ -29,7 +40,7 @@ class QuantizeActStep final : public Step {
   explicit QuantizeActStep(int bits) : bits_(bits) {}
   tensor::Tensor run(const tensor::Tensor& input,
                      NetworkOpCounts* /*counts*/) const override {
-    return dequantize(quantize_tensor(input, bits_));
+    return fake_quantize(input, bits_);
   }
   [[nodiscard]] std::string describe() const override {
     return "quant(" + std::to_string(bits_) + "b)";
@@ -41,15 +52,20 @@ class QuantizeActStep final : public Step {
 
 class ShiftConvStep final : public Step {
  public:
-  ShiftConvStep(ShiftConv2d engine, int act_bits)
-      : engine_(std::move(engine)), act_bits_(act_bits) {}
+  ShiftConvStep(ShiftConv2d engine, int act_bits, bool use_reference)
+      : engine_(std::move(engine)),
+        act_bits_(act_bits),
+        use_reference_(use_reference) {}
   tensor::Tensor run(const tensor::Tensor& input,
                      NetworkOpCounts* counts) const override {
     // Inputs arriving here are already on the activation-quantizer grid, so
     // this re-quantization is lossless (same abs-max-driven pow2 scale).
-    const auto q = quantize_image(input, act_bits_);
+    QuantizedActivations& q = quant_scratch();
+    quantize_image_into(input, act_bits_, q);
     OpCounts ops{};
-    tensor::Tensor out = engine_.run(q, &ops);
+    tensor::Tensor out = use_reference_
+                             ? engine_.run_reference(q, counts ? &ops : nullptr)
+                             : engine_.run(q, counts ? &ops : nullptr);
     if (counts != nullptr) {
       counts->shifts += ops.shifts;
       counts->adds += ops.adds;
@@ -60,10 +76,14 @@ class ShiftConvStep final : public Step {
     return "shift_conv[" + std::to_string(engine_.out_channels()) + "f/" +
            std::to_string(engine_.term_count()) + "t]";
   }
+  [[nodiscard]] std::int64_t term_count() const override {
+    return engine_.term_count();
+  }
 
  private:
   ShiftConv2d engine_;
   int act_bits_;
+  bool use_reference_;
 };
 
 class FloatConvStep final : public Step {
@@ -213,16 +233,21 @@ class FlattenStep final : public Step {
 
 class ShiftLinearStep final : public Step {
  public:
-  ShiftLinearStep(ShiftLinear engine, int act_bits)
-      : engine_(std::move(engine)), act_bits_(act_bits) {}
+  ShiftLinearStep(ShiftLinear engine, int act_bits, bool use_reference)
+      : engine_(std::move(engine)),
+        act_bits_(act_bits),
+        use_reference_(use_reference) {}
   tensor::Tensor run(const tensor::Tensor& input,
                      NetworkOpCounts* counts) const override {
-    tensor::Tensor flat = input.shape().rank() == 1
-                              ? input
-                              : input.reshaped(tensor::Shape{input.numel()});
-    const auto q = quantize_tensor(flat, act_bits_);
+    // No explicit flatten: quantization is shape-oblivious and the engine
+    // validates numel, so the values stream straight through.
+    QuantizedActivations& q = quant_scratch();
+    quantize_tensor_into(input, act_bits_, q);
+    q.shape = tensor::Shape{input.numel()};
     OpCounts ops{};
-    tensor::Tensor out = engine_.run(q, &ops);
+    tensor::Tensor out = use_reference_
+                             ? engine_.run_reference(q, counts ? &ops : nullptr)
+                             : engine_.run(q, counts ? &ops : nullptr);
     if (counts != nullptr) {
       counts->shifts += ops.shifts;
       counts->adds += ops.adds;
@@ -232,10 +257,14 @@ class ShiftLinearStep final : public Step {
   [[nodiscard]] std::string describe() const override {
     return "shift_linear[" + std::to_string(engine_.out_features()) + "]";
   }
+  [[nodiscard]] std::int64_t term_count() const override {
+    return engine_.term_count();
+  }
 
  private:
   ShiftLinear engine_;
   int act_bits_;
+  bool use_reference_;
 };
 
 class FloatLinearStep final : public Step {
@@ -345,7 +374,7 @@ void compile_layer(nn::Layer& layer, CompileState& state,
       steps.push_back(std::make_unique<ShiftConvStep>(
           ShiftConv2d(wq, k_max, pow2, conv->stride(), conv->padding(),
                       std::move(bias)),
-          state.current_act_bits));
+          state.current_act_bits, state.options->use_reference_engine));
     } else {
       steps.push_back(std::make_unique<FloatConvStep>(
           std::move(wq), std::move(bias), conv->stride(), conv->padding()));
@@ -399,7 +428,7 @@ void compile_layer(nn::Layer& layer, CompileState& state,
     if (k_max > 0) {
       steps.push_back(std::make_unique<ShiftLinearStep>(
           ShiftLinear(wq, k_max, pow2, std::move(bias)),
-          state.current_act_bits));
+          state.current_act_bits, state.options->use_reference_engine));
     } else {
       steps.push_back(
           std::make_unique<FloatLinearStep>(std::move(wq), std::move(bias)));
@@ -470,6 +499,44 @@ tensor::Tensor QuantizedNetwork::run(const tensor::Tensor& image,
   }
   if (counts != nullptr) ++counts->images;
   return current;
+}
+
+std::vector<StepProfile> QuantizedNetwork::profile(const tensor::Tensor& image,
+                                                   int repeats) const {
+  FLIGHTNN_CHECK(repeats >= 1, "QuantizedNetwork::profile: repeats ", repeats,
+                 " must be >= 1");
+  tensor::Tensor current;
+  const auto& s = image.shape();
+  FLIGHTNN_CHECK(s.rank() == 3 || (s.rank() == 4 && s[0] == 1),
+                 "QuantizedNetwork::profile: expected [C,H,W] or [1,C,H,W], "
+                 "got ", s.to_string());
+  if (s.rank() == 3) {
+    current = image;
+  } else {
+    current = image.reshaped(tensor::Shape{s[1], s[2], s[3]});
+  }
+
+  std::vector<StepProfile> profiles;
+  profiles.reserve(steps_.size());
+  for (const auto& step : steps_) {
+    StepProfile p;
+    p.name = step->describe();
+    p.terms = step->term_count();
+    NetworkOpCounts ops{};
+    tensor::Tensor out;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      out = step->run(current, r == 0 ? &ops : nullptr);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    p.seconds = std::chrono::duration<double>(t1 - t0).count() / repeats;
+    p.shifts = ops.shifts;
+    p.adds = ops.adds;
+    p.float_macs = ops.float_macs;
+    profiles.push_back(std::move(p));
+    current = std::move(out);
+  }
+  return profiles;
 }
 
 double QuantizedNetwork::evaluate(const data::Dataset& dataset, int top_k,

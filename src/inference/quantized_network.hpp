@@ -38,6 +38,10 @@ struct CompileOptions {
   // Maximum shift terms expected per weight (for decomposition).
   int k_max = 2;
   quant::Pow2Config pow2;
+  // Execute shift layers through the pre-plan reference engine instead of
+  // the compiled plan. Outputs are bit-identical; this exists so benchmarks
+  // can measure the whole-network seed-vs-plan speedup.
+  bool use_reference_engine = false;
 };
 
 struct NetworkOpCounts {
@@ -46,6 +50,16 @@ struct NetworkOpCounts {
   // MAC-equivalents executed in float fallback (non-shift layers).
   std::int64_t float_macs = 0;
   std::int64_t images = 0;
+};
+
+// Per-step observability record produced by QuantizedNetwork::profile().
+struct StepProfile {
+  std::string name;        // step->describe()
+  double seconds = 0.0;    // mean wall time per run of this step
+  std::int64_t shifts = 0;
+  std::int64_t adds = 0;
+  std::int64_t float_macs = 0;
+  std::int64_t terms = 0;  // single-shift filter terms (0 for non-shift steps)
 };
 
 class QuantizedNetwork {
@@ -65,6 +79,13 @@ class QuantizedNetwork {
   [[nodiscard]] double evaluate(const data::Dataset& dataset, int top_k = 1,
                                 NetworkOpCounts* counts = nullptr) const;
 
+  // Per-layer wall time and op census: runs the image through the network
+  // step by step, timing each step over `repeats` runs (the first run of
+  // each step also collects its op counts). Observability only -- outputs
+  // are discarded.
+  [[nodiscard]] std::vector<StepProfile> profile(const tensor::Tensor& image,
+                                                 int repeats = 10) const;
+
   // Number of executable steps (for introspection / tests).
   [[nodiscard]] std::size_t step_count() const { return steps_.size(); }
 
@@ -78,6 +99,9 @@ class QuantizedNetwork {
     virtual tensor::Tensor run(const tensor::Tensor& input,
                                NetworkOpCounts* counts) const = 0;
     [[nodiscard]] virtual std::string describe() const = 0;
+    // Single-shift filter terms executed by this step (0 for steps that do
+    // not run on the shift engine).
+    [[nodiscard]] virtual std::int64_t term_count() const { return 0; }
   };
 
  private:

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <type_traits>
 
+#include "runtime/scratch_arena.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
 
@@ -14,7 +16,7 @@ namespace {
 
 // Accumulators hold values scaled by 2^(scale_exp + e_min); anything nearing
 // the int64 ceiling means a shift went wrong, not a big activation.
-constexpr std::int64_t kAccumulatorGuard = std::int64_t{1} << 62;
+constexpr std::int64_t kAccumulatorGuard = kShiftAccumulatorGuard;
 
 // Shared engine-construction invariants: the decomposition's terms must
 // address real filters, carry full-size element vectors, and hold exponents
@@ -53,7 +55,7 @@ void validate_decomposition(const core::Decomposition& decomposition,
 // precompute each filter's worst-case accumulator gain: the sum of 2^shift
 // over its nonzero weight elements, saturated at the guard. With max|q| the
 // largest input magnitude, |accumulator| never exceeds max|q| * gain, which
-// is what lets run() hoist the overflow check out of the inner loop.
+// is what lets the run paths hoist the overflow check out of the inner loop.
 void index_terms_by_filter(const core::Decomposition& decomposition,
                            const quant::Pow2Config& config,
                            std::int64_t filters,
@@ -76,10 +78,9 @@ void index_terms_by_filter(const core::Decomposition& decomposition,
   }
 }
 
-// Largest input magnitude, for the hoisted overflow bound. Unused when
-// DCHECKs are compiled out (NDEBUG without FLIGHTNN_FORCE_DCHECKS).
-[[maybe_unused]] std::int64_t max_abs_value(
-    const std::vector<std::int32_t>& values) {
+// Largest input magnitude (fallback when QuantizedActivations::max_abs was
+// not populated at quantize time).
+std::int64_t max_abs_value(const std::vector<std::int32_t>& values) {
   std::int64_t max_abs = 0;
   for (const std::int32_t v : values) {
     const std::int64_t a = v < 0 ? -static_cast<std::int64_t>(v) : v;
@@ -88,46 +89,124 @@ void index_terms_by_filter(const core::Decomposition& decomposition,
   return max_abs;
 }
 
-}  // namespace
-
-QuantizedActivations quantize_image(const tensor::Tensor& image, int bits) {
-  const auto& s = image.shape();
-  tensor::Shape chw;
-  const float* data = image.data();
-  FLIGHTNN_CHECK(s.rank() == 3 || (s.rank() == 4 && s[0] == 1),
-                 "quantize_image: expected [C,H,W] or [1,C,H,W], got ",
-                 s.to_string());
-  if (s.rank() == 3) {
-    chw = s;
-  } else {
-    chw = tensor::Shape{s[1], s[2], s[3]};
+// Hoisted overflow contract shared by all run paths: |accumulator| <=
+// max|q| * filter_gain, so one check per filter replaces the per-element
+// DCHECK the inner loop would otherwise carry. (The bound sums absolute
+// contributions, so it also covers every intermediate partial sum.)
+#if FLIGHTNN_DCHECKS_ENABLED
+void dcheck_no_overflow(const QuantizedActivations& input,
+                        const std::vector<std::int64_t>& filter_gain,
+                        const char* what) {
+  const std::int64_t max_q = input.abs_max();
+  for (std::size_t o = 0; o < filter_gain.size(); ++o) {
+    const std::int64_t gain = filter_gain[o];
+    FLIGHTNN_DCHECK(gain == 0 || (gain < kAccumulatorGuard &&
+                                  max_q <= (kAccumulatorGuard - 1) / gain),
+                    what, ": accumulator could overflow at filter ", o,
+                    " (gain ", gain, ", max |q| ", max_q, ")");
   }
-  FLIGHTNN_CHECK(bits >= 2 && bits <= 16, "quantize_image: bits ", bits,
-                 " outside [2, 16]");
+}
+#else
+void dcheck_no_overflow(const QuantizedActivations&,
+                        const std::vector<std::int64_t>&, const char*) {}
+#endif
 
+// Integer division helpers for the interior/valid-range arithmetic; both
+// require b > 0 and round the true quotient toward -inf / +inf.
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return a > 0 ? (a + b - 1) / b : a / b;
+}
+
+// Number of output positions o in [0, out_n) whose input index
+// o*stride + k - padding lands inside [0, in_n). This is the closed form of
+// the guarded path's per-position bounds check, used for the analytic op
+// census (one accumulate per valid position per entry).
+std::int64_t valid_positions(std::int64_t k, std::int64_t out_n,
+                             std::int64_t in_n, std::int64_t stride,
+                             std::int64_t padding) {
+  const std::int64_t lo = std::max<std::int64_t>(0, ceil_div(padding - k, stride));
+  const std::int64_t hi =
+      std::min(out_n - 1, floor_div(in_n - 1 + padding - k, stride));
+  return hi >= lo ? hi - lo + 1 : 0;
+}
+
+// Shared core of the quantize functions: pow2 scale from the abs-max, values
+// rounded-to-nearest and clamped symmetric, max|q| cached on the way.
+void quantize_values_into(const float* data, std::int64_t n, int bits,
+                          float abs_max, QuantizedActivations& out) {
   const std::int64_t q_max = (1LL << (bits - 1)) - 1;
-  const float abs_max = image.abs_max();
   int scale_exp = 0;
   if (abs_max > 0.0F) {
     scale_exp = static_cast<int>(
         std::ceil(std::log2(abs_max / static_cast<float>(q_max))));
   }
-  const float scale = std::ldexp(1.0F, scale_exp);
+  // The scale is a power of two, so dividing by it and multiplying by its
+  // reciprocal are the same correctly-rounded value -- use the multiply.
+  const float inv_scale = std::ldexp(1.0F, -scale_exp);
+  // Round-to-nearest-even via the 1.5*2^23 constant: exact for |v| < 2^22,
+  // guaranteed here because the scale covers the abs-max (|v| <= q_max <
+  // 2^15). Identical results to std::nearbyint in the default rounding
+  // mode, but branch-free, libm-free and vectorizable.
+  constexpr float kRound = 12582912.0F;  // 1.5 * 2^23
+  const auto q_lim = static_cast<std::int32_t>(q_max);
 
-  QuantizedActivations out;
   out.scale_exp = scale_exp;
-  out.shape = chw;
-  out.values.resize(static_cast<std::size_t>(chw.numel()));
-  for (std::int64_t i = 0; i < chw.numel(); ++i) {
-    auto q = static_cast<std::int64_t>(std::nearbyint(data[i] / scale));
-    q = std::min(q_max, std::max(-q_max, q));
-    out.values[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(q);
+  out.values.resize(static_cast<std::size_t>(n));
+  std::int32_t max_abs_q = 0;
+  if (scale_exp >= -126) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float v = data[i] * inv_scale;
+      auto q = static_cast<std::int32_t>((v + kRound) - kRound);
+      q = std::min(q_lim, std::max(-q_lim, q));
+      out.values[static_cast<std::size_t>(i)] = q;
+      max_abs_q = std::max(max_abs_q, q < 0 ? -q : q);
+    }
+  } else {
+    // Pathologically tiny abs-max: 2^-scale_exp overflows float, so form the
+    // quotient in double (exact: 24-bit mantissa times a power of two).
+    const double inv = std::ldexp(1.0, -scale_exp);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto v = static_cast<float>(static_cast<double>(data[i]) * inv);
+      auto q = static_cast<std::int32_t>((v + kRound) - kRound);
+      q = std::min(q_lim, std::max(-q_lim, q));
+      out.values[static_cast<std::size_t>(i)] = q;
+      max_abs_q = std::max(max_abs_q, q < 0 ? -q : q);
+    }
   }
-  return out;
+  out.max_abs = max_abs_q;
 }
 
-QuantizedActivations quantize_tensor(const tensor::Tensor& x, int bits) {
+}  // namespace
+
+std::int64_t QuantizedActivations::abs_max() const {
+  return max_abs >= 0 ? max_abs : max_abs_value(values);
+}
+
+void quantize_image_into(const tensor::Tensor& image, int bits,
+                         QuantizedActivations& out) {
+  const auto& s = image.shape();
+  FLIGHTNN_CHECK(s.rank() == 3 || (s.rank() == 4 && s[0] == 1),
+                 "quantize_image: expected [C,H,W] or [1,C,H,W], got ",
+                 s.to_string());
+  FLIGHTNN_CHECK(bits >= 2 && bits <= 16, "quantize_image: bits ", bits,
+                 " outside [2, 16]");
+  out.shape = s.rank() == 3 ? s : tensor::Shape{s[1], s[2], s[3]};
+  quantize_values_into(image.data(), image.numel(), bits, image.abs_max(), out);
+}
+
+void quantize_tensor_into(const tensor::Tensor& x, int bits,
+                          QuantizedActivations& out) {
   FLIGHTNN_CHECK(bits >= 2 && bits <= 16, "quantize_tensor: bits ", bits,
+                 " outside [2, 16]");
+  out.shape = x.shape();
+  quantize_values_into(x.data(), x.numel(), bits, x.abs_max(), out);
+}
+
+tensor::Tensor fake_quantize(const tensor::Tensor& x, int bits) {
+  FLIGHTNN_CHECK(bits >= 2 && bits <= 16, "fake_quantize: bits ", bits,
                  " outside [2, 16]");
   const std::int64_t q_max = (1LL << (bits - 1)) - 1;
   const float abs_max = x.abs_max();
@@ -136,17 +215,42 @@ QuantizedActivations quantize_tensor(const tensor::Tensor& x, int bits) {
     scale_exp = static_cast<int>(
         std::ceil(std::log2(abs_max / static_cast<float>(q_max))));
   }
-  const float scale = std::ldexp(1.0F, scale_exp);
-
-  QuantizedActivations out;
-  out.scale_exp = scale_exp;
-  out.shape = x.shape();
-  out.values.resize(static_cast<std::size_t>(x.numel()));
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    auto q = static_cast<std::int64_t>(std::nearbyint(x[i] / scale));
-    q = std::min(q_max, std::max(-q_max, q));
-    out.values[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(q);
+  if (scale_exp < -126) {
+    // Pathologically tiny abs-max; take the exact two-step path.
+    QuantizedActivations q;
+    quantize_values_into(x.data(), x.numel(), bits, abs_max, q);
+    q.shape = x.shape();
+    return dequantize(q);
   }
+  const float inv_scale = std::ldexp(1.0F, -scale_exp);
+  const float scale = std::ldexp(1.0F, scale_exp);
+  constexpr float kRound = 12582912.0F;  // 1.5 * 2^23, round-to-nearest-even
+  const auto lim = static_cast<float>(q_max);
+  tensor::Tensor out(x.shape());
+  const float* in = x.data();
+  float* o = out.data();
+  const std::int64_t n = x.numel();
+  // The rounded value is integral and |q| <= q_max < 2^15, so the float
+  // clamp and the rescale q * 2^scale_exp are both exact -- element-wise
+  // identical to quantize-then-dequantize.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = in[i] * inv_scale;
+    float r = (v + kRound) - kRound;
+    r = std::min(lim, std::max(-lim, r));
+    o[i] = r * scale;
+  }
+  return out;
+}
+
+QuantizedActivations quantize_image(const tensor::Tensor& image, int bits) {
+  QuantizedActivations out;
+  quantize_image_into(image, bits, out);
+  return out;
+}
+
+QuantizedActivations quantize_tensor(const tensor::Tensor& x, int bits) {
+  QuantizedActivations out;
+  quantize_tensor_into(x, bits, out);
   return out;
 }
 
@@ -187,6 +291,8 @@ ShiftConv2d::ShiftConv2d(const tensor::Tensor& quantized_weights, int k_max,
   validate_decomposition(decomposition_, out_channels_,
                          in_channels_ * kernel_ * kernel_, config_,
                          "ShiftConv2d");
+  plan_ = ShiftPlan::compile_conv(decomposition_, config_, in_channels_,
+                                  kernel_);
   index_terms_by_filter(decomposition_, config_, out_channels_, filter_terms_,
                         filter_gain_);
 }
@@ -204,24 +310,183 @@ tensor::Tensor ShiftConv2d::run(const QuantizedActivations& input,
   const tensor::ConvGeometry geom{in_channels_, in_h, in_w, kernel_, stride_,
                                   padding_};
   const std::int64_t out_h = geom.out_h(), out_w = geom.out_w();
+  const std::int64_t out_hw = out_h * out_w;
+  const std::int64_t in_hw = in_h * in_w;
 
-  // Hoisted overflow contract: |accumulator| <= max|q| * filter_gain, so
-  // one check per filter replaces the per-element DCHECK the inner loop
-  // used to carry. (The bound sums absolute contributions, so it also
-  // covers every intermediate partial sum.)
-#if FLIGHTNN_DCHECKS_ENABLED
-  {
-    const std::int64_t max_q = max_abs_value(input.values);
-    for (std::int64_t o = 0; o < out_channels_; ++o) {
-      const std::int64_t gain = filter_gain_[static_cast<std::size_t>(o)];
-      FLIGHTNN_DCHECK(gain == 0 ||
-                          (gain < kAccumulatorGuard &&
-                           max_q <= (kAccumulatorGuard - 1) / gain),
-                      "ShiftConv2d::run: accumulator could overflow at "
-                      "filter ", o, " (gain ", gain, ", max |q| ", max_q, ")");
-    }
+  dcheck_no_overflow(input, plan_.filter_gain, "ShiftConv2d::run");
+
+  // Interior region: output rows/cols whose full kernel support lands inside
+  // the input for every (ky, kx), so the hot loop needs no bounds checks.
+  // Rows below oy_lo or at/above oy_hi (and the column fringes of interior
+  // rows) take the guarded border path.
+  const std::int64_t oy_lo = std::min(out_h, ceil_div(padding_, stride_));
+  const std::int64_t ty = in_h + padding_ - kernel_;
+  const std::int64_t oy_hi =
+      ty < 0 ? oy_lo : std::max(oy_lo, std::min(out_h, ty / stride_ + 1));
+  const std::int64_t ox_lo = std::min(out_w, ceil_div(padding_, stride_));
+  const std::int64_t tx = in_w + padding_ - kernel_;
+  const std::int64_t ox_hi =
+      tx < 0 ? ox_lo : std::max(ox_lo, std::min(out_w, tx / stride_ + 1));
+
+  // Per-entry input offsets for this geometry (channel plane + kernel tap),
+  // built once into the caller's arena. Workers helping the parallel region
+  // read it through a raw pointer; it stays valid because the caller blocks
+  // inside parallel_for and slots are never shared between live kernels.
+  const std::int64_t n_entries = plan_.entries();
+  auto& offsets = runtime::ScratchArena::current().i64(
+      runtime::Scratch::kConvOffsets, static_cast<std::size_t>(n_entries));
+  for (std::int64_t e = 0; e < n_entries; ++e) {
+    const auto ei = static_cast<std::size_t>(e);
+    offsets[static_cast<std::size_t>(e)] =
+        static_cast<std::int64_t>(plan_.channel[ei]) * in_hw +
+        static_cast<std::int64_t>(plan_.ky[ei]) * in_w + plan_.kx[ei];
   }
-#endif
+  const std::int64_t* off = offsets.data();
+  const std::int32_t* in_data = input.values.data();
+  const float scale = std::ldexp(1.0F, input.scale_exp + config_.e_min);
+  tensor::Tensor output(tensor::Shape{out_channels_, out_h, out_w});
+
+  // Accumulator width selection. |any partial sum| <= max|q| * filter_gain
+  // (the gain sums absolute contributions), so when that bound fits int32
+  // the whole accumulation can run in 32-bit lanes: no value differs from
+  // the int64 computation, and the narrower adds/multiplies vectorize twice
+  // as wide. The per-entry multiplier sign * 2^shift also fits (it is one of
+  // the gain's addends). With 8-bit activations and the default exponent
+  // range this path is taken for any realistic layer.
+  constexpr std::int64_t kNarrowMax = 0x7fffffff;
+  std::int64_t max_gain = 0;
+  for (const std::int64_t g : plan_.filter_gain) max_gain = std::max(max_gain, g);
+  const std::int64_t amax = input.abs_max();
+  const bool narrow =
+      max_gain <= kNarrowMax &&
+      (max_gain == 0 || amax <= kNarrowMax / max_gain);
+
+  // One filter block, templated on the accumulator type. Each filter's
+  // accumulator plane is owned by exactly one chunk. The entry walk adds the
+  // same multiset of integer addends the reference term-walk adds (the
+  // multiplier q * sign*2^shift equals the shift-and-signed-add exactly --
+  // no overflow by the gain bound), and integer addition without overflow is
+  // associative and commutative, so the integer plane (and therefore the
+  // dequantized float plane) is bit-identical to run_reference at any
+  // accumulator width and thread count.
+  const auto filter_block = [&](auto* acc, std::int64_t f_begin,
+                                std::int64_t f_end) {
+    using AccT = std::remove_reference_t<decltype(*acc)>;
+    for (std::int64_t f = f_begin; f < f_end; ++f) {
+      // Integer accumulators at scale 2^(input.scale_exp + e_min): each
+      // weight term sign * 2^e contributes sign * (q << (e - e_min)), a
+      // non-negative left shift since e >= e_min.
+      std::fill(acc, acc + out_hw, AccT{0});
+      const std::int64_t fb = plan_.filter_begin[static_cast<std::size_t>(f)];
+      const std::int64_t fe =
+          plan_.filter_begin[static_cast<std::size_t>(f) + 1];
+      for (std::int64_t e = fb; e < fe; ++e) {
+        const auto ei = static_cast<std::size_t>(e);
+        const AccT m = static_cast<AccT>(plan_.sign[ei]) *
+                       (AccT{1} << plan_.shift[ei]);
+        // Interior: every (oy, ox) in the rectangle reads in-bounds, so the
+        // inner loop is a straight multiply-accumulate; the stride-1 form is
+        // contiguous and vectorizes.
+        for (std::int64_t oy = oy_lo; oy < oy_hi; ++oy) {
+          const std::int64_t rbase =
+              off[e] + (oy * stride_ - padding_) * in_w - padding_;
+          AccT* arow = acc + oy * out_w;
+          if (stride_ == 1) {
+            const std::int32_t* irow = in_data + rbase + ox_lo;
+            AccT* a = arow + ox_lo;
+            const std::int64_t n = ox_hi - ox_lo;
+            for (std::int64_t i = 0; i < n; ++i) {
+              a[i] += static_cast<AccT>(irow[i]) * m;
+            }
+          } else {
+            for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+              arow[ox] += static_cast<AccT>(in_data[rbase + ox * stride_]) * m;
+            }
+          }
+        }
+        // Border: guarded path for rows/columns whose kernel tap may fall
+        // outside the input.
+        const std::int64_t kyv = plan_.ky[ei], kxv = plan_.kx[ei];
+        const std::int64_t plane =
+            static_cast<std::int64_t>(plan_.channel[ei]) * in_hw;
+        const auto border_span = [&](std::int64_t oy, std::int64_t x0,
+                                     std::int64_t x1) {
+          const std::int64_t iy = oy * stride_ + kyv - padding_;
+          if (iy < 0 || iy >= in_h) return;
+          const std::int64_t row = plane + iy * in_w;
+          AccT* arow = acc + oy * out_w;
+          for (std::int64_t ox = x0; ox < x1; ++ox) {
+            const std::int64_t ix = ox * stride_ + kxv - padding_;
+            if (ix < 0 || ix >= in_w) continue;
+            arow[ox] += static_cast<AccT>(in_data[row + ix]) * m;
+          }
+        };
+        for (std::int64_t oy = 0; oy < oy_lo; ++oy) border_span(oy, 0, out_w);
+        for (std::int64_t oy = oy_hi; oy < out_h; ++oy) {
+          border_span(oy, 0, out_w);
+        }
+        for (std::int64_t oy = oy_lo; oy < oy_hi; ++oy) {
+          border_span(oy, 0, ox_lo);
+          border_span(oy, ox_hi, out_w);
+        }
+      }
+      // Dequantize and fold in the float bias.
+      const float b = bias_.empty() ? 0.0F : bias_[f];
+      float* out_plane = output.data() + f * out_hw;
+      for (std::int64_t i = 0; i < out_hw; ++i) {
+        out_plane[i] = static_cast<float>(acc[i]) * scale + b;
+      }
+    }
+  };
+
+  // Parallel across output-filter blocks, on the width the bound allows.
+  if (narrow) {
+    runtime::parallel_for(0, out_channels_, 1, [&](std::int64_t f_begin,
+                                                   std::int64_t f_end) {
+      auto& acc_buf = runtime::ScratchArena::current().i32(
+          runtime::Scratch::kConvAccumulator, static_cast<std::size_t>(out_hw));
+      filter_block(acc_buf.data(), f_begin, f_end);
+    });
+  } else {
+    runtime::parallel_for(0, out_channels_, 1, [&](std::int64_t f_begin,
+                                                   std::int64_t f_end) {
+      auto& acc_buf = runtime::ScratchArena::current().i64(
+          runtime::Scratch::kConvAccumulator, static_cast<std::size_t>(out_hw));
+      filter_block(acc_buf.data(), f_begin, f_end);
+    });
+  }
+
+  if (counts != nullptr) {
+    // Analytic census: each entry accumulates once per output position whose
+    // tap is in-bounds, which is vy(ky) * vx(kx). Matches the per-accumulate
+    // counting of run_reference exactly.
+    std::int64_t total = 0;
+    for (std::int64_t e = 0; e < n_entries; ++e) {
+      const auto ei = static_cast<std::size_t>(e);
+      total += valid_positions(plan_.ky[ei], out_h, in_h, stride_, padding_) *
+               valid_positions(plan_.kx[ei], out_w, in_w, stride_, padding_);
+    }
+    counts->shifts += total;
+    counts->adds += total;
+  }
+  return output;
+}
+
+tensor::Tensor ShiftConv2d::run_reference(const QuantizedActivations& input,
+                                          OpCounts* counts) const {
+  FLIGHTNN_CHECK(input.shape.rank() == 3 && input.shape[0] == in_channels_,
+                 "ShiftConv2d::run: expected [", in_channels_,
+                 ", H, W] input, got ", input.shape.to_string());
+  FLIGHTNN_CHECK(static_cast<std::int64_t>(input.values.size()) ==
+                     input.shape.numel(),
+                 "ShiftConv2d::run: ", input.values.size(),
+                 " values do not fill shape ", input.shape.to_string());
+  const std::int64_t in_h = input.shape[1], in_w = input.shape[2];
+  const tensor::ConvGeometry geom{in_channels_, in_h, in_w, kernel_, stride_,
+                                  padding_};
+  const std::int64_t out_h = geom.out_h(), out_w = geom.out_w();
+
+  dcheck_no_overflow(input, filter_gain_, "ShiftConv2d::run_reference");
 
   const std::int64_t out_hw = out_h * out_w;
   const float scale = std::ldexp(1.0F, input.scale_exp + config_.e_min);
@@ -229,18 +494,11 @@ tensor::Tensor ShiftConv2d::run(const QuantizedActivations& input,
   std::atomic<std::int64_t> total_shifts{0};
   std::atomic<std::int64_t> total_adds{0};
 
-  // Parallel across output-filter blocks: each filter's accumulator plane is
-  // owned by exactly one chunk, and its terms run in decomposition order, so
-  // the integer result (and therefore the dequantized float plane) is
-  // bit-identical to serial execution at any thread count.
   runtime::parallel_for(0, out_channels_, 1, [&](std::int64_t f_begin,
                                                  std::int64_t f_end) {
     std::vector<std::int64_t> accumulator(static_cast<std::size_t>(out_hw));
     OpCounts local{};
     for (std::int64_t f = f_begin; f < f_end; ++f) {
-      // Integer accumulators at scale 2^(input.scale_exp + e_min): each
-      // weight term sign * 2^e contributes sign * (q << (e - e_min)), a
-      // non-negative left shift since e >= e_min.
       std::fill(accumulator.begin(), accumulator.end(), std::int64_t{0});
       for (const std::size_t t : filter_terms_[static_cast<std::size_t>(f)]) {
         const auto& term = decomposition_.terms[t];
@@ -310,6 +568,7 @@ ShiftLinear::ShiftLinear(const tensor::Tensor& quantized_weights, int k_max,
                  " does not match out features ", out_features_);
   validate_decomposition(decomposition_, out_features_, in_features_, config_,
                          "ShiftLinear");
+  plan_ = ShiftPlan::compile_linear(decomposition_, config_);
   index_terms_by_filter(decomposition_, config_, out_features_, filter_terms_,
                         filter_gain_);
 }
@@ -323,29 +582,60 @@ tensor::Tensor ShiftLinear::run(const QuantizedActivations& input,
                      input.shape.numel(),
                  "ShiftLinear::run: ", input.values.size(),
                  " values do not fill shape ", input.shape.to_string());
-  // Hoisted overflow contract, as in ShiftConv2d::run.
-#if FLIGHTNN_DCHECKS_ENABLED
-  {
-    const std::int64_t max_q = max_abs_value(input.values);
-    for (std::int64_t o = 0; o < out_features_; ++o) {
-      const std::int64_t gain = filter_gain_[static_cast<std::size_t>(o)];
-      FLIGHTNN_DCHECK(gain == 0 ||
-                          (gain < kAccumulatorGuard &&
-                           max_q <= (kAccumulatorGuard - 1) / gain),
-                      "ShiftLinear::run: accumulator could overflow at "
-                      "filter ", o, " (gain ", gain, ", max |q| ", max_q, ")");
+  dcheck_no_overflow(input, plan_.filter_gain, "ShiftLinear::run");
+
+  const float scale = std::ldexp(1.0F, input.scale_exp + config_.e_min);
+  tensor::Tensor output(tensor::Shape{out_features_});
+  const std::int32_t* in_data = input.values.data();
+
+  // Parallel across output features; each feature's accumulator is private
+  // to one chunk and the entry walk regroups the reference path's exact
+  // integer addends, so the result is bit-identical to run_reference at any
+  // thread count.
+  runtime::parallel_for(0, out_features_, 1, [&](std::int64_t f_begin,
+                                                 std::int64_t f_end) {
+    for (std::int64_t f = f_begin; f < f_end; ++f) {
+      const std::int64_t fb = plan_.filter_begin[static_cast<std::size_t>(f)];
+      const std::int64_t fe =
+          plan_.filter_begin[static_cast<std::size_t>(f) + 1];
+      std::int64_t acc = 0;
+      for (std::int64_t e = fb; e < fe; ++e) {
+        const auto ei = static_cast<std::size_t>(e);
+        // q * sign*2^shift equals the shift-and-signed-add exactly (no
+        // overflow by the gain bound) and keeps the loop branch-free.
+        const std::int64_t m = static_cast<std::int64_t>(plan_.sign[ei]) *
+                               (std::int64_t{1} << plan_.shift[ei]);
+        acc += static_cast<std::int64_t>(in_data[plan_.element[ei]]) * m;
+      }
+      const float b = bias_.empty() ? 0.0F : bias_[f];
+      output[f] = static_cast<float>(acc) * scale + b;
     }
+  });
+
+  if (counts != nullptr) {
+    // One accumulate per plan entry; matches run_reference's counting.
+    counts->shifts += plan_.entries();
+    counts->adds += plan_.entries();
   }
-#endif
+  return output;
+}
+
+tensor::Tensor ShiftLinear::run_reference(const QuantizedActivations& input,
+                                          OpCounts* counts) const {
+  FLIGHTNN_CHECK(input.shape.numel() == in_features_,
+                 "ShiftLinear::run: input numel ", input.shape.numel(),
+                 " does not match in features ", in_features_);
+  FLIGHTNN_CHECK(static_cast<std::int64_t>(input.values.size()) ==
+                     input.shape.numel(),
+                 "ShiftLinear::run: ", input.values.size(),
+                 " values do not fill shape ", input.shape.to_string());
+  dcheck_no_overflow(input, filter_gain_, "ShiftLinear::run_reference");
 
   const float scale = std::ldexp(1.0F, input.scale_exp + config_.e_min);
   tensor::Tensor output(tensor::Shape{out_features_});
   std::atomic<std::int64_t> total_shifts{0};
   std::atomic<std::int64_t> total_adds{0};
 
-  // Parallel across output features; each feature's accumulator is private
-  // to one chunk and integer addition has no reduction-order ambiguity, so
-  // the result is bit-identical to serial execution.
   runtime::parallel_for(0, out_features_, 1, [&](std::int64_t f_begin,
                                                  std::int64_t f_end) {
     OpCounts local{};

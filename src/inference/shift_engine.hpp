@@ -8,6 +8,16 @@
 // summation. The engine is bit-exact: its dequantized output equals the
 // real-arithmetic convolution of the quantized operands.
 //
+// Execution is plan-compiled (inference/shift_plan.hpp): construction lowers
+// the decomposition into a sparsity-elided SoA entry stream, and run() walks
+// only nonzero weight elements, splitting each output plane into a
+// padding-free interior and guarded border rows. The pre-plan term-walk
+// survives as run_reference() -- the differential oracle the property tests
+// compare against and the seed engine the benchmarks measure speedups over.
+// Both paths produce bit-identical output: every accumulator receives the
+// same multiset of integer addends, and int64 addition is associative and
+// commutative (DESIGN.md §9).
+//
 // Like the paper's FPGA evaluation (Sec. 5.2), the engine operates at layer
 // granularity -- convolutions dominate >90% of CNN compute, so the largest
 // conv layer is the implementation target.
@@ -16,6 +26,7 @@
 #include <vector>
 
 #include "core/decompose.hpp"
+#include "inference/shift_plan.hpp"
 #include "quant/pow2.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
@@ -27,6 +38,12 @@ struct QuantizedActivations {
   std::vector<std::int32_t> values;  // q; real value = q * 2^scale_exp
   int scale_exp = 0;
   tensor::Shape shape;  // [C, H, W] (single image)
+  // Largest |q|, cached at quantize time so the engines' hoisted overflow
+  // checks never rescan the activation vector. -1 = unknown (hand-built
+  // activations); abs_max() then falls back to a scan.
+  std::int64_t max_abs = -1;
+
+  [[nodiscard]] std::int64_t abs_max() const;
 };
 
 // Symmetric `bits`-bit quantization with a power-of-two scale covering the
@@ -37,8 +54,22 @@ QuantizedActivations quantize_image(const tensor::Tensor& image, int bits = 8);
 // the flat feature vectors feeding linear layers.
 QuantizedActivations quantize_tensor(const tensor::Tensor& x, int bits = 8);
 
+// Allocation-reusing variants: quantize into `out`, reusing its value buffer
+// (no heap traffic once the buffer has reached its high-water size). These
+// are what the compiled network's steps call in steady state.
+void quantize_image_into(const tensor::Tensor& image, int bits,
+                         QuantizedActivations& out);
+void quantize_tensor_into(const tensor::Tensor& x, int bits,
+                          QuantizedActivations& out);
+
 // Dequantize back to float (for comparisons).
 tensor::Tensor dequantize(const QuantizedActivations& activations);
+
+// dequantize(quantize_tensor(x, bits)) fused into one float pass: snaps every
+// element to the `bits`-bit pow2-scaled grid without materializing the
+// integer codes. Element-wise identical to the two-step form; used by the
+// compiled network's activation-quantization steps.
+tensor::Tensor fake_quantize(const tensor::Tensor& x, int bits);
 
 // Operation census of one engine run.
 struct OpCounts {
@@ -58,9 +89,18 @@ class ShiftConv2d {
 
   // Run on one quantized image; returns the dequantized float output
   // [out_channels, out_h, out_w]. Accumulates op counts into `counts` if
-  // non-null.
+  // non-null. Executes the compiled plan: zero elements and pruned filters
+  // cost nothing, interior pixels run without padding bounds checks, and
+  // scratch comes from the per-thread arena (zero steady-state allocation
+  // beyond the pooled output tensor).
   [[nodiscard]] tensor::Tensor run(const QuantizedActivations& input,
                                    OpCounts* counts = nullptr) const;
+
+  // The pre-plan engine: walks the decomposition's term vectors directly,
+  // zero elements and all. Kept as the differential oracle / seed baseline;
+  // output and op counts are bit-identical to run().
+  [[nodiscard]] tensor::Tensor run_reference(const QuantizedActivations& input,
+                                             OpCounts* counts = nullptr) const;
 
   // Number of single-shift filter terms (the LightNN-1 engine's workload).
   [[nodiscard]] std::int64_t term_count() const { return decomposition_.term_count(); }
@@ -68,20 +108,23 @@ class ShiftConv2d {
     return decomposition_.filter_k;
   }
   [[nodiscard]] std::int64_t out_channels() const { return out_channels_; }
+  [[nodiscard]] const ShiftPlan& plan() const { return plan_; }
 
  private:
   core::Decomposition decomposition_;
   quant::Pow2Config config_;
   std::int64_t out_channels_, in_channels_, kernel_, stride_, padding_;
   tensor::Tensor bias_;  // float; folded in after dequantization
-  // Term indices grouped by output filter, preserving decomposition order.
-  // run() parallelizes across filter blocks; each filter's accumulator plane
-  // is written by exactly one thread, so parallel results are bit-identical
-  // to serial execution.
+  // Compiled SoA execution plan (run()'s workload).
+  ShiftPlan plan_;
+  // Term indices grouped by output filter, preserving decomposition order;
+  // run_reference()'s workload. Both paths parallelize across filter blocks,
+  // so each filter's accumulator plane is written by exactly one thread and
+  // parallel results are bit-identical to serial execution.
   std::vector<std::vector<std::size_t>> filter_terms_;
   // Per-filter sum of 2^shift over nonzero weight elements, saturated at the
   // accumulator guard: |accumulator| <= max|q| * filter_gain_[f], which lets
-  // run() check for overflow once per filter instead of per element.
+  // both run paths check for overflow once per filter instead of per element.
   std::vector<std::int64_t> filter_gain_;
 };
 
@@ -94,20 +137,26 @@ class ShiftLinear {
               const quant::Pow2Config& config, tensor::Tensor bias = {});
 
   // `input.shape` must be rank-1 [in_features]. Returns the dequantized
-  // float output [out_features].
+  // float output [out_features]. Plan-compiled, like ShiftConv2d::run.
   [[nodiscard]] tensor::Tensor run(const QuantizedActivations& input,
                                    OpCounts* counts = nullptr) const;
 
+  // Pre-plan term walk (differential oracle / seed baseline).
+  [[nodiscard]] tensor::Tensor run_reference(const QuantizedActivations& input,
+                                             OpCounts* counts = nullptr) const;
+
   [[nodiscard]] std::int64_t term_count() const { return decomposition_.term_count(); }
   [[nodiscard]] std::int64_t out_features() const { return out_features_; }
+  [[nodiscard]] const ShiftPlan& plan() const { return plan_; }
 
  private:
   core::Decomposition decomposition_;
   quant::Pow2Config config_;
   std::int64_t out_features_, in_features_;
   tensor::Tensor bias_;
+  ShiftPlan plan_;
   // Same per-filter term grouping / overflow-gain precomputation as
-  // ShiftConv2d (see there); enables filter-block parallelism in run().
+  // ShiftConv2d (see there); run_reference()'s workload.
   std::vector<std::vector<std::size_t>> filter_terms_;
   std::vector<std::int64_t> filter_gain_;
 };

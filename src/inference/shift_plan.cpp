@@ -1,0 +1,89 @@
+#include "inference/shift_plan.hpp"
+
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace flightnn::inference {
+
+namespace {
+
+// Shared lowering: group terms by filter, stream out only nonzero elements.
+// `spatial` toggles the conv-only channel/ky/kx streams.
+ShiftPlan compile_impl(const core::Decomposition& decomposition,
+                       const quant::Pow2Config& config, std::int64_t in_channels,
+                       std::int64_t kernel, bool spatial) {
+  const auto filters = static_cast<std::int64_t>(decomposition.filter_k.size());
+
+  ShiftPlan plan;
+  plan.filters = filters;
+
+  // Terms grouped by filter in decomposition order (compile-time only; the
+  // runtime structure is the flat entry stream).
+  std::vector<std::vector<std::size_t>> terms_by_filter(
+      static_cast<std::size_t>(filters));
+  for (std::size_t t = 0; t < decomposition.terms.size(); ++t) {
+    const auto f = static_cast<std::size_t>(decomposition.terms[t].filter);
+    terms_by_filter[f].push_back(t);
+  }
+
+  plan.filter_begin.reserve(static_cast<std::size_t>(filters) + 1);
+  plan.filter_gain.assign(static_cast<std::size_t>(filters), 0);
+  plan.filter_begin.push_back(0);
+
+  for (std::int64_t f = 0; f < filters; ++f) {
+    std::int64_t gain = 0;
+    for (const std::size_t t : terms_by_filter[static_cast<std::size_t>(f)]) {
+      const auto& term = decomposition.terms[t];
+      for (std::size_t e = 0; e < term.elements.size(); ++e) {
+        const quant::Pow2Term w = term.elements[e];
+        if (w.sign == 0) continue;  // elided: zero elements never reach run()
+        const int shift = static_cast<int>(w.exponent) - config.e_min;
+        FLIGHTNN_CHECK(shift >= 0 && shift < 62,
+                       "ShiftPlan: shift ", shift,
+                       " outside the barrel shifter's range");
+        FLIGHTNN_CHECK(static_cast<std::int64_t>(e) <=
+                           std::numeric_limits<std::int32_t>::max(),
+                       "ShiftPlan: element index ", e, " overflows int32");
+        plan.element.push_back(static_cast<std::int32_t>(e));
+        if (spatial) {
+          const auto ei = static_cast<std::int64_t>(e);
+          const std::int64_t kk = kernel * kernel;
+          plan.channel.push_back(static_cast<std::int32_t>(ei / kk));
+          plan.ky.push_back(static_cast<std::int16_t>((ei % kk) / kernel));
+          plan.kx.push_back(static_cast<std::int16_t>(ei % kernel));
+        }
+        plan.shift.push_back(static_cast<std::int8_t>(shift));
+        plan.sign.push_back(w.sign);
+        const std::int64_t g = std::int64_t{1} << shift;
+        gain = gain > kShiftAccumulatorGuard - g ? kShiftAccumulatorGuard
+                                                 : gain + g;
+      }
+    }
+    plan.filter_gain[static_cast<std::size_t>(f)] = gain;
+    plan.filter_begin.push_back(plan.entries());
+  }
+
+  if (spatial) {
+    FLIGHTNN_CHECK(in_channels > 0 && kernel > 0,
+                   "ShiftPlan: bad conv geometry ", in_channels, "x", kernel);
+  }
+  return plan;
+}
+
+}  // namespace
+
+ShiftPlan ShiftPlan::compile_conv(const core::Decomposition& decomposition,
+                                  const quant::Pow2Config& config,
+                                  std::int64_t in_channels,
+                                  std::int64_t kernel) {
+  return compile_impl(decomposition, config, in_channels, kernel,
+                      /*spatial=*/true);
+}
+
+ShiftPlan ShiftPlan::compile_linear(const core::Decomposition& decomposition,
+                                    const quant::Pow2Config& config) {
+  return compile_impl(decomposition, config, 0, 0, /*spatial=*/false);
+}
+
+}  // namespace flightnn::inference

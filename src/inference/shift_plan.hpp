@@ -1,0 +1,79 @@
+#pragma once
+
+// Compiled execution plan for the shift-add engine. A `core::Decomposition`
+// is a faithful record of the quantizer's output: per-term element vectors
+// that still contain zero elements (sign == 0) and per-filter term lists
+// that may be empty (pruned filters). Walking that record at inference time
+// makes the inner loop pay for weights that contribute nothing -- exactly
+// the cost the paper's per-filter k_i is supposed to eliminate (Fig. 3).
+//
+// `ShiftPlan` lowers the decomposition once, at engine construction, into a
+// flat structure-of-arrays: one contiguous stream of (element, shift, sign)
+// entries per filter, with every zero element and every pruned filter elided.
+// Steady-state kernel work is then exactly proportional to
+// Σ_i k_i · nnz_i -- the paper's energy-proportionality, realized in
+// software.
+//
+// Entry order is: filters ascending; within a filter, terms in decomposition
+// order; within a term, elements in index order. The order is stable and
+// documented, but the engine's correctness does not depend on it: each
+// output accumulator receives the same multiset of integer addends as the
+// reference term-walk, and int64 addition is associative and commutative, so
+// any regrouping produces bit-identical results (DESIGN.md §9).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decompose.hpp"
+#include "quant/pow2.hpp"
+
+namespace flightnn::inference {
+
+struct ShiftPlan {
+  // --- SoA entry streams, indexed [filter_begin[f], filter_begin[f+1]) ------
+  // Flat weight-element index of the entry: for conv, c*K*K + ky*K + kx into
+  // the OIHW filter; for linear, the input-feature index.
+  std::vector<std::int32_t> element;
+  // Conv-only spatial split of `element` (ky/kx drive the border path and
+  // the analytic op counts; channel the input-plane offset). Empty for
+  // linear plans.
+  std::vector<std::int32_t> channel;
+  std::vector<std::int16_t> ky;
+  std::vector<std::int16_t> kx;
+  // Barrel-shifter amount (exponent - e_min, always >= 0) and sign (+1/-1;
+  // zero-sign elements never make it into a plan).
+  std::vector<std::int8_t> shift;
+  std::vector<std::int8_t> sign;
+
+  // Prefix array over filters: filter f's entries are
+  // [filter_begin[f], filter_begin[f+1]); size filters + 1. A pruned filter
+  // has an empty range and costs nothing at run time.
+  std::vector<std::int64_t> filter_begin;
+
+  // Per-filter worst-case accumulator gain: sum of 2^shift over the filter's
+  // entries, saturated at the accumulator guard. |accumulator| <= max|q| *
+  // filter_gain[f] bounds every intermediate partial sum, enabling one
+  // overflow check per filter instead of per accumulate.
+  std::vector<std::int64_t> filter_gain;
+
+  std::int64_t filters = 0;
+
+  [[nodiscard]] std::int64_t entries() const {
+    return static_cast<std::int64_t>(element.size());
+  }
+  [[nodiscard]] bool is_conv() const { return !channel.empty() || element.empty(); }
+
+  // Lower a conv decomposition (OIHW weights [filters, in_channels, K, K]).
+  static ShiftPlan compile_conv(const core::Decomposition& decomposition,
+                                const quant::Pow2Config& config,
+                                std::int64_t in_channels, std::int64_t kernel);
+
+  // Lower a linear decomposition (weights [filters, in_features]).
+  static ShiftPlan compile_linear(const core::Decomposition& decomposition,
+                                  const quant::Pow2Config& config);
+};
+
+// Saturation ceiling shared with the engine's overflow contract.
+inline constexpr std::int64_t kShiftAccumulatorGuard = std::int64_t{1} << 62;
+
+}  // namespace flightnn::inference

@@ -20,13 +20,19 @@ void merge_counts(inference::NetworkOpCounts& into,
 
 }  // namespace
 
-BatchResult BatchRunner::run(const std::vector<tensor::Tensor>& images) const {
+void BatchRunner::run(const std::vector<tensor::Tensor>& images,
+                      BatchResult& result) const {
   const auto n = static_cast<std::int64_t>(images.size());
-  BatchResult result;
-  result.logits.resize(images.size());
+  result.logits.resize(images.size());  // recycles logits tensors in place
+  result.counts = {};
   // Per-image count slots keep the aggregation race-free and deterministic:
-  // the final merge happens on the calling thread in index order.
-  std::vector<inference::NetworkOpCounts> counts(images.size());
+  // the final merge happens on the calling thread in index order. The slot
+  // vector is calling-thread scratch, reused across batches. The local
+  // reference is load-bearing: a thread_local named directly inside the
+  // lambda below would resolve to each worker's own (empty) instance.
+  thread_local std::vector<inference::NetworkOpCounts> counts_tls;
+  auto& counts = counts_tls;
+  counts.assign(images.size(), {});
   parallel_for(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
       const auto idx = static_cast<std::size_t>(i);
@@ -34,32 +40,51 @@ BatchResult BatchRunner::run(const std::vector<tensor::Tensor>& images) const {
     }
   });
   for (const auto& c : counts) merge_counts(result.counts, c);
+}
+
+BatchResult BatchRunner::run(const std::vector<tensor::Tensor>& images) const {
+  BatchResult result;
+  run(images, result);
   return result;
 }
 
-BatchResult BatchRunner::run(const tensor::Tensor& batch) const {
+void BatchRunner::run(const tensor::Tensor& batch, BatchResult& result) const {
   const auto& s = batch.shape();
   FLIGHTNN_CHECK(s.rank() == 4, "BatchRunner::run: NCHW batch expected, got ",
                  s.to_string());
   const std::int64_t n = s[0];
   const std::int64_t image_numel = s[1] * s[2] * s[3];
-  std::vector<tensor::Tensor> images(static_cast<std::size_t>(n));
+  // Per-image views are calling-thread scratch; the tensors inside recycle
+  // their buffers through the per-thread pool across batches.
+  thread_local std::vector<tensor::Tensor> images;
+  images.resize(static_cast<std::size_t>(n));
+  const tensor::Shape image_shape{s[1], s[2], s[3]};
   for (std::int64_t i = 0; i < n; ++i) {
-    tensor::Tensor image(tensor::Shape{s[1], s[2], s[3]});
+    auto& image = images[static_cast<std::size_t>(i)];
+    if (image.shape() != image_shape) image = tensor::Tensor(image_shape);
     std::memcpy(image.data(), batch.data() + i * image_numel,
                 static_cast<std::size_t>(image_numel) * sizeof(float));
-    images[static_cast<std::size_t>(i)] = std::move(image);
   }
-  return run(images);
+  run(images, result);
+}
+
+BatchResult BatchRunner::run(const tensor::Tensor& batch) const {
+  BatchResult result;
+  run(batch, result);
+  return result;
 }
 
 double BatchRunner::evaluate(const data::Dataset& dataset, int top_k,
                              inference::NetworkOpCounts* counts) const {
   const std::int64_t n = dataset.size();
   if (n == 0) return 0.0;
-  std::vector<inference::NetworkOpCounts> image_counts(
-      static_cast<std::size_t>(n));
-  std::vector<std::uint8_t> hit(static_cast<std::size_t>(n), 0);
+  // Calling-thread scratch; the local references matter (see run above).
+  thread_local std::vector<inference::NetworkOpCounts> image_counts_tls;
+  thread_local std::vector<std::uint8_t> hit_tls;
+  auto& image_counts = image_counts_tls;
+  auto& hit = hit_tls;
+  image_counts.assign(static_cast<std::size_t>(n), {});
+  hit.assign(static_cast<std::size_t>(n), 0);
   parallel_for(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
       const auto idx = static_cast<std::size_t>(i);

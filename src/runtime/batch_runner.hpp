@@ -36,6 +36,13 @@ class BatchRunner {
   // Run an NCHW batch tensor.
   [[nodiscard]] BatchResult run(const tensor::Tensor& batch) const;
 
+  // Allocation-reusing variants: write into `result`, recycling its logits
+  // tensors and counter storage. Feeding the same `result` back across
+  // batches is the zero-allocation steady state of DESIGN.md §9 (asserted by
+  // tests/arena_allocation_test).
+  void run(const std::vector<tensor::Tensor>& images, BatchResult& result) const;
+  void run(const tensor::Tensor& batch, BatchResult& result) const;
+
   // Top-k classification accuracy over a dataset, images evaluated in
   // parallel. Matches QuantizedNetwork::evaluate exactly.
   [[nodiscard]] double evaluate(const data::Dataset& dataset, int top_k = 1,

@@ -1,0 +1,45 @@
+#include "runtime/scratch_arena.hpp"
+
+namespace flightnn::runtime {
+
+namespace {
+
+template <typename T>
+std::vector<T>& resized(std::vector<T>& buffer, std::size_t n) {
+  if (buffer.capacity() < n) buffer.reserve(n);
+  buffer.resize(n);
+  return buffer;
+}
+
+}  // namespace
+
+ScratchArena& ScratchArena::current() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+std::vector<std::int64_t>& ScratchArena::i64(Scratch slot, std::size_t n) {
+  return resized(i64_[static_cast<std::size_t>(slot)], n);
+}
+
+std::vector<std::int32_t>& ScratchArena::i32(Scratch slot, std::size_t n) {
+  return resized(i32_[static_cast<std::size_t>(slot)], n);
+}
+
+std::size_t ScratchArena::footprint_bytes() const {
+  std::size_t bytes = 0;
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    bytes += i64_[s].capacity() * sizeof(std::int64_t);
+    bytes += i32_[s].capacity() * sizeof(std::int32_t);
+  }
+  return bytes;
+}
+
+void ScratchArena::trim() {
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    std::vector<std::int64_t>().swap(i64_[s]);
+    std::vector<std::int32_t>().swap(i32_[s]);
+  }
+}
+
+}  // namespace flightnn::runtime

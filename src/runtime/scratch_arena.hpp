@@ -1,0 +1,65 @@
+#pragma once
+
+// Per-thread scratch arena for the inference hot path. A fixed set of named
+// slots, each a grow-once buffer: the first batch through a network sizes
+// every slot to its high-water mark, after which repeat runs reuse the same
+// storage and the steady state performs zero heap allocations (the
+// zero-allocation contract of DESIGN.md §9, asserted by
+// tests/arena_allocation_test).
+//
+// Lifetime rules:
+//   - Arenas are strictly thread-local; a buffer reference obtained from
+//     `current()` must not escape the calling thread or outlive the current
+//     kernel invocation (any later arena call on the same slot may resize
+//     and so invalidate it).
+//   - Slots are owned by call sites, not by layers: two kernels may share a
+//     slot only if they can never be live simultaneously on one thread.
+//     Nested use of the same slot (conv calling back into something that
+//     uses kConvAccumulator) is a bug; slots used by nestable helpers get
+//     their own ids.
+//   - Buffers keep their high-water capacity until the thread exits. Call
+//     `trim()` to return the memory (tests; long-lived threads switching
+//     workloads).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flightnn::runtime {
+
+// Slot ids. One per independent scratch use; see lifetime rules above.
+enum class Scratch : std::size_t {
+  kConvAccumulator = 0,   // int64 accumulator plane(s) for ShiftConv2d
+  kConvOffsets,           // int32 im2row input-offset table for ShiftConv2d
+  kLinearAccumulator,     // int64 accumulator row for ShiftLinear
+  kQuantValues,           // int32 quantized activations (quantize_*_into)
+  kSlotCount,
+};
+
+class ScratchArena {
+ public:
+  // The calling thread's arena.
+  static ScratchArena& current();
+
+  // Slot buffer resized to exactly `n` elements (contents unspecified).
+  // Capacity only grows, so a request at or below the high-water mark does
+  // not allocate.
+  std::vector<std::int64_t>& i64(Scratch slot, std::size_t n);
+  std::vector<std::int32_t>& i32(Scratch slot, std::size_t n);
+
+  // Total bytes currently reserved across all slots (observability).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+  // Release all slot storage.
+  void trim();
+
+ private:
+  ScratchArena() = default;
+
+  static constexpr std::size_t kSlots =
+      static_cast<std::size_t>(Scratch::kSlotCount);
+  std::vector<std::int64_t> i64_[kSlots];
+  std::vector<std::int32_t> i32_[kSlots];
+};
+
+}  // namespace flightnn::runtime

@@ -11,54 +11,45 @@
 
 namespace flightnn::runtime {
 
-namespace {
+namespace detail {
 
-// Shared state of one parallel_for invocation. Chunks are claimed by atomic
-// increment; completion is a counted-down rendezvous on `all_done`. Helpers
-// hold the state via shared_ptr so a task that was still queued when the
-// loop finished can wake up late, find no chunk, and exit harmlessly --
-// `body` is only dereferenced while the owning parallel_for is blocked, and
-// only for claimed chunks.
-struct ParallelState {
+// Bookkeeping of one in-flight parallel_for. Lives on the calling thread's
+// stack for exactly the duration of the call; workers only ever reach it
+// through the pool's intrusive list, and the invariant that makes that safe
+// is: any thread holding a ParallelOp pointer outside the pool mutex has
+// `helpers_inside` incremented for it, and the caller does not return (and
+// so does not pop its stack frame) until the op is unlinked and
+// `helpers_inside` has drained to zero.
+struct ParallelOp {
   std::int64_t begin = 0;
   std::int64_t end = 0;
   std::int64_t chunk = 1;
   std::int64_t chunks = 0;
-  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+  void (*invoke)(void*, std::int64_t, std::int64_t) = nullptr;
+  void* ctx = nullptr;
 
-  std::atomic<std::int64_t> next{0};
-  std::atomic<std::int64_t> done{0};
+  std::atomic<std::int64_t> next{0};   // next chunk index to claim
+  std::atomic<std::int64_t> done{0};   // chunks fully executed
   std::atomic<bool> failed{false};
-  std::mutex mutex;
-  std::condition_variable all_done;
-  std::exception_ptr error;  // guarded by mutex
-
-  void run_chunks() {
-    for (;;) {
-      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= chunks) return;
-      if (!failed.load(std::memory_order_relaxed)) {
-        try {
-          const std::int64_t lo = begin + c * chunk;
-          const std::int64_t hi = std::min(end, lo + chunk);
-          (*body)(lo, hi);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(mutex);
-          if (!error) error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-        }
-      }
-      // Release pairs with the caller's acquire load in wait(): everything
-      // the body wrote is visible once done == chunks is observed.
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
-        const std::lock_guard<std::mutex> lock(mutex);
-        all_done.notify_all();
-      }
-    }
-  }
+  std::exception_ptr error;            // guarded by the pool mutex
+  int helpers_inside = 0;              // guarded by the pool mutex
+  ParallelOp* next_op = nullptr;       // intrusive list; guarded by the pool mutex
 };
 
+namespace {
+
+// An op is worth entering only while it still has unclaimed chunks; helpers
+// skip exhausted ops so they cannot spin on work that is merely draining.
+ParallelOp* find_runnable(ParallelOp* head) {
+  for (ParallelOp* op = head; op != nullptr; op = op->next_op) {
+    if (op->next.load(std::memory_order_relaxed) < op->chunks) return op;
+  }
+  return nullptr;
+}
+
 }  // namespace
+
+}  // namespace detail
 
 ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
@@ -78,17 +69,53 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_op_chunks(detail::ParallelOp& op) {
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, and the queue is drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    const std::int64_t c = op.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= op.chunks) return;
+    if (!op.failed.load(std::memory_order_relaxed)) {
+      try {
+        const std::int64_t lo = op.begin + c * op.chunk;
+        const std::int64_t hi = std::min(op.end, lo + op.chunk);
+        op.invoke(op.ctx, lo, hi);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!op.error) op.error = std::current_exception();
+        op.failed.store(true, std::memory_order_relaxed);
+      }
     }
-    task();
+    // Release pairs with the caller's acquire load while waiting: everything
+    // the body wrote is visible once done == chunks is observed. (The
+    // helpers_inside handshake under the pool mutex independently covers the
+    // helper-executed chunks.)
+    op.done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock, [&] {
+      return stopping_ || !queue_.empty() ||
+             detail::find_runnable(ops_head_) != nullptr;
+    });
+    if (detail::ParallelOp* op = detail::find_runnable(ops_head_)) {
+      ++op->helpers_inside;  // pins the op: its caller now waits for us
+      lock.unlock();
+      run_op_chunks(*op);
+      lock.lock();
+      if (--op->helpers_inside == 0) helpers_idle_.notify_all();
+      continue;
+    }
+    if (!queue_.empty()) {
+      std::function<void()> task = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (stopping_) return;
   }
 }
 
@@ -106,9 +133,10 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
-void ThreadPool::parallel_for(
-    std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(std::int64_t, std::int64_t)>& body) {
+void ThreadPool::run_parallel(std::int64_t begin, std::int64_t end,
+                              std::int64_t grain,
+                              void (*invoke)(void*, std::int64_t, std::int64_t),
+                              void* ctx) {
   FLIGHTNN_CHECK(grain > 0, "parallel_for: grain must be >= 1, got ", grain);
   if (end <= begin) return;
   const std::int64_t range = end - begin;
@@ -119,39 +147,52 @@ void ThreadPool::parallel_for(
       std::max(grain, (range + target_chunks - 1) / target_chunks);
   const std::int64_t chunks = (range + chunk - 1) / chunk;
   if (threads_ == 1 || chunks <= 1) {
-    body(begin, end);
+    invoke(ctx, begin, end);
     return;
   }
 
-  auto state = std::make_shared<ParallelState>();
-  state->begin = begin;
-  state->end = end;
-  state->chunk = chunk;
-  state->chunks = chunks;
-  state->body = &body;
+  detail::ParallelOp op;
+  op.begin = begin;
+  op.end = end;
+  op.chunk = chunk;
+  op.chunks = chunks;
+  op.invoke = invoke;
+  op.ctx = ctx;
 
-  const std::int64_t helpers = std::min<std::int64_t>(
-      static_cast<std::int64_t>(workers_.size()), chunks - 1);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!stopping_) {
-      for (std::int64_t h = 0; h < helpers; ++h) {
-        queue_.emplace_back([state] { state->run_chunks(); });
-      }
+      // Push at the head: nested ops land in front of the op their caller is
+      // already helping with, so free workers drain inner loops first.
+      op.next_op = ops_head_;
+      ops_head_ = &op;
     }
   }
   work_available_.notify_all();
 
-  // The caller works too; afterwards it waits only on chunks claimed by
-  // worker threads that are actively executing them.
-  state->run_chunks();
+  // The caller works too; run_op_chunks only returns once every chunk has
+  // been claimed (by us or by helpers).
+  run_op_chunks(op);
+
   {
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->all_done.wait(lock, [&] {
-      return state->done.load(std::memory_order_acquire) == state->chunks;
-    });
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Unlink so no new helper can discover the op...
+    for (detail::ParallelOp** p = &ops_head_; *p != nullptr;
+         p = &(*p)->next_op) {
+      if (*p == &op) {
+        *p = op.next_op;
+        break;
+      }
+    }
+    // ...then wait out the helpers already inside. When the last one leaves,
+    // its claimed chunks are complete, so done == chunks follows and the
+    // stack frame holding `op` (and the caller's body object) is safe to pop.
+    helpers_idle_.wait(lock, [&] { return op.helpers_inside == 0; });
   }
-  if (state->error) std::rethrow_exception(state->error);
+  FLIGHTNN_DCHECK(op.done.load(std::memory_order_acquire) == op.chunks,
+                  "parallel_for: ", op.done.load(), " of ", op.chunks,
+                  " chunks done after helper drain");
+  if (op.error) std::rethrow_exception(op.error);
 }
 
 // --- Global configuration ----------------------------------------------------
@@ -208,18 +249,6 @@ ThreadPool& global_pool() {
     g_pool = std::make_unique<ThreadPool>(g_threads);
   }
   return *g_pool;
-}
-
-void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body) {
-  FLIGHTNN_CHECK(grain > 0, "parallel_for: grain must be >= 1, got ", grain);
-  if (end <= begin) return;
-  if (num_threads() == 1) {
-    // Serial fast path: no pool, no chunking, one call over the full range.
-    body(begin, end);
-    return;
-  }
-  global_pool().parallel_for(begin, end, grain, body);
 }
 
 }  // namespace flightnn::runtime

@@ -7,6 +7,13 @@
 // regular, statically-partitionable loops in this codebase (batch elements,
 // output-filter blocks, image planes).
 //
+// parallel_for is allocation-free: the per-invocation bookkeeping lives in a
+// `ParallelOp` on the caller's stack, linked into an intrusive list the
+// workers scan under the pool mutex, and the loop body is reached through a
+// plain function pointer + context pointer rather than a std::function. This
+// is what lets the batched runtime promise zero heap allocations in steady
+// state (DESIGN.md §9).
+//
 // Design properties the tests rely on:
 //   - The calling thread participates in its own parallel_for, so a pool of
 //     size N uses N-1 workers and nested parallel_for calls issued from
@@ -27,7 +34,13 @@
 #include <thread>
 #include <vector>
 
+#include "support/check.hpp"
+
 namespace flightnn::runtime {
+
+namespace detail {
+struct ParallelOp;  // stack-allocated per parallel_for; defined in the .cpp
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -42,25 +55,41 @@ class ThreadPool {
   [[nodiscard]] int size() const { return threads_; }
 
   // Fire-and-forget task. Runs inline when the pool has no workers. Pending
-  // tasks are executed (not dropped) during destruction.
+  // tasks are executed (not dropped) during destruction. (This path does
+  // allocate a std::function; the hot inference loops only use parallel_for.)
   void submit(std::function<void()> task);
 
   // Invoke `body(lo, hi)` over disjoint subranges covering [begin, end)
   // exactly once, with each subrange at least `grain` long (except possibly
   // the last). Blocks until every subrange has completed. Safe to call
   // concurrently from multiple threads and from inside another
-  // parallel_for body.
+  // parallel_for body. Performs no heap allocation.
+  template <typename Body>
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                    const std::function<void(std::int64_t, std::int64_t)>& body);
+                    const Body& body) {
+    run_parallel(begin, end, grain,
+                 [](void* ctx, std::int64_t lo, std::int64_t hi) {
+                   (*static_cast<const Body*>(ctx))(lo, hi);
+                 },
+                 const_cast<void*>(static_cast<const void*>(&body)));
+  }
 
  private:
   void worker_loop();
+  // Type-erased core of parallel_for: `invoke(ctx, lo, hi)` runs the body.
+  void run_parallel(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    void (*invoke)(void*, std::int64_t, std::int64_t),
+                    void* ctx);
+  // Claim-and-run loop shared by the caller and helper workers.
+  void run_op_chunks(detail::ParallelOp& op);
 
   int threads_;
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
+  detail::ParallelOp* ops_head_ = nullptr;  // intrusive; guarded by mutex_
   std::mutex mutex_;
   std::condition_variable work_available_;
+  std::condition_variable helpers_idle_;
   bool stopping_ = false;
 };
 
@@ -84,7 +113,17 @@ ThreadPool& global_pool();
 
 // parallel_for on the shared pool. At num_threads() == 1 this degrades to a
 // direct `body(begin, end)` call -- the serial path, no pool involved.
+template <typename Body>
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body);
+                  const Body& body) {
+  FLIGHTNN_CHECK(grain > 0, "parallel_for: grain must be >= 1, got ", grain);
+  if (end <= begin) return;
+  if (num_threads() == 1) {
+    // Serial fast path: no pool, no chunking, one call over the full range.
+    body(begin, end);
+    return;
+  }
+  global_pool().parallel_for(begin, end, grain, body);
+}
 
 }  // namespace flightnn::runtime

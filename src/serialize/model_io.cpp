@@ -74,7 +74,9 @@ class Reader {
 
 void write_tensor(Writer& writer, const tensor::Tensor& t) {
   writer.u32(static_cast<std::uint32_t>(t.shape().rank()));
-  for (auto d : t.shape().dims()) writer.i64(d);
+  for (std::size_t axis = 0; axis < t.shape().rank(); ++axis) {
+    writer.i64(t.shape()[axis]);
+  }
   writer.floats(t.data(), t.numel());
 }
 

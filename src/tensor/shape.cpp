@@ -6,35 +6,47 @@
 
 namespace flightnn::tensor {
 
-Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
-  for (auto d : dims_) {
+namespace {
+
+template <typename Range>
+void fill_dims(const Range& dims, std::array<std::int64_t, Shape::kMaxRank>& out,
+               std::size_t& rank) {
+  FLIGHTNN_CHECK(dims.size() <= Shape::kMaxRank, "Shape: rank ", dims.size(),
+                 " exceeds the inline capacity ", Shape::kMaxRank);
+  rank = dims.size();
+  std::size_t axis = 0;
+  for (const std::int64_t d : dims) {
     FLIGHTNN_CHECK(d >= 0, "Shape: negative dimension ", d);
+    out[axis++] = d;
   }
 }
 
-Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
-  for (auto d : dims_) {
-    FLIGHTNN_CHECK(d >= 0, "Shape: negative dimension ", d);
-  }
+}  // namespace
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) {
+  fill_dims(dims, dims_, rank_);
+}
+
+Shape::Shape(const std::vector<std::int64_t>& dims) {
+  fill_dims(dims, dims_, rank_);
 }
 
 std::int64_t Shape::dim(std::size_t axis) const {
-  if (axis >= dims_.size()) throw std::out_of_range("Shape::dim: axis out of range");
+  if (axis >= rank_) throw std::out_of_range("Shape::dim: axis out of range");
   return dims_[axis];
 }
 
 std::int64_t Shape::numel() const {
   std::int64_t n = 1;
-  for (auto d : dims_) n *= d;
+  for (std::size_t axis = 0; axis < rank_; ++axis) n *= dims_[axis];
   return n;
 }
 
 std::int64_t Shape::offset(const std::vector<std::int64_t>& index) const {
-  FLIGHTNN_CHECK(index.size() == dims_.size(),
-                 "Shape::offset: index rank ", index.size(),
-                 " does not match shape rank ", dims_.size());
+  FLIGHTNN_CHECK(index.size() == rank_, "Shape::offset: index rank ",
+                 index.size(), " does not match shape rank ", rank_);
   std::int64_t off = 0;
-  for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
+  for (std::size_t axis = 0; axis < rank_; ++axis) {
     FLIGHTNN_DCHECK(index[axis] >= 0 && index[axis] < dims_[axis],
                     "Shape::offset: index ", index[axis],
                     " out of range for axis ", axis, " of ", to_string());
@@ -45,7 +57,7 @@ std::int64_t Shape::offset(const std::vector<std::int64_t>& index) const {
 
 std::string Shape::to_string() const {
   std::string out = "[";
-  for (std::size_t i = 0; i < dims_.size(); ++i) {
+  for (std::size_t i = 0; i < rank_; ++i) {
     if (i > 0) out += ", ";
     out += std::to_string(dims_[i]);
   }

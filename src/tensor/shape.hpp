@@ -3,7 +3,13 @@
 // Shape of a dense row-major tensor. Kept as a small value type; most
 // tensors in this library are rank 1 (bias), 2 (linear weights / im2col
 // matrices) or 4 (NCHW activations and OIHW convolution weights).
+//
+// Dimensions live inline (no heap storage): shapes are constructed on every
+// layer boundary of the inference hot path, and the zero-allocation
+// steady-state contract of the batched runtime (DESIGN.md §9) requires that
+// building one never touches the allocator.
 
+#include <array>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
@@ -13,30 +19,39 @@ namespace flightnn::tensor {
 
 class Shape {
  public:
+  // Largest supported rank. NCHW/OIHW need 4; two spare axes keep room for
+  // future layouts without reintroducing heap storage.
+  static constexpr std::size_t kMaxRank = 6;
+
   Shape() = default;
   Shape(std::initializer_list<std::int64_t> dims);
-  explicit Shape(std::vector<std::int64_t> dims);
+  explicit Shape(const std::vector<std::int64_t>& dims);
 
-  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+  [[nodiscard]] std::size_t rank() const { return rank_; }
   [[nodiscard]] std::int64_t dim(std::size_t axis) const;
   [[nodiscard]] std::int64_t operator[](std::size_t axis) const { return dim(axis); }
 
   // Product of all dimensions; 1 for a rank-0 (scalar) shape.
   [[nodiscard]] std::int64_t numel() const;
 
-  [[nodiscard]] const std::vector<std::int64_t>& dims() const { return dims_; }
-
   // Row-major flat offset of a multi-index. Bounds-checked in debug builds.
   [[nodiscard]] std::int64_t offset(const std::vector<std::int64_t>& index) const;
 
-  [[nodiscard]] bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  [[nodiscard]] bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (std::size_t axis = 0; axis < rank_; ++axis) {
+      if (dims_[axis] != other.dims_[axis]) return false;
+    }
+    return true;
+  }
   [[nodiscard]] bool operator!=(const Shape& other) const { return !(*this == other); }
 
   // "[2, 3, 32, 32]"
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::vector<std::int64_t> dims_;
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
 };
 
 }  // namespace flightnn::tensor

@@ -4,20 +4,59 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "tensor/buffer_pool.hpp"
 
 namespace flightnn::tensor {
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), 0.0F) {}
+    : shape_(shape), data_(pool::acquire(static_cast<std::size_t>(shape_.numel()))) {
+  std::fill(data_.begin(), data_.end(), 0.0F);
+}
 
 Tensor::Tensor(Shape shape, float fill)
-    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+    : shape_(shape), data_(pool::acquire(static_cast<std::size_t>(shape_.numel()))) {
+  std::fill(data_.begin(), data_.end(), fill);
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   FLIGHTNN_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
                  "Tensor: data size ", data_.size(),
                  " does not match shape ", shape_.to_string());
+}
+
+Tensor::~Tensor() { pool::release(std::move(data_)); }
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(pool::acquire(other.data_.size())) {
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  if (data_.size() != other.data_.size()) {
+    pool::release(std::move(data_));
+    data_ = pool::acquire(other.data_.size());
+  }
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(other.shape_), data_(std::move(other.data_)) {
+  other.shape_ = Shape();
+  other.data_.clear();
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  pool::release(std::move(data_));
+  shape_ = other.shape_;
+  data_ = std::move(other.data_);
+  other.shape_ = Shape();
+  other.data_.clear();
+  return *this;
 }
 
 Tensor Tensor::randn(Shape shape, support::Rng& rng, float mean, float stddev) {
@@ -36,7 +75,7 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   FLIGHTNN_CHECK(new_shape.numel() == shape_.numel(),
                  "Tensor::reshaped: numel mismatch ", shape_.to_string(),
                  " -> ", new_shape.to_string());
-  Tensor t = *this;
+  Tensor t(*this);  // pooled deep copy
   t.shape_ = std::move(new_shape);
   return t;
 }

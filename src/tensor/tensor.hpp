@@ -4,6 +4,11 @@
 // throughout the library: activations (NCHW), convolution weights (OIHW),
 // gradients and optimizer state all use it. The type has value semantics;
 // copies are deep.
+//
+// Storage is acquired from and returned to a per-thread buffer pool
+// (tensor/buffer_pool.hpp), so repeat workloads that churn through the same
+// tensor sizes — batched inference in particular — reach a steady state where
+// constructing and destroying tensors performs no heap allocation.
 
 #include <cstdint>
 #include <vector>
@@ -20,6 +25,14 @@ class Tensor {
   explicit Tensor(Shape shape);                   // zero-filled
   Tensor(Shape shape, float fill);
   Tensor(Shape shape, std::vector<float> data);   // takes ownership
+
+  // Storage round-trips through the per-thread buffer pool: copies acquire a
+  // pooled buffer, destruction and move-assignment release the old one.
+  ~Tensor();
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor full(Shape shape, float value) { return Tensor(std::move(shape), value); }

@@ -1,0 +1,173 @@
+// Zero-allocation steady state: after warm-up, repeated BatchRunner::run
+// calls into a reused BatchResult must perform no heap allocations. The test
+// replaces the global operator new/delete pair with counting versions; every
+// allocation anywhere in the process (any thread) increments the counter
+// while counting is armed.
+//
+// Two regimes:
+//  - 1 thread: strict. The calling thread owns every buffer; after the first
+//    batch has populated the tensor pool, quantization scratch, arenas and
+//    counter vectors, subsequent batches must allocate exactly nothing.
+//  - 4 threads: converge-then-assert. Workers acquire pool buffers lazily and
+//    batch elements can land on different workers run-to-run, so each worker
+//    may pay a one-time transient of at most one buffer per size class. The
+//    test runs batches until it observes consecutive allocation-free batches,
+//    then asserts several more stay clean. Failure to converge fails the test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/quantize_model.hpp"
+#include "inference/quantized_network.hpp"
+#include "models/networks.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+std::atomic<long long> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc(std::size_t size, std::align_val_t align) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = 1;
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace flightnn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+inference::QuantizedNetwork make_network() {
+  models::BuildOptions build;
+  build.classes = 10;
+  build.width_scale = 0.125F;
+  build.seed = 17;
+  auto model = models::build_network(models::table1_network(1), build);
+  core::install_lightnn(*model, 2);
+  return inference::QuantizedNetwork::compile(*model, Shape{1, 3, 16, 16});
+}
+
+std::vector<Tensor> make_images(std::int64_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<Tensor> images;
+  images.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    images.push_back(Tensor::randn(Shape{3, 16, 16}, rng));
+  }
+  return images;
+}
+
+long long count_allocs_in_batch(const runtime::BatchRunner& runner,
+                                const std::vector<Tensor>& images,
+                                runtime::BatchResult& result) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_seq_cst);
+  runner.run(images, result);
+  g_counting.store(false, std::memory_order_seq_cst);
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+TEST(ArenaAllocationTest, SingleThreadSteadyStateAllocatesNothing) {
+  runtime::set_num_threads(1);
+  const auto network = make_network();
+  const runtime::BatchRunner runner(network);
+  const auto images = make_images(6, 1001);
+
+  runtime::BatchResult result;
+  // Warm-up: first batch builds the tensor pool, quantization scratch,
+  // arena slots and counter vectors; second proves stability before arming.
+  runner.run(images, result);
+  runner.run(images, result);
+
+  for (int batch = 0; batch < 5; ++batch) {
+    const long long allocs = count_allocs_in_batch(runner, images, result);
+    EXPECT_EQ(allocs, 0) << "steady-state batch " << batch
+                         << " hit the heap " << allocs << " times";
+  }
+  EXPECT_EQ(result.logits.size(), images.size());
+  EXPECT_EQ(result.counts.images, static_cast<std::int64_t>(images.size()));
+}
+
+TEST(ArenaAllocationTest, MultiThreadSteadyStateConverges) {
+  runtime::set_num_threads(4);
+  const auto network = make_network();
+  const runtime::BatchRunner runner(network);
+  const auto images = make_images(9, 2002);
+
+  runtime::BatchResult result;
+  runner.run(images, result);  // spin up workers + first-touch warm-up
+
+  // Converge: workers warm their thread-local pools lazily and image->worker
+  // assignment varies run to run, so allow a bounded number of batches for
+  // the per-worker transients to die out.
+  constexpr int kMaxWarmupBatches = 50;
+  constexpr int kRequiredCleanStreak = 3;
+  int clean_streak = 0;
+  int batch = 0;
+  for (; batch < kMaxWarmupBatches && clean_streak < kRequiredCleanStreak;
+       ++batch) {
+    const long long allocs = count_allocs_in_batch(runner, images, result);
+    clean_streak = allocs == 0 ? clean_streak + 1 : 0;
+  }
+  ASSERT_EQ(clean_streak, kRequiredCleanStreak)
+      << "allocations never converged to zero within " << kMaxWarmupBatches
+      << " batches";
+
+  // Assert: once converged, the steady state must stay allocation-free.
+  for (int i = 0; i < 5; ++i) {
+    const long long allocs = count_allocs_in_batch(runner, images, result);
+    EXPECT_EQ(allocs, 0) << "post-convergence batch " << i << " allocated";
+  }
+  runtime::set_num_threads(1);
+}
+
+}  // namespace
+}  // namespace flightnn

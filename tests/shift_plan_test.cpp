@@ -1,0 +1,254 @@
+// Property tests for the compiled shift-plan engine: over randomized layer
+// geometries, k_max values and pruning fractions (including all-pruned and
+// fully-dense extremes), the compiled plan path must produce BIT-IDENTICAL
+// outputs and identical op counts to the pre-plan reference term-walk, and
+// the plan itself must satisfy its structural invariants (sorted filter
+// prefix, no zero-sign entries, shifts inside the barrel range, pruned
+// filters with empty entry ranges).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/decompose.hpp"
+#include "inference/shift_engine.hpp"
+#include "inference/shift_plan.hpp"
+#include "quant/lightnn.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flightnn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+void expect_bitwise_equal(const Tensor& expected, const Tensor& actual,
+                          const char* what) {
+  ASSERT_EQ(expected.shape(), actual.shape()) << what;
+  EXPECT_EQ(std::memcmp(expected.data(), actual.data(),
+                        static_cast<std::size_t>(expected.numel()) *
+                            sizeof(float)),
+            0)
+      << what << ": plan output differs from reference term-walk";
+}
+
+// Zero out a fraction of whole filters (the paper's filter pruning). The
+// first `pruned` filters are zeroed so fraction 1.0 reliably covers the
+// all-pruned extreme and 0.0 the fully-dense one.
+void prune_filters(Tensor& weights, double fraction) {
+  const std::int64_t filters = weights.shape()[0];
+  const std::int64_t filter_numel = weights.numel() / filters;
+  const auto pruned =
+      static_cast<std::int64_t>(fraction * static_cast<double>(filters) + 0.5);
+  for (std::int64_t f = 0; f < pruned && f < filters; ++f) {
+    float* row = weights.data() + f * filter_numel;
+    for (std::int64_t i = 0; i < filter_numel; ++i) row[i] = 0.0F;
+  }
+}
+
+void check_plan_invariants(const inference::ShiftPlan& plan,
+                           const quant::Pow2Config& config, bool conv) {
+  ASSERT_EQ(plan.filter_begin.size(),
+            static_cast<std::size_t>(plan.filters) + 1);
+  EXPECT_EQ(plan.filter_begin.front(), 0);
+  EXPECT_EQ(plan.filter_begin.back(), plan.entries());
+  for (std::size_t f = 1; f < plan.filter_begin.size(); ++f) {
+    EXPECT_LE(plan.filter_begin[f - 1], plan.filter_begin[f]);
+  }
+  const auto n = static_cast<std::size_t>(plan.entries());
+  ASSERT_EQ(plan.element.size(), n);
+  ASSERT_EQ(plan.shift.size(), n);
+  ASSERT_EQ(plan.sign.size(), n);
+  if (conv) {
+    ASSERT_EQ(plan.channel.size(), n);
+    ASSERT_EQ(plan.ky.size(), n);
+    ASSERT_EQ(plan.kx.size(), n);
+  } else {
+    EXPECT_TRUE(plan.channel.empty());
+  }
+  const int shift_levels = config.exponent_levels();
+  for (std::size_t e = 0; e < n; ++e) {
+    EXPECT_TRUE(plan.sign[e] == 1 || plan.sign[e] == -1)
+        << "zero-sign entry survived compilation at " << e;
+    EXPECT_GE(plan.shift[e], 0);
+    EXPECT_LT(plan.shift[e], shift_levels);
+  }
+  ASSERT_EQ(plan.filter_gain.size(), static_cast<std::size_t>(plan.filters));
+  for (std::int64_t f = 0; f < plan.filters; ++f) {
+    const bool empty = plan.filter_begin[static_cast<std::size_t>(f)] ==
+                       plan.filter_begin[static_cast<std::size_t>(f) + 1];
+    if (empty) {
+      EXPECT_EQ(plan.filter_gain[static_cast<std::size_t>(f)], 0)
+          << "pruned filter " << f << " has nonzero gain";
+    } else {
+      EXPECT_GT(plan.filter_gain[static_cast<std::size_t>(f)], 0);
+    }
+  }
+}
+
+// Count nonzero elements of a quantized weight tensor, term by term: the
+// plan must contain exactly one entry per nonzero single-shift term element.
+std::int64_t expected_entries(const Tensor& wq, int k_max,
+                              const quant::Pow2Config& config) {
+  const auto decomposition = core::decompose_to_lightnn1(wq, k_max, config);
+  std::int64_t entries = 0;
+  for (const auto& term : decomposition.terms) {
+    for (const auto& element : term.elements) {
+      if (element.sign != 0) ++entries;
+    }
+  }
+  return entries;
+}
+
+TEST(ShiftPlanPropertyTest, ConvPlanMatchesReferenceAcrossRandomConfigs) {
+  const quant::Pow2Config config;
+  const double kPruneFractions[] = {0.0, 0.35, 0.5, 1.0};
+  support::Rng rng(20260805);
+  int cases = 0;
+  for (const int k_max : {1, 2, 3}) {
+    for (const std::int64_t kernel : {1, 3, 5}) {
+      for (const std::int64_t stride : {1, 2, 3}) {
+        for (const std::int64_t padding : {0, 1, 2}) {
+          const double fraction =
+              kPruneFractions[cases % 4];  // cycle the pruning extremes
+          ++cases;
+          const std::int64_t in_ch = 1 + static_cast<std::int64_t>(
+                                             rng.uniform_index(3));
+          const std::int64_t out_ch = 2 + static_cast<std::int64_t>(
+                                              rng.uniform_index(5));
+          const std::int64_t in_h = kernel + static_cast<std::int64_t>(
+                                                 rng.uniform_index(6));
+          const std::int64_t in_w = kernel + static_cast<std::int64_t>(
+                                                 rng.uniform_index(6));
+
+          Tensor w = Tensor::randn(Shape{out_ch, in_ch, kernel, kernel}, rng);
+          Tensor wq = quant::quantize_lightnn(w, k_max, config);
+          prune_filters(wq, fraction);
+
+          const inference::ShiftConv2d engine(wq, k_max, config, stride,
+                                              padding);
+          check_plan_invariants(engine.plan(), config, /*conv=*/true);
+          EXPECT_EQ(engine.plan().entries(),
+                    expected_entries(wq, k_max, config))
+              << "plan did not elide exactly the zero elements";
+
+          const Tensor image = Tensor::randn(Shape{in_ch, in_h, in_w}, rng);
+          const auto q = inference::quantize_image(image, 8);
+
+          inference::OpCounts plan_counts{};
+          inference::OpCounts ref_counts{};
+          const Tensor got = engine.run(q, &plan_counts);
+          const Tensor want = engine.run_reference(q, &ref_counts);
+          expect_bitwise_equal(want, got, "conv");
+          EXPECT_EQ(plan_counts.shifts, ref_counts.shifts)
+              << "k=" << k_max << " kernel=" << kernel << " stride=" << stride
+              << " pad=" << padding << " prune=" << fraction;
+          EXPECT_EQ(plan_counts.adds, ref_counts.adds);
+        }
+      }
+    }
+  }
+}
+
+// The conv plan path parallelizes across filters; its agreement with the
+// serial reference must hold at every thread count (including a
+// non-power-of-two).
+TEST(ShiftPlanPropertyTest, ConvPlanThreadCountInvariant) {
+  const quant::Pow2Config config;
+  support::Rng rng(7);
+  Tensor w = Tensor::randn(Shape{9, 3, 3, 3}, rng);
+  Tensor wq = quant::quantize_lightnn(w, 2, config);
+  prune_filters(wq, 0.3);
+  const inference::ShiftConv2d engine(wq, 2, config, 1, 1);
+  const Tensor image = Tensor::randn(Shape{3, 12, 12}, rng);
+  const auto q = inference::quantize_image(image, 8);
+
+  runtime::set_num_threads(1);
+  const Tensor reference = engine.run_reference(q);
+  for (const int threads : {1, 2, 4, 7}) {
+    runtime::set_num_threads(threads);
+    expect_bitwise_equal(reference, engine.run(q), "conv@threads");
+  }
+  runtime::set_num_threads(1);
+}
+
+TEST(ShiftPlanPropertyTest, LinearPlanMatchesReferenceAcrossRandomConfigs) {
+  const quant::Pow2Config config;
+  const double kPruneFractions[] = {0.0, 0.5, 1.0};
+  support::Rng rng(99);
+  for (const int k_max : {1, 2, 3}) {
+    for (const double fraction : kPruneFractions) {
+      const std::int64_t in_features =
+          3 + static_cast<std::int64_t>(rng.uniform_index(30));
+      const std::int64_t out_features =
+          1 + static_cast<std::int64_t>(rng.uniform_index(8));
+      Tensor w = Tensor::randn(Shape{out_features, in_features}, rng);
+      Tensor wq = quant::quantize_lightnn(w, k_max, config);
+      prune_filters(wq, fraction);
+
+      const inference::ShiftLinear engine(wq, k_max, config);
+      check_plan_invariants(engine.plan(), config, /*conv=*/false);
+      EXPECT_EQ(engine.plan().entries(), expected_entries(wq, k_max, config));
+
+      const Tensor x = Tensor::randn(Shape{in_features}, rng);
+      const auto q = inference::quantize_tensor(x, 8);
+
+      inference::OpCounts plan_counts{};
+      inference::OpCounts ref_counts{};
+      const Tensor got = engine.run(q, &plan_counts);
+      const Tensor want = engine.run_reference(q, &ref_counts);
+      expect_bitwise_equal(want, got, "linear");
+      EXPECT_EQ(plan_counts.shifts, ref_counts.shifts)
+          << "k=" << k_max << " prune=" << fraction;
+      EXPECT_EQ(plan_counts.adds, ref_counts.adds);
+    }
+  }
+}
+
+// Hand-built single-entry plan: one +1.0 weight at element 0 must compile to
+// exactly one entry with shift = -e_min (2^0 needs exponent 0) and sign +1.
+TEST(ShiftPlanPropertyTest, SingleWeightCompilesToOneEntry) {
+  const quant::Pow2Config config;
+  Tensor wq = Tensor::zeros(Shape{2, 1, 3, 3});
+  wq.data()[0] = 1.0F;  // filter 0, element (0, 0, 0); filter 1 pruned
+  const inference::ShiftConv2d engine(wq, 1, config, 1, 1);
+  const auto& plan = engine.plan();
+  ASSERT_EQ(plan.entries(), 1);
+  EXPECT_EQ(plan.element[0], 0);
+  EXPECT_EQ(plan.channel[0], 0);
+  EXPECT_EQ(plan.ky[0], 0);
+  EXPECT_EQ(plan.kx[0], 0);
+  EXPECT_EQ(plan.shift[0], -config.e_min);
+  EXPECT_EQ(plan.sign[0], 1);
+  EXPECT_EQ(plan.filter_begin[1], 1);
+  EXPECT_EQ(plan.filter_begin[2], 1) << "pruned filter must have empty range";
+  EXPECT_EQ(plan.filter_gain[1], 0);
+}
+
+// Bias handling must be identical on both paths (bias folds in after
+// dequantization, independent of the entry walk).
+TEST(ShiftPlanPropertyTest, BiasFoldsIdenticallyOnBothPaths) {
+  const quant::Pow2Config config;
+  support::Rng rng(5);
+  Tensor w = Tensor::randn(Shape{4, 2, 3, 3}, rng);
+  Tensor wq = quant::quantize_lightnn(w, 2, config);
+  Tensor bias = Tensor::randn(Shape{4}, rng);
+  const inference::ShiftConv2d engine(wq, 2, config, 2, 1, bias);
+  const Tensor image = Tensor::randn(Shape{2, 9, 9}, rng);
+  const auto q = inference::quantize_image(image, 8);
+  expect_bitwise_equal(engine.run_reference(q), engine.run(q), "conv+bias");
+
+  Tensor wl = Tensor::randn(Shape{5, 12}, rng);
+  Tensor wlq = quant::quantize_lightnn(wl, 2, config);
+  Tensor bl = Tensor::randn(Shape{5}, rng);
+  const inference::ShiftLinear lin(wlq, 2, config, bl);
+  const Tensor x = Tensor::randn(Shape{12}, rng);
+  const auto qx = inference::quantize_tensor(x, 8);
+  expect_bitwise_equal(lin.run_reference(qx), lin.run(qx), "linear+bias");
+}
+
+}  // namespace
+}  // namespace flightnn
