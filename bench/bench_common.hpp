@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench_json.hpp"
 #include "core/trainer.hpp"
 #include "eval/experiment.hpp"
 

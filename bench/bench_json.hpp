@@ -26,15 +26,43 @@ inline std::string git_sha() {
   return sha.empty() ? "unknown" : sha;
 }
 
+// The one escaping routine every BENCH_*.json writer goes through: strings
+// reaching the result files (git SHAs, config names, host info) must not be
+// able to break the document, so quotes, backslashes and control characters
+// are escaped here and nowhere else.
+inline std::string json_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 // Incremental writer producing one top-level object. Keys are emitted in
 // call order; values are raw JSON fragments produced by the helpers below.
 class JsonObject {
  public:
   void add(const std::string& key, const std::string& raw_json) {
-    fields_.push_back("\"" + key + "\": " + raw_json);
+    fields_.push_back("\"" + json_escape(key) + "\": " + raw_json);
   }
   void add_string(const std::string& key, const std::string& value) {
-    add(key, "\"" + value + "\"");
+    add(key, "\"" + json_escape(value) + "\"");
   }
   void add_number(const std::string& key, double value) {
     std::ostringstream out;

@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
 
 namespace flightnn::core {
 
 namespace {
+
+// Filters are reduced in fixed-size blocks: each block's partial sum is
+// computed entirely by whichever thread owns it, then the partials are
+// combined serially in block order. The block size depends only on this
+// constant -- never on the thread count -- so regularizer losses and
+// threshold gradients are bit-identical at any thread count.
+constexpr std::int64_t kFilterBlock = 16;
 
 double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 
@@ -46,15 +54,15 @@ FLightNNTransform::FLightNNTransform(FLightNNConfig config)
   }
 }
 
-FLightNNTransform::FilterTrace FLightNNTransform::quantize_filter(
-    const float* filter, std::int64_t count, float* out) const {
+int FLightNNTransform::quantize_filter(const float* filter, std::int64_t count,
+                                       float* out, FilterTrace* trace) const {
   // One learned threshold per quantization level (Sec. 4.1): if these fall
   // out of step, the early-exit comparison below reads garbage.
   FLIGHTNN_DCHECK(
       static_cast<int>(thresholds_.size()) == config_.k_max,
       "FLightNNTransform: ", thresholds_.size(), " thresholds for k_max ",
       config_.k_max);
-  FilterTrace trace;
+  int k = 0;
   std::vector<float> residual(filter, filter + count);
   if (out != nullptr) {
     for (std::int64_t e = 0; e < count; ++e) out[e] = 0.0F;
@@ -68,35 +76,54 @@ FLightNNTransform::FilterTrace FLightNNTransform::quantize_filter(
     const double norm = std::sqrt(norm_sq);
     if (norm <= thresholds_[static_cast<std::size_t>(j)]) break;  // Fig. 2 early exit
 
-    std::vector<float> rounded(static_cast<std::size_t>(count));
-    for (std::int64_t e = 0; e < count; ++e) {
-      rounded[static_cast<std::size_t>(e)] =
-          quant::round_to_pow2(residual[static_cast<std::size_t>(e)], config_.pow2)
-              .value();
-    }
-    if (out != nullptr) {
+    if (trace != nullptr) {
+      // Backward needs the full per-level history: residual snapshot, the
+      // rounded terms, and the residual norm.
+      std::vector<float> rounded(static_cast<std::size_t>(count));
       for (std::int64_t e = 0; e < count; ++e) {
-        out[e] += rounded[static_cast<std::size_t>(e)];
+        rounded[static_cast<std::size_t>(e)] =
+            quant::round_to_pow2(residual[static_cast<std::size_t>(e)],
+                                 config_.pow2)
+                .value();
+      }
+      if (out != nullptr) {
+        for (std::int64_t e = 0; e < count; ++e) {
+          out[e] += rounded[static_cast<std::size_t>(e)];
+        }
+      }
+      trace->residuals.push_back(residual);
+      trace->norms.push_back(norm);
+      for (std::int64_t e = 0; e < count; ++e) {
+        residual[static_cast<std::size_t>(e)] -=
+            rounded[static_cast<std::size_t>(e)];
+      }
+      trace->rounded.push_back(std::move(rounded));
+    } else {
+      // Forward-only: fuse round / accumulate / peel in one pass, no
+      // per-level history copies.
+      for (std::int64_t e = 0; e < count; ++e) {
+        const float term =
+            quant::round_to_pow2(residual[static_cast<std::size_t>(e)],
+                                 config_.pow2)
+                .value();
+        if (out != nullptr) out[e] += term;
+        residual[static_cast<std::size_t>(e)] -= term;
       }
     }
-    trace.residuals.push_back(residual);
-    trace.norms.push_back(norm);
-    for (std::int64_t e = 0; e < count; ++e) {
-      residual[static_cast<std::size_t>(e)] -= rounded[static_cast<std::size_t>(e)];
-    }
-    trace.rounded.push_back(std::move(rounded));
-    ++trace.k;
+    ++k;
   }
+  if (trace != nullptr) trace->k = k;
   // A filter may fire at most k_max levels, and the per-level histories must
   // stay in lockstep with the fired-level count.
-  FLIGHTNN_DCHECK(trace.k <= config_.k_max, "FLightNNTransform: filter fired ",
-                  trace.k, " levels, k_max ", config_.k_max);
-  FLIGHTNN_DCHECK(trace.residuals.size() == static_cast<std::size_t>(trace.k) &&
-                      trace.norms.size() == static_cast<std::size_t>(trace.k) &&
-                      trace.rounded.size() == static_cast<std::size_t>(trace.k),
-                  "FLightNNTransform: trace vectors out of step with k=",
-                  trace.k);
-  return trace;
+  FLIGHTNN_DCHECK(k <= config_.k_max, "FLightNNTransform: filter fired ", k,
+                  " levels, k_max ", config_.k_max);
+  FLIGHTNN_DCHECK(
+      trace == nullptr ||
+          (trace->residuals.size() == static_cast<std::size_t>(k) &&
+           trace->norms.size() == static_cast<std::size_t>(k) &&
+           trace->rounded.size() == static_cast<std::size_t>(k)),
+      "FLightNNTransform: trace vectors out of step with k=", k);
+  return k;
 }
 
 tensor::Tensor FLightNNTransform::forward(const tensor::Tensor& w) {
@@ -104,15 +131,24 @@ tensor::Tensor FLightNNTransform::forward(const tensor::Tensor& w) {
   const std::int64_t per_filter = w.numel() / filters;
   tensor::Tensor out(w.shape());
   std::vector<double> level0_norms(static_cast<std::size_t>(filters));
-  for (std::int64_t i = 0; i < filters; ++i) {
-    const float* filter = w.data() + i * per_filter;
-    double norm_sq = 0.0;
-    for (std::int64_t e = 0; e < per_filter; ++e) {
-      norm_sq += static_cast<double>(filter[e]) * filter[e];
-    }
-    level0_norms[static_cast<std::size_t>(i)] = std::sqrt(norm_sq);
-    quantize_filter(filter, per_filter, out.data() + i * per_filter);
-  }
+  // Each filter owns its output slice and norm entry outright, so the
+  // partition is irrelevant to the result.
+  const double filter_ns = static_cast<double>(per_filter) *
+                           static_cast<double>(config_.k_max) * 15.0;
+  runtime::parallel_for(
+      0, filters, 1, runtime::CostHint{filter_ns},
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          const float* filter = w.data() + i * per_filter;
+          double norm_sq = 0.0;
+          for (std::int64_t e = 0; e < per_filter; ++e) {
+            norm_sq += static_cast<double>(filter[e]) * filter[e];
+          }
+          level0_norms[static_cast<std::size_t>(i)] = std::sqrt(norm_sq);
+          quantize_filter(filter, per_filter, out.data() + i * per_filter,
+                          nullptr);
+        }
+      });
   // Refresh the keep-alive cap: t_0 may prune at most max_prune_fraction of
   // the filters, i.e. it must stay below that quantile of the norms.
   if (config_.max_prune_fraction < 1.0F && filters > 0) {
@@ -141,42 +177,71 @@ void FLightNNTransform::backward(const tensor::Tensor& w,
   const std::int64_t filters = filter_count(w, config_.per_layer);
   const std::int64_t per_filter = w.numel() / filters;
   const double temperature = config_.temperature;
+  const auto k_max = static_cast<std::size_t>(config_.k_max);
 
-  for (std::int64_t i = 0; i < filters; ++i) {
-    const FilterTrace trace =
-        quantize_filter(w.data() + i * per_filter, per_filter, nullptr);
-    if (trace.k == 0) continue;
-    const float* grad_filter = grad_wq.data() + i * per_filter;
+  // Per-block double partials for the threshold gradients (see kFilterBlock).
+  const std::int64_t blocks = (filters + kFilterBlock - 1) / kFilterBlock;
+  std::vector<double> partials(static_cast<std::size_t>(blocks) * k_max, 0.0);
+  const double block_ns = static_cast<double>(kFilterBlock) *
+                          static_cast<double>(per_filter) *
+                          static_cast<double>(config_.k_max) *
+                          static_cast<double>(config_.k_max) * 10.0;
+  runtime::parallel_for(
+      0, blocks, 1, runtime::CostHint{block_ns},
+      [&](std::int64_t blk_begin, std::int64_t blk_end) {
+        for (std::int64_t blk = blk_begin; blk < blk_end; ++blk) {
+          double* block_grads = partials.data() +
+                                static_cast<std::size_t>(blk) * k_max;
+          const std::int64_t i_end =
+              std::min(filters, (blk + 1) * kFilterBlock);
+          for (std::int64_t i = blk * kFilterBlock; i < i_end; ++i) {
+            FilterTrace trace;
+            quantize_filter(w.data() + i * per_filter, per_filter, nullptr,
+                            &trace);
+            if (trace.k == 0) continue;
+            const float* grad_filter = grad_wq.data() + i * per_filter;
 
-    for (int j = 0; j < trace.k; ++j) {
-      // dr: derivative of the level-l residual w.r.t. t_j; zero until l = j.
-      std::vector<double> dr(static_cast<std::size_t>(per_filter), 0.0);
-      double grad_tj = 0.0;
-      for (int l = j; l < trace.k; ++l) {
-        const auto& r = trace.residuals[static_cast<std::size_t>(l)];
-        const auto& rr = trace.rounded[static_cast<std::size_t>(l)];
-        const double norm = trace.norms[static_cast<std::size_t>(l)];
-        // (r_l / ||r_l||) . dr_l
-        double dnorm = 0.0;
-        if (norm > 0.0) {
-          for (std::int64_t e = 0; e < per_filter; ++e) {
-            dnorm += static_cast<double>(r[static_cast<std::size_t>(e)]) *
-                     dr[static_cast<std::size_t>(e)];
+            for (int j = 0; j < trace.k; ++j) {
+              // dr: derivative of the level-l residual w.r.t. t_j; zero until
+              // l = j.
+              std::vector<double> dr(static_cast<std::size_t>(per_filter), 0.0);
+              double grad_tj = 0.0;
+              for (int l = j; l < trace.k; ++l) {
+                const auto& r = trace.residuals[static_cast<std::size_t>(l)];
+                const auto& rr = trace.rounded[static_cast<std::size_t>(l)];
+                const double norm = trace.norms[static_cast<std::size_t>(l)];
+                // (r_l / ||r_l||) . dr_l
+                double dnorm = 0.0;
+                if (norm > 0.0) {
+                  for (std::int64_t e = 0; e < per_filter; ++e) {
+                    dnorm += static_cast<double>(r[static_cast<std::size_t>(e)]) *
+                             dr[static_cast<std::size_t>(e)];
+                  }
+                  dnorm /= norm;
+                }
+                const double sp = sigmoid_prime(
+                    norm - thresholds_[static_cast<std::size_t>(l)], temperature);
+                const double dg = sp * (dnorm - (l == j ? 1.0 : 0.0));
+                // Accumulate (dL/dwq) . (dQ/dt_j) for this level and update dr.
+                for (std::int64_t e = 0; e < per_filter; ++e) {
+                  const double dq = dg * rr[static_cast<std::size_t>(e)] +
+                                    dr[static_cast<std::size_t>(e)];
+                  grad_tj += static_cast<double>(grad_filter[e]) * dq;
+                  dr[static_cast<std::size_t>(e)] =
+                      -dg * rr[static_cast<std::size_t>(e)];
+                }
+              }
+              block_grads[j] += grad_tj;
+            }
           }
-          dnorm /= norm;
         }
-        const double sp = sigmoid_prime(
-            norm - thresholds_[static_cast<std::size_t>(l)], temperature);
-        const double dg = sp * (dnorm - (l == j ? 1.0 : 0.0));
-        // Accumulate (dL/dwq) . (dQ/dt_j) for this level and update dr.
-        for (std::int64_t e = 0; e < per_filter; ++e) {
-          const double dq = dg * rr[static_cast<std::size_t>(e)] +
-                            dr[static_cast<std::size_t>(e)];
-          grad_tj += static_cast<double>(grad_filter[e]) * dq;
-          dr[static_cast<std::size_t>(e)] = -dg * rr[static_cast<std::size_t>(e)];
-        }
-      }
-      threshold_grads_[static_cast<std::size_t>(j)] += static_cast<float>(grad_tj);
+      });
+  // Serial combine in block order: the only cross-thread reduction, and its
+  // order is fixed by the block index.
+  for (std::int64_t blk = 0; blk < blocks; ++blk) {
+    for (std::size_t j = 0; j < k_max; ++j) {
+      threshold_grads_[j] += static_cast<float>(
+          partials[static_cast<std::size_t>(blk) * k_max + j]);
     }
   }
 }
@@ -190,31 +255,53 @@ double FLightNNTransform::regularization(const tensor::Tensor& w,
   // d||r_{i,j}||/dw_i = r_{i,j} / ||r_{i,j}||.
   const std::int64_t filters = filter_count(w, config_.per_layer);
   const std::int64_t per_filter = w.numel() / filters;
-  double loss = 0.0;
-  for (std::int64_t i = 0; i < filters; ++i) {
-    const float* filter = w.data() + i * per_filter;
-    std::vector<float> residual(filter, filter + per_filter);
-    for (int j = 0; j < config_.k_max; ++j) {
-      double norm_sq = 0.0;
-      for (float v : residual) norm_sq += static_cast<double>(v) * v;
-      const double norm = std::sqrt(norm_sq);
-      const double lambda = config_.lambdas[static_cast<std::size_t>(j)];
-      loss += lambda * norm;
-      if (grad_w != nullptr && norm > 0.0) {
-        float* g = grad_w->data() + i * per_filter;
-        const double scale = lambda / norm;
-        for (std::int64_t e = 0; e < per_filter; ++e) {
-          g[e] += static_cast<float>(scale * residual[static_cast<std::size_t>(e)]);
+  // Gradient slices are filter-private; the loss reduces through per-block
+  // double partials combined serially in block order (see kFilterBlock).
+  const std::int64_t blocks = (filters + kFilterBlock - 1) / kFilterBlock;
+  std::vector<double> partials(static_cast<std::size_t>(blocks), 0.0);
+  const double block_ns = static_cast<double>(kFilterBlock) *
+                          static_cast<double>(per_filter) *
+                          static_cast<double>(config_.k_max) * 15.0;
+  runtime::parallel_for(
+      0, blocks, 1, runtime::CostHint{block_ns},
+      [&](std::int64_t blk_begin, std::int64_t blk_end) {
+        for (std::int64_t blk = blk_begin; blk < blk_end; ++blk) {
+          double block_loss = 0.0;
+          const std::int64_t i_end =
+              std::min(filters, (blk + 1) * kFilterBlock);
+          for (std::int64_t i = blk * kFilterBlock; i < i_end; ++i) {
+            const float* filter = w.data() + i * per_filter;
+            std::vector<float> residual(filter, filter + per_filter);
+            for (int j = 0; j < config_.k_max; ++j) {
+              double norm_sq = 0.0;
+              for (float v : residual) norm_sq += static_cast<double>(v) * v;
+              const double norm = std::sqrt(norm_sq);
+              const double lambda =
+                  config_.lambdas[static_cast<std::size_t>(j)];
+              block_loss += lambda * norm;
+              if (grad_w != nullptr && norm > 0.0) {
+                float* g = grad_w->data() + i * per_filter;
+                const double scale = lambda / norm;
+                for (std::int64_t e = 0; e < per_filter; ++e) {
+                  g[e] += static_cast<float>(
+                      scale * residual[static_cast<std::size_t>(e)]);
+                }
+              }
+              // Peel to the next residual level regardless of the threshold:
+              // the regularizer shapes residuals even for levels that did not
+              // fire, which is what pulls ||r_{i,j}|| below t_j over training.
+              for (std::int64_t e = 0; e < per_filter; ++e) {
+                auto& v = residual[static_cast<std::size_t>(e)];
+                v -= quant::round_to_pow2(v, config_.pow2).value();
+              }
+            }
+          }
+          partials[static_cast<std::size_t>(blk)] = block_loss;
         }
-      }
-      // Peel to the next residual level regardless of the threshold: the
-      // regularizer shapes residuals even for levels that did not fire, which
-      // is what pulls ||r_{i,j}|| below t_j over training.
-      for (std::int64_t e = 0; e < per_filter; ++e) {
-        auto& v = residual[static_cast<std::size_t>(e)];
-        v -= quant::round_to_pow2(v, config_.pow2).value();
-      }
-    }
+      });
+  double loss = 0.0;
+  for (std::int64_t blk = 0; blk < blocks; ++blk) {
+    loss += partials[static_cast<std::size_t>(blk)];
   }
   return loss;
 }
@@ -248,7 +335,8 @@ std::vector<int> FLightNNTransform::filter_k(const tensor::Tensor& w) const {
   std::vector<int> ks(static_cast<std::size_t>(filters));
   for (std::int64_t i = 0; i < filters; ++i) {
     ks[static_cast<std::size_t>(i)] =
-        quantize_filter(w.data() + i * per_filter, per_filter, nullptr).k;
+        quantize_filter(w.data() + i * per_filter, per_filter, nullptr,
+                        nullptr);
   }
   return ks;
 }

@@ -96,9 +96,12 @@ class FLightNNTransform final : public quant::WeightTransform {
     int k = 0;                                      // number of fired levels
   };
 
-  // Quantize one filter (writes the quantized values to `out` if non-null).
-  FilterTrace quantize_filter(const float* filter, std::int64_t count,
-                              float* out) const;
+  // Quantize one filter. Writes the quantized values to `out` if non-null,
+  // records the per-level residual history into `trace` if non-null (only
+  // backward needs it -- the history copies are not free), and returns the
+  // number of fired levels.
+  int quantize_filter(const float* filter, std::int64_t count, float* out,
+                      FilterTrace* trace) const;
 
   FLightNNConfig config_;
   std::vector<float> thresholds_;

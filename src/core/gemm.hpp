@@ -1,0 +1,64 @@
+#pragma once
+
+// Cache-blocked, thread-parallel GEMM core for the float training path.
+//
+// Layout follows the classic three-loop blocking scheme (Goto/BLIS): the K
+// dimension is cut into KC-deep blocks, B is packed once per block into
+// NR-wide column micro-panels, and the M dimension is split into MC-row
+// panels that are distributed over runtime::ThreadPool::parallel_for. Each
+// task packs its own A panel into MR-row micro-panels (per-thread scratch,
+// runtime::Scratch::kGemmPackA) and drives an MR x NR register-tiled
+// microkernel over the packed operands. The shared B pack buffer comes from
+// the per-thread tensor buffer pool on the caller, so steady-state training
+// loops perform no heap allocation here.
+//
+// The microkernel is selected once at startup: the build stays at the
+// portable SSE2 baseline, but a second microkernel compiled with
+// __attribute__((target("avx2,fma"))) (6 x 16 tile, FMA accumulation) is
+// picked via __builtin_cpu_supports("avx2") when the host has it. Both
+// kernels accumulate each C element in the same packed-K order, so the
+// dispatch changes throughput, never results-per-kernel -- though AVX2's
+// fused multiply-adds round differently from the baseline's mul+add, so
+// results are bit-stable per host, not across hosts (same contract as
+// -march=native builds; DESIGN.md §10).
+//
+// Determinism: every C element is accumulated in a fixed order -- KC blocks
+// outermost, packed K order inside the microkernel -- and the parallel
+// partition only decides *which thread* computes an (M-panel, KC-block)
+// pair, never the arithmetic inside it. Results are therefore bit-identical
+// to serial execution at any thread count (the property DESIGN.md §8 demands
+// of float kernels and DESIGN.md §10 extends to the training path).
+//
+// The transposed variants gemm_tn / gemm_nt reuse the same packed core; the
+// pack routines absorb the transpose by walking the source with swapped
+// strides, so there is exactly one microkernel to test and tune.
+//
+// The naive single-thread kernels these replace live on as differential
+// oracles in tensor/ops.hpp (tensor::gemm, tensor::matmul_*).
+
+#include <cstdint>
+
+namespace flightnn::core {
+
+// C[m x n] = A[m x k] * B[k x n], all row-major. Accumulates into C instead
+// of overwriting when `accumulate` is set.
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool accumulate = false);
+
+// C[m x n] = A^T * B where a is [k x m] row-major (A^T taken logically).
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate = false);
+
+// C[m x n] = A * B^T where b is [n x k] row-major.
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate = false);
+
+// Fully general strided entry point: a(i, p) = a[i * a_rs + p * a_cs],
+// b(p, j) = b[p * b_rs + j * b_cs], C row-major [m x n]. The named wrappers
+// above are thin stride bindings over this.
+void gemm_strided(const float* a, std::int64_t a_rs, std::int64_t a_cs,
+                  const float* b, std::int64_t b_rs, std::int64_t b_cs,
+                  float* c, std::int64_t m, std::int64_t k, std::int64_t n,
+                  bool accumulate);
+
+}  // namespace flightnn::core

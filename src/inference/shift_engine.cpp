@@ -439,17 +439,23 @@ tensor::Tensor ShiftConv2d::run(const QuantizedActivations& input,
     }
   };
 
-  // Parallel across output-filter blocks, on the width the bound allows.
+  // Parallel across output-filter blocks, on the width the bound allows. The
+  // cost hint (~1 ns per accumulate, averaged over filters) routes the tiny
+  // smoke-scale layers through the serial path: BENCH_shift_engine had
+  // threads=4 at 0.94x of serial there before the gate.
+  const runtime::CostHint filter_cost{
+      static_cast<double>(n_entries) * static_cast<double>(out_hw) /
+      static_cast<double>(out_channels_)};
   if (narrow) {
-    runtime::parallel_for(0, out_channels_, 1, [&](std::int64_t f_begin,
-                                                   std::int64_t f_end) {
+    runtime::parallel_for(0, out_channels_, 1, filter_cost,
+                          [&](std::int64_t f_begin, std::int64_t f_end) {
       auto& acc_buf = runtime::ScratchArena::current().i32(
           runtime::Scratch::kConvAccumulator, static_cast<std::size_t>(out_hw));
       filter_block(acc_buf.data(), f_begin, f_end);
     });
   } else {
-    runtime::parallel_for(0, out_channels_, 1, [&](std::int64_t f_begin,
-                                                   std::int64_t f_end) {
+    runtime::parallel_for(0, out_channels_, 1, filter_cost,
+                          [&](std::int64_t f_begin, std::int64_t f_end) {
       auto& acc_buf = runtime::ScratchArena::current().i64(
           runtime::Scratch::kConvAccumulator, static_cast<std::size_t>(out_hw));
       filter_block(acc_buf.data(), f_begin, f_end);
@@ -591,9 +597,12 @@ tensor::Tensor ShiftLinear::run(const QuantizedActivations& input,
   // Parallel across output features; each feature's accumulator is private
   // to one chunk and the entry walk regroups the reference path's exact
   // integer addends, so the result is bit-identical to run_reference at any
-  // thread count.
-  runtime::parallel_for(0, out_features_, 1, [&](std::int64_t f_begin,
-                                                 std::int64_t f_end) {
+  // thread count. Linear layers are small (one accumulate per plan entry);
+  // the cost hint keeps them serial until the work amortizes pool dispatch.
+  const runtime::CostHint feature_cost{static_cast<double>(plan_.entries()) /
+                                       static_cast<double>(out_features_)};
+  runtime::parallel_for(0, out_features_, 1, feature_cost,
+                        [&](std::int64_t f_begin, std::int64_t f_end) {
     for (std::int64_t f = f_begin; f < f_end; ++f) {
       const std::int64_t fb = plan_.filter_begin[static_cast<std::size_t>(f)];
       const std::int64_t fe =

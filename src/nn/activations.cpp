@@ -1,32 +1,153 @@
 #include "nn/activations.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "quant/fixedpoint.hpp"
+#include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
+#include "support/simd.hpp"
 
 namespace flightnn::nn {
 
+namespace {
+
+// Rough per-element cost of the pointwise loops below, for the pool's
+// serial-fallback gate.
+constexpr double kPointwiseNs = 1.0;
+
+// Round-to-nearest-even without the libm nearbyint call (the default
+// -march baseline has no SSE4.1 roundps, so std::nearbyint does not
+// inline). The magic-constant trick is exact for |v| < 2^22; anything at
+// or above that magnitude is already an integer in float. Written as a
+// select, not an early return, so the surrounding loops stay branchless
+// and vectorizable.
+inline float round_half_even(float v) {
+  constexpr float kMagic = 12582912.0F;  // 1.5 * 2^23
+  const float rounded = (v + kMagic) - kMagic;
+  return std::fabs(v) >= 4194304.0F ? v : rounded;  // 2^22: integral already
+}
+
+// Branchless pointwise kernels. Activation signs are data-dependent and
+// close to 50/50 after batch norm, so a compare-and-branch formulation
+// mispredicts on nearly every element (~15 cycles each); these kernels
+// compile to max/min/blend with no flow control in the loop body.
+
+// Valid for any negative_slope < 1 (see the dispatch in forward):
+// max(v, slope*v) picks v when v > 0 and slope*v otherwise.
+FLIGHTNN_SIMD_CLONES
+void leaky_forward_train(const float* in, float* out, std::uint8_t* mask,
+                         std::int64_t n, float slope) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = in[i];
+    out[i] = std::max(v, v * slope);
+    mask[i] = static_cast<std::uint8_t>(v > 0.0F);
+  }
+}
+
+FLIGHTNN_SIMD_CLONES
+void leaky_forward_eval(const float* in, float* out, std::int64_t n,
+                        float slope) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = in[i];
+    out[i] = std::max(v, v * slope);
+  }
+}
+
+FLIGHTNN_SIMD_CLONES
+void leaky_backward(const float* gout, const std::uint8_t* mask, float* gin,
+                    std::int64_t n, float slope) {
+  // Two-entry table indexed by the 0/1 mask: a load instead of a
+  // mispredicted branch, and exact (multiplying by 1.0F is the identity).
+  const float factor[2] = {slope, 1.0F};
+  for (std::int64_t i = 0; i < n; ++i) {
+    gin[i] = gout[i] * factor[mask[i]];
+  }
+}
+
+FLIGHTNN_SIMD_CLONES
+void quant_forward_train(const float* in, float* out, std::uint8_t* mask,
+                         std::int64_t n, float scale, float inv_scale,
+                         float q_max, float limit) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = in[i];
+    float q = round_half_even(v * inv_scale);
+    q = std::min(std::max(q, -q_max), q_max);
+    out[i] = q * scale;
+    mask[i] = static_cast<std::uint8_t>(std::fabs(v) > limit);
+  }
+}
+
+FLIGHTNN_SIMD_CLONES
+void quant_forward_eval(const float* in, float* out, std::int64_t n,
+                        float scale, float inv_scale, float q_max) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    float q = round_half_even(in[i] * inv_scale);
+    q = std::min(std::max(q, -q_max), q_max);
+    out[i] = q * scale;
+  }
+}
+
+FLIGHTNN_SIMD_CLONES
+void quant_backward(const float* gout, const std::uint8_t* mask, float* gin,
+                    std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    // mask is 0 or 1: (mask - 1) is all-ones (pass through) or all-zeros
+    // (saturated, gradient exactly +0.0F) -- a bitwise select.
+    const std::uint32_t keep = static_cast<std::uint32_t>(mask[i]) - 1U;
+    gin[i] = std::bit_cast<float>(std::bit_cast<std::uint32_t>(gout[i]) & keep);
+  }
+}
+
+}  // namespace
+
 tensor::Tensor LeakyReLU::forward(const tensor::Tensor& input, bool training) {
-  if (training) input_cache_ = input;
-  tensor::Tensor output(input.shape());
-  for (std::int64_t i = 0; i < input.numel(); ++i) {
-    const float v = input[i];
-    output[i] = v > 0.0F ? v : negative_slope_ * v;
+  FLIGHTNN_CHECK(negative_slope_ < 1.0F,
+                 "LeakyReLU: negative_slope must be < 1, got ",
+                 negative_slope_);
+  tensor::Tensor output = tensor::Tensor::uninitialized(input.shape());
+  const float* in = input.data();
+  float* out = output.data();
+  const float slope = negative_slope_;
+  if (training) {
+    cached_shape_ = input.shape();
+    positive_mask_.resize(static_cast<std::size_t>(input.numel()));
+    std::uint8_t* mask = positive_mask_.data();
+    runtime::parallel_for(
+        0, input.numel(), 4096, runtime::CostHint{kPointwiseNs},
+        [&](std::int64_t begin, std::int64_t end) {
+          leaky_forward_train(in + begin, out + begin, mask + begin,
+                              end - begin, slope);
+        });
+  } else {
+    runtime::parallel_for(
+        0, input.numel(), 4096, runtime::CostHint{kPointwiseNs},
+        [&](std::int64_t begin, std::int64_t end) {
+          leaky_forward_eval(in + begin, out + begin, end - begin, slope);
+        });
   }
   return output;
 }
 
 tensor::Tensor LeakyReLU::backward(const tensor::Tensor& grad_output) {
-  FLIGHTNN_CHECK(!input_cache_.empty(),
+  FLIGHTNN_CHECK(!positive_mask_.empty(),
                  "LeakyReLU::backward before forward(training=true)");
-  FLIGHTNN_CHECK_SHAPE(grad_output.shape(), input_cache_.shape(),
+  FLIGHTNN_CHECK_SHAPE(grad_output.shape(), cached_shape_,
                        "LeakyReLU::backward");
-  tensor::Tensor grad_input(grad_output.shape());
-  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
-    grad_input[i] =
-        grad_output[i] * (input_cache_[i] > 0.0F ? 1.0F : negative_slope_);
-  }
+  tensor::Tensor grad_input =
+      tensor::Tensor::uninitialized(grad_output.shape());
+  const float* gout = grad_output.data();
+  const std::uint8_t* mask = positive_mask_.data();
+  float* gin = grad_input.data();
+  const float slope = negative_slope_;
+  runtime::parallel_for(
+      0, grad_output.numel(), 4096, runtime::CostHint{kPointwiseNs},
+      [&](std::int64_t begin, std::int64_t end) {
+        leaky_backward(gout + begin, mask + begin, gin + begin, end - begin,
+                       slope);
+      });
   return grad_input;
 }
 
@@ -39,22 +160,49 @@ tensor::Tensor ActivationQuant::forward(const tensor::Tensor& input,
                                         bool training) {
   const quant::FixedPointConfig config{bits_};
   last_scale_ = quant::choose_pow2_scale(input, config);
-  if (training) input_cache_ = input;
-  return quant::quantize_fixed_point(input, last_scale_, config);
+  const float scale = last_scale_;
+  const float inv_scale = 1.0F / scale;  // exact: scale is a power of two
+  const float q_max = static_cast<float>(config.q_max());
+  const float limit = scale * q_max;
+  tensor::Tensor output = tensor::Tensor::uninitialized(input.shape());
+  const float* in = input.data();
+  float* out = output.data();
+  if (training) {
+    cached_shape_ = input.shape();
+    saturated_mask_.resize(static_cast<std::size_t>(input.numel()));
+    std::uint8_t* mask = saturated_mask_.data();
+    runtime::parallel_for(
+        0, input.numel(), 4096, runtime::CostHint{kPointwiseNs},
+        [&](std::int64_t begin, std::int64_t end) {
+          quant_forward_train(in + begin, out + begin, mask + begin,
+                              end - begin, scale, inv_scale, q_max, limit);
+        });
+  } else {
+    runtime::parallel_for(
+        0, input.numel(), 4096, runtime::CostHint{kPointwiseNs},
+        [&](std::int64_t begin, std::int64_t end) {
+          quant_forward_eval(in + begin, out + begin, end - begin, scale,
+                             inv_scale, q_max);
+        });
+  }
+  return output;
 }
 
 tensor::Tensor ActivationQuant::backward(const tensor::Tensor& grad_output) {
-  FLIGHTNN_CHECK(!input_cache_.empty(),
+  FLIGHTNN_CHECK(!saturated_mask_.empty(),
                  "ActivationQuant::backward before forward(training=true)");
-  FLIGHTNN_CHECK_SHAPE(grad_output.shape(), input_cache_.shape(),
+  FLIGHTNN_CHECK_SHAPE(grad_output.shape(), cached_shape_,
                        "ActivationQuant::backward");
-  const quant::FixedPointConfig config{bits_};
-  const float limit = last_scale_ * static_cast<float>(config.q_max());
-  tensor::Tensor grad_input(grad_output.shape());
-  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
-    const bool saturated = std::fabs(input_cache_[i]) > limit;
-    grad_input[i] = saturated ? 0.0F : grad_output[i];
-  }
+  tensor::Tensor grad_input =
+      tensor::Tensor::uninitialized(grad_output.shape());
+  const float* gout = grad_output.data();
+  const std::uint8_t* mask = saturated_mask_.data();
+  float* gin = grad_input.data();
+  runtime::parallel_for(
+      0, grad_output.numel(), 4096, runtime::CostHint{kPointwiseNs},
+      [&](std::int64_t begin, std::int64_t end) {
+        quant_backward(gout + begin, mask + begin, gin + begin, end - begin);
+      });
   return grad_input;
 }
 

@@ -3,6 +3,14 @@
 // Pointwise layers: LeakyReLU (the paper's activation, Sec. 5.1) and the
 // 8-bit activation fake-quantizer applied in every quantized model. The
 // quantizer uses a straight-through gradient with saturation clipping.
+//
+// Both layers cache a one-byte-per-element decision mask for backward
+// (sign for LeakyReLU, saturation for the quantizer) instead of a deep
+// copy of the input: the backward pass only consumes that predicate, and
+// the mask is a quarter of the memory traffic of a float copy.
+
+#include <cstdint>
+#include <vector>
 
 #include "nn/layer.hpp"
 
@@ -21,7 +29,8 @@ class LeakyReLU final : public Layer {
 
  private:
   float negative_slope_;
-  tensor::Tensor input_cache_;
+  std::vector<std::uint8_t> positive_mask_;  // input > 0, per element
+  tensor::Shape cached_shape_;
 };
 
 // Symmetric fixed-point fake-quantization of activations with a dynamic
@@ -44,7 +53,8 @@ class ActivationQuant final : public Layer {
  private:
   int bits_;
   float last_scale_ = 1.0F;
-  tensor::Tensor input_cache_;
+  std::vector<std::uint8_t> saturated_mask_;  // |input| > q_max*scale
+  tensor::Shape cached_shape_;
 };
 
 }  // namespace flightnn::nn

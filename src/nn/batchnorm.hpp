@@ -30,8 +30,8 @@ class BatchNorm2d final : public Layer {
   tensor::Tensor running_mean_;
   tensor::Tensor running_var_;
 
-  // Cached batch statistics and normalized input for backward.
-  tensor::Tensor input_cache_;
+  // Cached batch statistics and normalized input for backward (the input
+  // itself is not needed again: backward runs entirely on x_hat).
   tensor::Tensor normalized_cache_;
   std::vector<float> batch_mean_, batch_inv_std_;
 };

@@ -5,6 +5,8 @@
 // fixed-point, LightNN-k or FLightNN weights. The transform sees the weight
 // tensor filter-major (axis 0 = output channel = "filter" in the paper).
 
+#include <vector>
+
 #include "nn/layer.hpp"
 #include "support/rng.hpp"
 #include "tensor/ops.hpp"
@@ -19,6 +21,13 @@ class Conv2d final : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+
+  // The original naive nested-loop kernels, kept as differential oracles for
+  // the GEMM fast path (same pattern as ShiftPlan::run_reference). These run
+  // regardless of the global train-kernel path.
+  tensor::Tensor forward_reference(const tensor::Tensor& input, bool training);
+  tensor::Tensor backward_reference(const tensor::Tensor& grad_output);
+
   std::vector<Parameter*> parameters() override;
   quant::WeightTransform* weight_transform() override { return transform_.get(); }
   Parameter* quantized_parameter() override { return &weight_; }
@@ -55,6 +64,19 @@ class Conv2d final : public Layer {
   [[nodiscard]] tensor::Tensor quantized_weight();
 
  private:
+  // Shared prologue of forward/forward_reference: shape checks, geometry,
+  // weight quantization, input caching.
+  void prepare_forward(const tensor::Tensor& input, bool training);
+  void check_backward(const tensor::Tensor& grad_output) const;
+  // Route dL/d(wq) through the transform (or STE) and accumulate bias grads.
+  void finish_backward(const tensor::Tensor& grad_output,
+                       const tensor::Tensor& grad_wq);
+
+  tensor::Tensor forward_gemm(const tensor::Tensor& input);
+  tensor::Tensor forward_naive(const tensor::Tensor& input);
+  tensor::Tensor backward_gemm(const tensor::Tensor& grad_output);
+  tensor::Tensor backward_naive(const tensor::Tensor& grad_output);
+
   std::int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
   bool has_bias_;
   Parameter weight_;  // [out, in, k, k]

@@ -2,6 +2,16 @@
 
 namespace flightnn::nn {
 
+namespace {
+TrainKernelPath g_train_kernel_path = TrainKernelPath::kGemm;
+}  // namespace
+
+void set_train_kernel_path(TrainKernelPath path) {
+  g_train_kernel_path = path;
+}
+
+TrainKernelPath train_kernel_path() { return g_train_kernel_path; }
+
 void visit_layers(Layer& root, const std::function<void(Layer&)>& visitor) {
   visitor(root);
   root.for_each_child([&](Layer& child) { visit_layers(child, visitor); });

@@ -17,6 +17,18 @@
 
 namespace flightnn::nn {
 
+// Which implementation the training-path kernels (Conv2d/Linear forward and
+// backward) run on. kGemm is the blocked, thread-parallel fast path built on
+// core/gemm; kReference is the original naive nested-loop code, kept alive
+// as the differential oracle (same pattern as ShiftPlan::run_reference).
+// Process-wide because the trainer and benches flip whole networks at once.
+enum class TrainKernelPath { kGemm, kReference };
+
+// Select / query the active training kernel path. Not safe to flip while a
+// forward or backward pass is in flight.
+void set_train_kernel_path(TrainKernelPath path);
+[[nodiscard]] TrainKernelPath train_kernel_path();
+
 class Layer {
  public:
   virtual ~Layer() = default;

@@ -17,6 +17,12 @@ class Linear final : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+
+  // The original naive kernels, kept as differential oracles for the GEMM
+  // fast path (same pattern as ShiftPlan::run_reference).
+  tensor::Tensor forward_reference(const tensor::Tensor& input, bool training);
+  tensor::Tensor backward_reference(const tensor::Tensor& grad_output);
+
   std::vector<Parameter*> parameters() override;
   quant::WeightTransform* weight_transform() override { return transform_.get(); }
   Parameter* quantized_parameter() override { return &weight_; }
@@ -34,6 +40,16 @@ class Linear final : public Layer {
   [[nodiscard]] tensor::Tensor quantized_weight();
 
  private:
+  void prepare_forward(const tensor::Tensor& input, bool training);
+  void check_backward(const tensor::Tensor& grad_output) const;
+  void finish_backward(const tensor::Tensor& grad_output,
+                       const tensor::Tensor& grad_wq);
+
+  tensor::Tensor forward_gemm(const tensor::Tensor& input);
+  tensor::Tensor forward_naive(const tensor::Tensor& input);
+  tensor::Tensor backward_gemm(const tensor::Tensor& grad_output);
+  tensor::Tensor backward_naive(const tensor::Tensor& grad_output);
+
   std::int64_t in_features_, out_features_;
   bool has_bias_;
   Parameter weight_;  // [out, in]

@@ -29,13 +29,42 @@ tensor::Tensor MaxPool2d::forward(const tensor::Tensor& input, bool training) {
     argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
   }
   // Range kernel over (image, channel) planes; every output element (and its
-  // argmax slot) is written by exactly one thread.
+  // argmax slot) is written by exactly one thread. ~2 ns per window element
+  // visited; small feature maps stay on the calling thread.
   const std::int64_t out_plane_size = out_h * out_w;
-  runtime::parallel_for(0, batch * channels, 1, [&](std::int64_t p_begin,
-                                                    std::int64_t p_end) {
+  const runtime::CostHint plane_cost{
+      static_cast<double>(out_plane_size * window_ * window_) * 2.0};
+  runtime::parallel_for(0, batch * channels, 1, plane_cost,
+                        [&](std::int64_t p_begin, std::int64_t p_end) {
     for (std::int64_t p = p_begin; p < p_end; ++p) {
       const float* plane = input.data() + p * in_h * in_w;
       std::int64_t out_idx = p * out_plane_size;
+      if (window_ == 2 && stride_ == 2) {
+        // The network's only pooling shape. Fully unrolled and branchless:
+        // the winning element is data-dependent, so compare-and-branch
+        // mispredicts on most outputs. Tournament order matches the naive
+        // scan (row 0 before row 1, left before right, first max wins --
+        // strict compares keep the earlier element on ties).
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const float* r0 = plane + (2 * oy) * in_w;
+          const float* r1 = r0 + in_w;
+          for (std::int64_t ox = 0; ox < out_w; ++ox, ++out_idx) {
+            const float a = r0[2 * ox], b = r0[2 * ox + 1];
+            const float c = r1[2 * ox], d = r1[2 * ox + 1];
+            const float m01 = std::max(a, b);
+            const float m23 = std::max(c, d);
+            output[out_idx] = std::max(m01, m23);
+            if (training) {
+              const std::int64_t i01 = b > a ? 1 : 0;
+              const std::int64_t i23 = d > c ? in_w + 1 : in_w;
+              const std::int64_t off = m23 > m01 ? i23 : i01;
+              argmax_[static_cast<std::size_t>(out_idx)] =
+                  p * in_h * in_w + (2 * oy) * in_w + 2 * ox + off;
+            }
+          }
+        }
+        continue;
+      }
       for (std::int64_t oy = 0; oy < out_h; ++oy) {
         for (std::int64_t ox = 0; ox < out_w; ++ox, ++out_idx) {
           float best = -std::numeric_limits<float>::infinity();
@@ -45,10 +74,12 @@ tensor::Tensor MaxPool2d::forward(const tensor::Tensor& input, bool training) {
             for (std::int64_t kx = 0; kx < window_; ++kx) {
               const std::int64_t ix = ox * stride_ + kx;
               const std::int64_t idx = iy * in_w + ix;
-              if (plane[idx] > best) {
-                best = plane[idx];
-                best_idx = p * in_h * in_w + idx;
-              }
+              // Conditional moves, not a branch: which window element wins
+              // is data-dependent and mispredicts badly. Strict > keeps the
+              // first of several equal maxima, matching the naive scan.
+              const float v = plane[idx];
+              best_idx = v > best ? p * in_h * in_w + idx : best_idx;
+              best = std::max(v, best);
             }
           }
           output[out_idx] = best;
@@ -83,9 +114,11 @@ tensor::Tensor GlobalAvgPool::forward(const tensor::Tensor& input, bool training
   const std::int64_t batch = s[0], channels = s[1], hw = s[2] * s[3];
   tensor::Tensor output(tensor::Shape{batch, channels});
   // One output element per (image, channel) plane, each owned by one thread;
-  // the double accumulation order within a plane never changes.
-  runtime::parallel_for(0, batch * channels, 1, [&](std::int64_t p_begin,
-                                                    std::int64_t p_end) {
+  // the double accumulation order within a plane never changes. ~1 ns per
+  // summed element.
+  const runtime::CostHint plane_cost{static_cast<double>(hw)};
+  runtime::parallel_for(0, batch * channels, 1, plane_cost,
+                        [&](std::int64_t p_begin, std::int64_t p_end) {
     for (std::int64_t p = p_begin; p < p_end; ++p) {
       const float* plane = input.data() + p * hw;
       double acc = 0.0;

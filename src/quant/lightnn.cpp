@@ -1,5 +1,6 @@
 #include "quant/lightnn.hpp"
 
+#include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
 
 namespace flightnn::quant {
@@ -10,17 +11,23 @@ tensor::Tensor quantize_lightnn(const tensor::Tensor& w, int k,
   FLIGHTNN_CHECK(config.e_min <= config.e_max, "quantize_lightnn: e_min ",
                  config.e_min, " > e_max ", config.e_max);
   tensor::Tensor out(w.shape());
-  for (std::int64_t i = 0; i < w.numel(); ++i) {
-    float acc = 0.0F;
-    float residual = w[i];
-    for (int j = 0; j < k; ++j) {
-      const float term = round_to_pow2(residual, config).value();
-      if (term == 0.0F) break;  // residual already representable as zero
-      acc += term;
-      residual -= term;
-    }
-    out[i] = acc;
-  }
+  // Elementwise and independent, so the parallel partition cannot change any
+  // result; the cost hint keeps small weight tensors on the calling thread.
+  runtime::parallel_for(
+      0, w.numel(), 1024, runtime::CostHint{static_cast<double>(k) * 5.0},
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          float acc = 0.0F;
+          float residual = w[i];
+          for (int j = 0; j < k; ++j) {
+            const float term = round_to_pow2(residual, config).value();
+            if (term == 0.0F) break;  // residual already representable as zero
+            acc += term;
+            residual -= term;
+          }
+          out[i] = acc;
+        }
+      });
   // Every output must decompose back into <= k shifter terms; anything else
   // is a quantizer bug the inference engine would silently mis-execute.
   FLIGHTNN_DCHECK(is_sum_of_pow2(out, k, config),

@@ -6,35 +6,8 @@
 
 namespace flightnn::quant {
 
-float Pow2Term::value() const {
-  FLIGHTNN_DCHECK(sign >= -1 && sign <= 1, "Pow2Term: sign ",
-                  static_cast<int>(sign), " not in {-1, 0, 1}");
-  if (sign == 0) return 0.0F;
-  return static_cast<float>(sign) * std::ldexp(1.0F, exponent);
-}
-
-Pow2Term round_to_pow2(float x, const Pow2Config& config) {
-  FLIGHTNN_DCHECK(config.e_min <= config.e_max, "Pow2Config: e_min ",
-                  config.e_min, " > e_max ", config.e_max);
-  Pow2Term term;
-  if (x == 0.0F || std::isnan(x)) return term;
-  const float mag = std::fabs(x);
-  if (config.flush_to_zero && mag < std::ldexp(1.0F, config.e_min - 1)) {
-    return term;  // exact zero
-  }
-  // Nearest power of two in log domain: exponent = round(log2(mag)).
-  int e = static_cast<int>(std::lround(std::log2(mag)));
-  if (e < config.e_min) e = config.e_min;
-  if (e > config.e_max) e = config.e_max;
-  term.sign = static_cast<std::int8_t>(x > 0.0F ? 1 : -1);
-  term.exponent = static_cast<std::int8_t>(e);
-  // The clamped exponent must sit inside the representable budget; a term
-  // outside it cannot be realized by the shift engine's barrel shifter.
-  FLIGHTNN_DCHECK(term.exponent >= config.e_min && term.exponent <= config.e_max,
-                  "round_to_pow2: exponent ", static_cast<int>(term.exponent),
-                  " outside [", config.e_min, ", ", config.e_max, "]");
-  return term;
-}
+// Pow2Term::value() and the scalar round_to_pow2 live in the header: they
+// sit on the per-weight hot path of every quantizer and must inline.
 
 tensor::Tensor round_to_pow2(const tensor::Tensor& x, const Pow2Config& config) {
   FLIGHTNN_CHECK(config.e_min <= config.e_max, "round_to_pow2: e_min ",

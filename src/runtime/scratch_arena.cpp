@@ -26,11 +26,16 @@ std::vector<std::int32_t>& ScratchArena::i32(Scratch slot, std::size_t n) {
   return resized(i32_[static_cast<std::size_t>(slot)], n);
 }
 
+std::vector<float>& ScratchArena::f32(Scratch slot, std::size_t n) {
+  return resized(f32_[static_cast<std::size_t>(slot)], n);
+}
+
 std::size_t ScratchArena::footprint_bytes() const {
   std::size_t bytes = 0;
   for (std::size_t s = 0; s < kSlots; ++s) {
     bytes += i64_[s].capacity() * sizeof(std::int64_t);
     bytes += i32_[s].capacity() * sizeof(std::int32_t);
+    bytes += f32_[s].capacity() * sizeof(float);
   }
   return bytes;
 }
@@ -39,6 +44,7 @@ void ScratchArena::trim() {
   for (std::size_t s = 0; s < kSlots; ++s) {
     std::vector<std::int64_t>().swap(i64_[s]);
     std::vector<std::int32_t>().swap(i32_[s]);
+    std::vector<float>().swap(f32_[s]);
   }
 }
 

@@ -33,6 +33,7 @@ enum class Scratch : std::size_t {
   kConvOffsets,           // int32 im2row input-offset table for ShiftConv2d
   kLinearAccumulator,     // int64 accumulator row for ShiftLinear
   kQuantValues,           // int32 quantized activations (quantize_*_into)
+  kGemmPackA,             // f32 packed A micro-panels (core/gemm)
   kSlotCount,
 };
 
@@ -46,6 +47,7 @@ class ScratchArena {
   // not allocate.
   std::vector<std::int64_t>& i64(Scratch slot, std::size_t n);
   std::vector<std::int32_t>& i32(Scratch slot, std::size_t n);
+  std::vector<float>& f32(Scratch slot, std::size_t n);
 
   // Total bytes currently reserved across all slots (observability).
   [[nodiscard]] std::size_t footprint_bytes() const;
@@ -60,6 +62,7 @@ class ScratchArena {
       static_cast<std::size_t>(Scratch::kSlotCount);
   std::vector<std::int64_t> i64_[kSlots];
   std::vector<std::int32_t> i32_[kSlots];
+  std::vector<float> f32_[kSlots];
 };
 
 }  // namespace flightnn::runtime

@@ -126,4 +126,37 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   global_pool().parallel_for(begin, end, grain, body);
 }
 
+// Per-call cost hint for the serial-fallback overload below: the caller's
+// estimate of how long one loop iteration takes, in nanoseconds. Estimates
+// only need to be order-of-magnitude right -- the threshold separates
+// "microseconds of total work" from "hundreds of microseconds".
+struct CostHint {
+  double ns_per_item = 0.0;
+};
+
+// Total estimated work below which dispatching to the pool is a net loss:
+// waking helpers costs a mutex round-trip plus a notify_all (~tens of
+// microseconds end to end), so ranges cheaper than this run inline. Measured
+// on the BENCH_shift_engine smoke workload, where tiny per-layer ranges made
+// threads=4 run at 0.94x of 1-thread before this gate existed.
+inline constexpr double kMinParallelNs = 20'000.0;
+
+// parallel_for with a serial-fallback gate: when the estimated total cost
+// (range * hint) is too small to amortize pool dispatch, the body runs
+// inline on the caller -- same arithmetic, no pool traffic. A zero hint
+// means "unknown" and always dispatches, matching the overload above.
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  CostHint cost, const Body& body) {
+  FLIGHTNN_CHECK(grain > 0, "parallel_for: grain must be >= 1, got ", grain);
+  if (end <= begin) return;
+  if (num_threads() == 1 ||
+      (cost.ns_per_item > 0.0 &&
+       static_cast<double>(end - begin) * cost.ns_per_item < kMinParallelNs)) {
+    body(begin, end);
+    return;
+  }
+  global_pool().parallel_for(begin, end, grain, body);
+}
+
 }  // namespace flightnn::runtime

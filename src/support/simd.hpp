@@ -1,0 +1,23 @@
+#pragma once
+
+// Function multiversioning for hot pointwise loops.
+//
+// The project builds one portable binary (baseline SSE2; see
+// FLIGHTNN_NATIVE_ARCH in the top-level CMakeLists). For straight-line
+// elementwise kernels we do not hand-write intrinsics the way the GEMM
+// microkernel does -- the autovectorizer produces good code as soon as it
+// is allowed to target AVX2. FLIGHTNN_SIMD_CLONES compiles the annotated
+// function twice (baseline + avx2) and installs a glibc ifunc resolver
+// that picks the widest version the CPU supports at load time.
+//
+// Keep annotated functions small, leaf-like, and free of observable
+// side effects beyond their output arrays: the two clones may contract
+// multiplies and adds differently (FMA), so results must only be consumed
+// where that tolerance is acceptable. Reductions that must be bit-stable
+// across machines (e.g. the regularizer's double accumulations) must NOT
+// be cloned.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define FLIGHTNN_SIMD_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define FLIGHTNN_SIMD_CLONES
+#endif

@@ -1,9 +1,12 @@
 #include "tensor/tensor.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "support/check.hpp"
+#include "support/simd.hpp"
 #include "tensor/buffer_pool.hpp"
 
 namespace flightnn::tensor {
@@ -57,6 +60,11 @@ Tensor& Tensor::operator=(Tensor&& other) noexcept {
   other.shape_ = Shape();
   other.data_.clear();
   return *this;
+}
+
+Tensor Tensor::uninitialized(Shape shape) {
+  const auto n = static_cast<std::size_t>(shape.numel());
+  return Tensor(std::move(shape), pool::acquire(n));
 }
 
 Tensor Tensor::randn(Shape shape, support::Rng& rng, float mean, float stddev) {
@@ -122,10 +130,27 @@ float Tensor::max() const {
   return *std::max_element(data_.begin(), data_.end());
 }
 
-float Tensor::abs_max() const {
-  float m = 0.0F;
-  for (float v : data_) m = std::max(m, std::fabs(v));
+namespace {
+
+// For non-negative IEEE-754 floats, the value ordering equals the ordering
+// of the bit patterns as unsigned integers, so |.|-max reduces over
+// `bits & 0x7FFFFFFF` as an integer max -- which the autovectorizer
+// handles without the FP max/NaN semantics concerns that keep the float
+// formulation scalar. Every activation quantizer calls this per forward.
+FLIGHTNN_SIMD_CLONES
+std::uint32_t abs_max_bits(const float* p, std::int64_t n) {
+  std::uint32_t m = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    m = std::max(m, std::bit_cast<std::uint32_t>(p[i]) & 0x7FFFFFFFU);
+  }
   return m;
+}
+
+}  // namespace
+
+float Tensor::abs_max() const {
+  return std::bit_cast<float>(
+      abs_max_bits(data_.data(), static_cast<std::int64_t>(data_.size())));
 }
 
 double Tensor::l2_norm() const {

@@ -35,6 +35,9 @@ class Tensor {
   Tensor& operator=(Tensor&& other) noexcept;
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  // Pool-backed storage with unspecified contents; for outputs every element
+  // of which is about to be overwritten (skips the zero-fill pass).
+  static Tensor uninitialized(Shape shape);
   static Tensor full(Shape shape, float value) { return Tensor(std::move(shape), value); }
   // I.i.d. N(mean, stddev^2) entries.
   static Tensor randn(Shape shape, support::Rng& rng, float mean = 0.0F,

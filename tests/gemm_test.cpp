@@ -1,0 +1,157 @@
+// Differential tests for the blocked GEMM core: every variant against a
+// double-accumulation oracle across awkward shapes (unit dims, exact tile
+// multiples, one-past-tile edges, multiple KC blocks), plus the bitwise
+// thread-count-invariance contract the training kernels rely on.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gemm.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace flightnn {
+namespace {
+
+std::vector<float> random_data(std::int64_t n, support::Rng& rng) {
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (auto& v : out) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return out;
+}
+
+// C = A * B (+ C) with double accumulation; a/b are addressed through
+// explicit strides so one oracle covers all three layout variants.
+void ref_gemm(const float* a, std::int64_t a_rs, std::int64_t a_cs,
+              const float* b, std::int64_t b_rs, std::int64_t b_cs, float* c,
+              std::int64_t m, std::int64_t k, std::int64_t n, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = accumulate ? static_cast<double>(c[i * n + j]) : 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * a_rs + p * a_cs]) *
+               b[p * b_rs + j * b_cs];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void expect_close(const std::vector<float>& actual,
+                  const std::vector<float>& expected, std::int64_t k) {
+  ASSERT_EQ(actual.size(), expected.size());
+  // Worst-case float accumulation error grows with k; the operands are in
+  // [-1, 1] so this bound is generous but catches indexing bugs outright.
+  const float tol = 1e-5F * static_cast<float>(std::max<std::int64_t>(k, 1));
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const float scale = std::max(
+        {1.0F, std::fabs(actual[i]), std::fabs(expected[i])});
+    EXPECT_NEAR(actual[i] / scale, expected[i] / scale, tol) << "element " << i;
+  }
+}
+
+struct Shape3 {
+  std::int64_t m, k, n;
+};
+
+// Unit dims, sub-tile, exact register-tile and task-tile multiples, one past
+// each, and k > kKc (multiple KC blocks).
+const Shape3 kShapes[] = {{1, 1, 1},    {3, 5, 7},     {4, 8, 16},
+                          {17, 33, 9},  {64, 64, 64},  {65, 127, 70},
+                          {5, 300, 33}, {128, 257, 65}};
+
+TEST(GemmTest, MatchesOracle) {
+  support::Rng rng(42);
+  for (const auto& s : kShapes) {
+    const auto a = random_data(s.m * s.k, rng);
+    const auto b = random_data(s.k * s.n, rng);
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n));
+    std::vector<float> want = c;
+    core::gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+    ref_gemm(a.data(), s.k, 1, b.data(), s.n, 1, want.data(), s.m, s.k, s.n,
+             false);
+    expect_close(c, want, s.k);
+  }
+}
+
+TEST(GemmTest, AccumulateAddsIntoC) {
+  support::Rng rng(43);
+  for (const auto& s : kShapes) {
+    const auto a = random_data(s.m * s.k, rng);
+    const auto b = random_data(s.k * s.n, rng);
+    std::vector<float> c = random_data(s.m * s.n, rng);
+    std::vector<float> want = c;
+    core::gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n,
+               /*accumulate=*/true);
+    ref_gemm(a.data(), s.k, 1, b.data(), s.n, 1, want.data(), s.m, s.k, s.n,
+             true);
+    expect_close(c, want, s.k);
+  }
+}
+
+TEST(GemmTest, TransposedAMatchesOracle) {
+  support::Rng rng(44);
+  for (const auto& s : kShapes) {
+    // a stored [k x m] row-major.
+    const auto a = random_data(s.k * s.m, rng);
+    const auto b = random_data(s.k * s.n, rng);
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n));
+    std::vector<float> want = c;
+    core::gemm_tn(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+    ref_gemm(a.data(), 1, s.m, b.data(), s.n, 1, want.data(), s.m, s.k, s.n,
+             false);
+    expect_close(c, want, s.k);
+  }
+}
+
+TEST(GemmTest, TransposedBMatchesOracle) {
+  support::Rng rng(45);
+  for (const auto& s : kShapes) {
+    const auto a = random_data(s.m * s.k, rng);
+    // b stored [n x k] row-major.
+    const auto b = random_data(s.n * s.k, rng);
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n));
+    std::vector<float> want = c;
+    core::gemm_nt(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+    ref_gemm(a.data(), s.k, 1, b.data(), 1, s.k, want.data(), s.m, s.k, s.n,
+             false);
+    expect_close(c, want, s.k);
+  }
+}
+
+TEST(GemmTest, ZeroKClearsOrKeepsC) {
+  std::vector<float> c = {1.0F, 2.0F, 3.0F, 4.0F};
+  const float a = 0.0F, b = 0.0F;
+  core::gemm(&a, &b, c.data(), 2, 0, 2, /*accumulate=*/true);
+  EXPECT_EQ(c[0], 1.0F);
+  core::gemm(&a, &b, c.data(), 2, 0, 2, /*accumulate=*/false);
+  EXPECT_EQ(c[3], 0.0F);
+}
+
+TEST(GemmTest, BitIdenticalAcrossThreadCounts) {
+  support::Rng rng(46);
+  const std::int64_t m = 65, k = 300, n = 70;
+  const auto a = random_data(m * k, rng);
+  const auto b = random_data(k * n, rng);
+
+  runtime::set_num_threads(1);
+  std::vector<float> baseline(static_cast<std::size_t>(m * n));
+  core::gemm(a.data(), b.data(), baseline.data(), m, k, n);
+
+  for (int threads : {2, 4, 7}) {
+    runtime::set_num_threads(threads);
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    core::gemm(a.data(), b.data(), c.data(), m, k, n);
+    EXPECT_EQ(std::memcmp(c.data(), baseline.data(),
+                          c.size() * sizeof(float)),
+              0)
+        << "threads=" << threads;
+  }
+  runtime::set_num_threads(0);
+}
+
+}  // namespace
+}  // namespace flightnn

@@ -1,0 +1,239 @@
+// Differential and determinism tests for the GEMM training fast path:
+//   - property sweep: random conv geometries, GEMM forward/backward against
+//     the retained naive reference kernels;
+//   - finite-difference gradient checks running through the GEMM path;
+//   - bitwise thread-count invariance of the layer kernels and of the
+//     FLightNN regularizer / threshold gradients (fixed-block reductions).
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/flightnn_transform.hpp"
+#include "gradient_check.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/layer.hpp"
+#include "nn/linear.hpp"
+#include "quant/lightnn.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flightnn {
+namespace {
+
+void expect_tensor_close(const tensor::Tensor& actual,
+                         const tensor::Tensor& expected, float tol,
+                         const char* what) {
+  ASSERT_EQ(actual.shape(), expected.shape()) << what;
+  for (std::int64_t i = 0; i < actual.numel(); ++i) {
+    const float scale =
+        std::max({1.0F, std::fabs(actual[i]), std::fabs(expected[i])});
+    ASSERT_NEAR(actual[i] / scale, expected[i] / scale, tol)
+        << what << " element " << i;
+  }
+}
+
+// One forward + backward on each path of the same layer, grads compared.
+// The reference pass runs second so the fast pass cannot copy its caches.
+void check_conv_paths(nn::Conv2d& conv, const tensor::Tensor& x,
+                      support::Rng& rng) {
+  tensor::Tensor out_fast = conv.forward(x, /*training=*/true);
+  tensor::Tensor g = tensor::Tensor::randn(out_fast.shape(), rng);
+
+  conv.weight().zero_grad();
+  conv.bias().zero_grad();
+  tensor::Tensor gin_fast = conv.backward(g);
+  tensor::Tensor wgrad_fast = conv.weight().grad;
+  tensor::Tensor bgrad_fast = conv.bias().grad;
+
+  conv.weight().zero_grad();
+  conv.bias().zero_grad();
+  tensor::Tensor out_ref = conv.forward_reference(x, /*training=*/true);
+  tensor::Tensor gin_ref = conv.backward_reference(g);
+
+  // The paths reassociate float sums (blocked vs naive accumulation), so
+  // compare within an accumulation-length-scaled tolerance, not bitwise.
+  expect_tensor_close(out_fast, out_ref, 1e-4F, "conv output");
+  expect_tensor_close(gin_fast, gin_ref, 1e-4F, "conv grad_input");
+  expect_tensor_close(wgrad_fast, conv.weight().grad, 1e-4F, "conv grad_w");
+  expect_tensor_close(bgrad_fast, conv.bias().grad, 1e-4F, "conv grad_b");
+}
+
+TEST(TrainingFastPathTest, ConvPropertySweep) {
+  support::Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto batch = static_cast<std::int64_t>(rng.uniform_index(3)) + 1;
+    const auto in_ch = static_cast<std::int64_t>(rng.uniform_index(4)) + 1;
+    const auto out_ch = static_cast<std::int64_t>(rng.uniform_index(6)) + 1;
+    const auto kernel = static_cast<std::int64_t>(rng.uniform_index(3)) + 1;
+    const auto stride = static_cast<std::int64_t>(rng.uniform_index(2)) + 1;
+    const auto padding = static_cast<std::int64_t>(rng.uniform_index(3));
+    const auto h = kernel + static_cast<std::int64_t>(rng.uniform_index(7));
+    const auto w = kernel + static_cast<std::int64_t>(rng.uniform_index(7));
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": N=" << batch << " C=" << in_ch
+                 << " O=" << out_ch << " HxW=" << h << "x" << w
+                 << " k=" << kernel << " s=" << stride << " p=" << padding);
+
+    nn::Conv2d conv(in_ch, out_ch, kernel, stride, padding, /*with_bias=*/true,
+                    rng);
+    tensor::Tensor x =
+        tensor::Tensor::randn(tensor::Shape{batch, in_ch, h, w}, rng);
+    check_conv_paths(conv, x, rng);
+  }
+}
+
+TEST(TrainingFastPathTest, LinearPathsAgree) {
+  support::Rng rng(8);
+  for (std::int64_t batch : {1, 3, 33}) {
+    nn::Linear linear(19, 11, /*with_bias=*/true, rng);
+    tensor::Tensor x =
+        tensor::Tensor::randn(tensor::Shape{batch, 19}, rng);
+    tensor::Tensor out_fast = linear.forward(x, /*training=*/true);
+    tensor::Tensor g = tensor::Tensor::randn(out_fast.shape(), rng);
+
+    linear.weight().zero_grad();
+    linear.bias().zero_grad();
+    tensor::Tensor gin_fast = linear.backward(g);
+    tensor::Tensor wgrad_fast = linear.weight().grad;
+    tensor::Tensor bgrad_fast = linear.bias().grad;
+
+    linear.weight().zero_grad();
+    linear.bias().zero_grad();
+    tensor::Tensor out_ref = linear.forward_reference(x, /*training=*/true);
+    tensor::Tensor gin_ref = linear.backward_reference(g);
+
+    expect_tensor_close(out_fast, out_ref, 1e-4F, "linear output");
+    expect_tensor_close(gin_fast, gin_ref, 1e-4F, "linear grad_input");
+    expect_tensor_close(wgrad_fast, linear.weight().grad, 1e-4F,
+                        "linear grad_w");
+    expect_tensor_close(bgrad_fast, linear.bias().grad, 1e-4F,
+                        "linear grad_b");
+  }
+}
+
+// Finite-difference checks routed through the default (GEMM) kernel path.
+TEST(TrainingFastPathTest, ConvGradientCheckOnGemmPath) {
+  ASSERT_EQ(nn::train_kernel_path(), nn::TrainKernelPath::kGemm);
+  support::Rng rng(9);
+  nn::Conv2d conv(2, 3, 3, 1, 1, /*with_bias=*/true, rng);
+  tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{2, 2, 5, 5}, rng);
+  testing::check_input_gradient(conv, x, 101);
+  testing::check_param_gradient(conv, x, conv.weight(), 102);
+  testing::check_param_gradient(conv, x, conv.bias(), 103);
+}
+
+TEST(TrainingFastPathTest, LinearGradientCheckOnGemmPath) {
+  ASSERT_EQ(nn::train_kernel_path(), nn::TrainKernelPath::kGemm);
+  support::Rng rng(10);
+  nn::Linear linear(7, 5, /*with_bias=*/true, rng);
+  tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{4, 7}, rng);
+  testing::check_input_gradient(linear, x, 104);
+  testing::check_param_gradient(linear, x, linear.weight(), 105);
+  testing::check_param_gradient(linear, x, linear.bias(), 106);
+}
+
+TEST(TrainingFastPathTest, ConvTrainStepBitIdenticalAcrossThreadCounts) {
+  support::Rng rng(11);
+  nn::Conv2d conv(3, 8, 3, 1, 1, /*with_bias=*/true, rng);
+  tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{4, 3, 12, 12}, rng);
+
+  runtime::set_num_threads(1);
+  tensor::Tensor out1 = conv.forward(x, /*training=*/true);
+  tensor::Tensor g = tensor::Tensor::randn(out1.shape(), rng);
+  conv.weight().zero_grad();
+  conv.bias().zero_grad();
+  tensor::Tensor gin1 = conv.backward(g);
+  tensor::Tensor wgrad1 = conv.weight().grad;
+
+  for (int threads : {2, 4, 7}) {
+    runtime::set_num_threads(threads);
+    tensor::Tensor out = conv.forward(x, /*training=*/true);
+    conv.weight().zero_grad();
+    conv.bias().zero_grad();
+    tensor::Tensor gin = conv.backward(g);
+    EXPECT_EQ(std::memcmp(out.data(), out1.data(),
+                          static_cast<std::size_t>(out.numel()) *
+                              sizeof(float)),
+              0)
+        << "forward, threads=" << threads;
+    EXPECT_EQ(std::memcmp(gin.data(), gin1.data(),
+                          static_cast<std::size_t>(gin.numel()) *
+                              sizeof(float)),
+              0)
+        << "grad_input, threads=" << threads;
+    EXPECT_EQ(std::memcmp(conv.weight().grad.data(), wgrad1.data(),
+                          static_cast<std::size_t>(wgrad1.numel()) *
+                              sizeof(float)),
+              0)
+        << "grad_w, threads=" << threads;
+  }
+  runtime::set_num_threads(0);
+}
+
+TEST(TrainingFastPathTest, RegularizerBitIdenticalAcrossThreadCounts) {
+  support::Rng rng(12);
+  core::FLightNNConfig config;
+  config.k_max = 2;
+  core::FLightNNTransform transform(config);
+  tensor::Tensor w = tensor::Tensor::randn(tensor::Shape{64, 3, 3, 3}, rng,
+                                           0.0F, 0.5F);
+  tensor::Tensor grad_wq = tensor::Tensor::randn(w.shape(), rng);
+
+  runtime::set_num_threads(1);
+  tensor::Tensor reg_grad1(w.shape());
+  const double loss1 = transform.regularization(w, &reg_grad1);
+  transform.zero_internal_grads();
+  tensor::Tensor unused(w.shape());
+  transform.backward(w, grad_wq, unused);
+  const std::vector<float> tgrads1 = transform.threshold_grads();
+
+  for (int threads : {2, 4, 7}) {
+    runtime::set_num_threads(threads);
+    tensor::Tensor reg_grad(w.shape());
+    const double loss = transform.regularization(w, &reg_grad);
+    // The loss reduces through fixed filter blocks, so it must match down to
+    // the last bit, not within a tolerance.
+    EXPECT_EQ(loss, loss1) << "threads=" << threads;
+    EXPECT_EQ(std::memcmp(reg_grad.data(), reg_grad1.data(),
+                          static_cast<std::size_t>(reg_grad.numel()) *
+                              sizeof(float)),
+              0)
+        << "reg grad, threads=" << threads;
+
+    transform.zero_internal_grads();
+    tensor::Tensor scratch(w.shape());
+    transform.backward(w, grad_wq, scratch);
+    const std::vector<float>& tgrads = transform.threshold_grads();
+    ASSERT_EQ(tgrads.size(), tgrads1.size());
+    EXPECT_EQ(std::memcmp(tgrads.data(), tgrads1.data(),
+                          tgrads.size() * sizeof(float)),
+              0)
+        << "threshold grads, threads=" << threads;
+  }
+  runtime::set_num_threads(0);
+}
+
+TEST(TrainingFastPathTest, LightNNQuantizeBitIdenticalAcrossThreadCounts) {
+  support::Rng rng(13);
+  tensor::Tensor w =
+      tensor::Tensor::randn(tensor::Shape{40000}, rng, 0.0F, 0.5F);
+
+  runtime::set_num_threads(1);
+  tensor::Tensor q1 = quant::quantize_lightnn(w, 2, {});
+  for (int threads : {2, 4, 7}) {
+    runtime::set_num_threads(threads);
+    tensor::Tensor q = quant::quantize_lightnn(w, 2, {});
+    EXPECT_EQ(std::memcmp(q.data(), q1.data(),
+                          static_cast<std::size_t>(q.numel()) * sizeof(float)),
+              0)
+        << "threads=" << threads;
+  }
+  runtime::set_num_threads(0);
+}
+
+}  // namespace
+}  // namespace flightnn
