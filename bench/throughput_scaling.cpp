@@ -28,6 +28,7 @@
 #include "models/networks.hpp"
 #include "quant/lightnn.hpp"
 #include "runtime/batch_runner.hpp"
+#include "runtime/inference_request.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/argparse.hpp"
 #include "support/rng.hpp"
@@ -38,22 +39,22 @@ namespace {
 using namespace flightnn;
 
 double run_once(const runtime::BatchRunner& runner,
-                const std::vector<tensor::Tensor>& images, int repeats,
+                const runtime::InferenceRequest& request, int repeats,
                 std::vector<tensor::Tensor>* logits_out) {
   // One warm-up pass (pool spin-up, cache warming), then timed repeats into
   // a reused result -- the zero-allocation steady state the runtime is
   // built around.
-  runtime::BatchResult result;
-  runner.run(images, result);
+  runtime::InferenceResult result;
+  runner.run(request, result);
   const auto start = std::chrono::steady_clock::now();
   for (int r = 0; r < repeats; ++r) {
-    runner.run(images, result);
+    runner.run(request, result);
   }
   const auto stop = std::chrono::steady_clock::now();
   const double seconds =
       std::chrono::duration<double>(stop - start).count() / repeats;
   if (logits_out != nullptr) *logits_out = std::move(result.logits);
-  return static_cast<double>(images.size()) / seconds;
+  return static_cast<double>(request.images.size()) / seconds;
 }
 
 bool bitwise_equal(const std::vector<tensor::Tensor>& a,
@@ -129,10 +130,11 @@ int main(int argc, char** argv) {
   std::printf("plan: %s\n", network.describe().c_str());
 
   support::Rng rng(2);
-  std::vector<tensor::Tensor> images;
-  images.reserve(static_cast<std::size_t>(batch));
+  runtime::InferenceRequest request;
+  request.images.reserve(static_cast<std::size_t>(batch));
   for (std::int64_t i = 0; i < batch; ++i) {
-    images.push_back(tensor::Tensor::randn(tensor::Shape{3, 32, 32}, rng));
+    request.images.push_back(
+        tensor::Tensor::randn(tensor::Shape{3, 32, 32}, rng));
   }
 
   const int hw = runtime::num_threads();
@@ -147,7 +149,7 @@ int main(int argc, char** argv) {
   for (const int threads : sweep) {
     runtime::set_num_threads(threads);
     std::vector<tensor::Tensor> logits;
-    const double throughput = run_once(runner, images, repeats, &logits);
+    const double throughput = run_once(runner, request, repeats, &logits);
     if (threads == 1) {
       baseline = throughput;
       reference = std::move(logits);
@@ -172,9 +174,9 @@ int main(int argc, char** argv) {
 
   // --- Plan vs pre-plan reference engine, whole network, 1 thread ---------
   runtime::set_num_threads(1);
-  const double plan_img_s = run_once(runner, images, repeats, nullptr);
+  const double plan_img_s = run_once(runner, request, repeats, nullptr);
   const double ref_img_s =
-      run_once(reference_runner, images, repeats, nullptr);
+      run_once(reference_runner, request, repeats, nullptr);
   const double engine_speedup = plan_img_s / ref_img_s;
 
   // --- Per-term kernel cost + sparsity payoff on one conv layer -----------

@@ -1,19 +1,24 @@
 // Deployment scenario: take a trained FLightNN layer, decompose it into
 // single-shift filters (Fig. 3) and run it on the integer shift-add engine
 // -- the same datapath a LightNN-1 FPGA/ASIC design implements -- then
-// verify the integer engine agrees with the float path and report the op
-// census the hardware would execute.
+// verify the integer engine agrees with the float path, compile the whole
+// trained network, and serve a burst of client-shaped requests through the
+// serving::Server dynamic batcher, reporting the per-request queue/compute
+// timing the unified InferenceResult carries.
 //
-//   $ ./examples/deploy_shift_inference [--threads N] [--profile]
+//   $ ./examples/deploy_shift_inference [--threads N] [--max-batch B]
+//                                       [--queue-delay-ms D] [--profile]
 //
 // --threads sets the runtime pool size for both training and the shift
 // engine (0 = FLIGHTNN_NUM_THREADS / hardware default). Outputs are
-// bit-identical at every thread count. --profile additionally compiles the
-// whole trained network to the integer plan and prints per-layer wall time
-// and shift-term counts (QuantizedNetwork::profile).
+// bit-identical at every thread count. --max-batch / --queue-delay-ms are
+// the dynamic batcher's flush knobs (DESIGN.md §11). --profile additionally
+// prints per-layer wall time and shift-term counts
+// (QuantizedNetwork::profile).
 
 #include <algorithm>
 #include <cstdio>
+#include <future>
 #include <string>
 #include <vector>
 
@@ -24,7 +29,10 @@
 #include "inference/shift_engine.hpp"
 #include "models/networks.hpp"
 #include "nn/conv2d.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/inference_request.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serving/server.hpp"
 #include "support/argparse.hpp"
 #include "support/table.hpp"
 
@@ -35,6 +43,8 @@ int main(int argc, char** argv) {
                             "decompose a trained layer onto the shift engine");
   parser.add_flag("--threads", "runtime pool size (0 = env/hardware default)",
                   "0");
+  parser.add_flag("--max-batch", "dynamic batcher flush size (images)", "8");
+  parser.add_flag("--queue-delay-ms", "dynamic batcher flush deadline", "2");
   std::vector<std::string> args(argv + 1, argv + argc);
   // --profile is a bare switch (no value).
   const auto profile_it = std::find(args.begin(), args.end(),
@@ -115,12 +125,71 @@ int main(int argc, char** argv) {
               static_cast<double>(counts.shifts) / macs);
   if (diff >= 1e-4F) return 1;
 
+  // --- Serve the whole trained network through the dynamic batcher --------
+  // Compile the model to the integer plan and push a burst of
+  // production-shaped requests (1-4 images each) through serving::Server.
+  // Each InferenceResult reports how long the request queued, how long its
+  // fused batch computed, and which dynamic batch size it rode in -- the
+  // per-request observability the serving API carries natively.
+  const auto network = inference::QuantizedNetwork::compile(
+      *model, tensor::Shape{1, spec.channels, spec.height, spec.width});
+  const runtime::BatchRunner runner(network);
+  serving::ServerConfig serve;
+  serve.max_batch = parser.get_int("--max-batch");
+  serve.max_queue_delay_s = parser.get_double("--queue-delay-ms") * 1e-3;
+  serving::Server server(runner, serve);
+  std::printf(
+      "\nserving config: threads=%d max_batch=%d max_queue_delay=%.1fms "
+      "queue_bound=%zu images, mode=%s\n",
+      runtime::num_threads(), server.config().max_batch,
+      server.config().max_queue_delay_s * 1e3,
+      server.config().max_queue_images,
+      server.config().block_on_full ? "block-on-full" : "reject-on-overload");
+
+  constexpr int kRequests = 6;
+  std::vector<std::future<runtime::InferenceResult>> futures;
+  std::vector<std::int64_t> sizes;
+  for (int r = 0; r < kRequests; ++r) {
+    runtime::InferenceRequest inference_request;
+    inference_request.id = static_cast<std::uint64_t>(r + 1);
+    const int images_in_request = r % 4 + 1;
+    for (int i = 0; i < images_in_request; ++i) {
+      inference_request.images.push_back(tensor::Tensor::randn(
+          tensor::Shape{spec.channels, spec.height, spec.width}, rng));
+    }
+    sizes.push_back(images_in_request);
+    auto submission = server.submit(std::move(inference_request));
+    if (submission.status != serving::SubmitStatus::Ok) {
+      std::fprintf(stderr, "request %d not admitted: %s\n", r + 1,
+                   serving::to_string(submission.status));
+      return 1;
+    }
+    futures.push_back(std::move(submission.result));
+  }
+
+  support::Table serve_table({"request", "images", "queue (ms)",
+                              "compute (ms)", "rode batch", "top-1",
+                              "shifts", "adds"});
+  for (std::size_t r = 0; r < futures.size(); ++r) {
+    const runtime::InferenceResult result = futures[r].get();
+    serve_table.add_row(
+        {std::to_string(result.id), std::to_string(sizes[r]),
+         support::format_fixed(result.timing.queue_seconds * 1e3, 2),
+         support::format_fixed(result.timing.compute_seconds * 1e3, 2),
+         std::to_string(result.timing.batch_size),
+         std::to_string(result.argmax.empty() ? -1 : result.argmax[0]),
+         std::to_string(result.counts.shifts),
+         std::to_string(result.counts.adds)});
+  }
+  server.shutdown();
+  const auto stats = server.stats();
+  std::printf("per-request timing (%lld dynamic batches executed):\n%s",
+              static_cast<long long>(stats.batches),
+              serve_table.to_string().c_str());
+
   if (profile) {
-    // Compile the whole trained model to the integer plan and break one
-    // image's inference cost down per step: where the wall time goes and
-    // how many single-shift terms each shift layer executes.
-    const auto network = inference::QuantizedNetwork::compile(
-        *model, tensor::Shape{1, spec.channels, spec.height, spec.width});
+    // Break one image's inference cost down per step: where the wall time
+    // goes and how many single-shift terms each shift layer executes.
     tensor::Tensor image = tensor::Tensor::randn(
         tensor::Shape{spec.channels, spec.height, spec.width}, rng);
     const auto steps = network.profile(image, /*repeats=*/20);

@@ -1,5 +1,7 @@
 #include "runtime/batch_runner.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "nn/loss.hpp"
@@ -18,59 +20,69 @@ void merge_counts(inference::NetworkOpCounts& into,
   into.images += from.images;
 }
 
+// Index of the (first) maximum logit; deterministic tie-break by index.
+int argmax_of(const tensor::Tensor& logits) {
+  const std::int64_t n = logits.numel();
+  int best = 0;
+  float best_value = n > 0 ? logits[0] : 0.0F;
+  for (std::int64_t i = 1; i < n; ++i) {
+    if (logits[i] > best_value) {
+      best_value = logits[i];
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
-void BatchRunner::run(const std::vector<tensor::Tensor>& images,
-                      BatchResult& result) const {
-  const auto n = static_cast<std::int64_t>(images.size());
-  result.logits.resize(images.size());  // recycles logits tensors in place
-  result.counts = {};
-  // Per-image count slots keep the aggregation race-free and deterministic:
-  // the final merge happens on the calling thread in index order. The slot
-  // vector is calling-thread scratch, reused across batches. The local
-  // reference is load-bearing: a thread_local named directly inside the
-  // lambda below would resolve to each worker's own (empty) instance.
+void BatchRunner::run_images(
+    const tensor::Tensor* images, std::size_t n,
+    std::vector<tensor::Tensor>& logits,
+    std::vector<inference::NetworkOpCounts>& counts) const {
+  logits.resize(n);     // recycles logits tensors in place
+  counts.assign(n, {});  // per-image slots keep aggregation deterministic
+  parallel_for(0, static_cast<std::int64_t>(n), 1,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   const auto idx = static_cast<std::size_t>(i);
+                   logits[idx] = network_->run(images[idx], &counts[idx]);
+                 }
+               });
+}
+
+void BatchRunner::run(const InferenceRequest& request, InferenceResult& result,
+                      std::vector<inference::NetworkOpCounts>*
+                          per_image_counts) const {
+  // Calling-thread scratch, reused across batches. The local reference is
+  // load-bearing: a thread_local named directly inside a worker lambda
+  // would resolve to each worker's own (empty) instance.
   thread_local std::vector<inference::NetworkOpCounts> counts_tls;
-  auto& counts = counts_tls;
-  counts.assign(images.size(), {});
-  parallel_for(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const auto idx = static_cast<std::size_t>(i);
-      result.logits[idx] = network_->run(images[idx], &counts[idx]);
-    }
-  });
-  for (const auto& c : counts) merge_counts(result.counts, c);
-}
+  auto& counts =
+      per_image_counts != nullptr ? *per_image_counts : counts_tls;
 
-BatchResult BatchRunner::run(const std::vector<tensor::Tensor>& images) const {
-  BatchResult result;
-  run(images, result);
-  return result;
-}
+  result.id = request.id;
+  const auto start = std::chrono::steady_clock::now();
+  run_images(request.images.data(), request.images.size(), result.logits,
+             counts);
+  const auto stop = std::chrono::steady_clock::now();
 
-void BatchRunner::run(const tensor::Tensor& batch, BatchResult& result) const {
-  const auto& s = batch.shape();
-  FLIGHTNN_CHECK(s.rank() == 4, "BatchRunner::run: NCHW batch expected, got ",
-                 s.to_string());
-  const std::int64_t n = s[0];
-  const std::int64_t image_numel = s[1] * s[2] * s[3];
-  // Per-image views are calling-thread scratch; the tensors inside recycle
-  // their buffers through the per-thread pool across batches.
-  thread_local std::vector<tensor::Tensor> images;
-  images.resize(static_cast<std::size_t>(n));
-  const tensor::Shape image_shape{s[1], s[2], s[3]};
-  for (std::int64_t i = 0; i < n; ++i) {
-    auto& image = images[static_cast<std::size_t>(i)];
-    if (image.shape() != image_shape) image = tensor::Tensor(image_shape);
-    std::memcpy(image.data(), batch.data() + i * image_numel,
-                static_cast<std::size_t>(image_numel) * sizeof(float));
+  result.argmax.resize(request.images.size());
+  for (std::size_t i = 0; i < result.logits.size(); ++i) {
+    result.argmax[i] = argmax_of(result.logits[i]);
   }
-  run(images, result);
+  result.counts = {};
+  for (const auto& c : counts) merge_counts(result.counts, c);
+  result.timing.queue_seconds = 0.0;
+  result.timing.compute_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  result.timing.batch_size =
+      static_cast<std::int64_t>(request.images.size());
 }
 
-BatchResult BatchRunner::run(const tensor::Tensor& batch) const {
-  BatchResult result;
-  run(batch, result);
+InferenceResult BatchRunner::run(const InferenceRequest& request) const {
+  InferenceResult result;
+  run(request, result);
   return result;
 }
 
@@ -78,31 +90,77 @@ double BatchRunner::evaluate(const data::Dataset& dataset, int top_k,
                              inference::NetworkOpCounts* counts) const {
   const std::int64_t n = dataset.size();
   if (n == 0) return 0.0;
-  // Calling-thread scratch; the local references matter (see run above).
-  thread_local std::vector<inference::NetworkOpCounts> image_counts_tls;
-  thread_local std::vector<std::uint8_t> hit_tls;
-  auto& image_counts = image_counts_tls;
-  auto& hit = hit_tls;
-  image_counts.assign(static_cast<std::size_t>(n), {});
-  hit.assign(static_cast<std::size_t>(n), 0);
-  parallel_for(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+  // The dataset is fed through the unified request path in fixed-size
+  // chunks: large enough to saturate the pool across images, small enough
+  // to bound the per-chunk working set. Calling-thread scratch; the local
+  // references matter (see run above).
+  constexpr std::int64_t kChunk = 64;
+  thread_local InferenceRequest request_tls;
+  thread_local InferenceResult result_tls;
+  auto& request = request_tls;
+  auto& result = result_tls;
+  std::int64_t hits = 0;
+  for (std::int64_t lo = 0; lo < n; lo += kChunk) {
+    const std::int64_t hi = std::min(n, lo + kChunk);
+    request.images.resize(static_cast<std::size_t>(hi - lo));
     for (std::int64_t i = lo; i < hi; ++i) {
-      const auto idx = static_cast<std::size_t>(i);
-      tensor::Tensor logits =
-          network_->run(dataset.image(i), &image_counts[idx]);
+      request.images[static_cast<std::size_t>(i - lo)] = dataset.image(i);
+    }
+    run(request, result);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto& logits = result.logits[static_cast<std::size_t>(i - lo)];
       const tensor::Tensor row =
           logits.reshaped(tensor::Shape{1, logits.numel()});
-      hit[idx] = nn::top_k_accuracy(row, {dataset.labels[idx]}, top_k) > 0.5
-                     ? 1
-                     : 0;
+      if (nn::top_k_accuracy(row, {dataset.labels[static_cast<std::size_t>(i)]},
+                             top_k) > 0.5) {
+        ++hits;
+      }
     }
-  });
-  std::int64_t hits = 0;
-  for (const std::uint8_t h : hit) hits += h;
-  if (counts != nullptr) {
-    for (const auto& c : image_counts) merge_counts(*counts, c);
+    if (counts != nullptr) merge_counts(*counts, result.counts);
   }
   return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+// --- Deprecated shims --------------------------------------------------------
+// Implemented over the non-deprecated core so the shim bodies themselves
+// compile -Wdeprecated-declarations-clean.
+
+void BatchRunner::run_legacy(const std::vector<tensor::Tensor>& images,
+                             BatchResult& result) const {
+  thread_local std::vector<inference::NetworkOpCounts> counts_tls;
+  auto& counts = counts_tls;
+  run_images(images.data(), images.size(), result.logits, counts);
+  result.counts = {};
+  for (const auto& c : counts) merge_counts(result.counts, c);
+}
+
+void BatchRunner::run(const std::vector<tensor::Tensor>& images,
+                      BatchResult& result) const {
+  run_legacy(images, result);
+}
+
+BatchResult BatchRunner::run(const std::vector<tensor::Tensor>& images) const {
+  BatchResult result;
+  run_legacy(images, result);
+  return result;
+}
+
+void BatchRunner::run(const tensor::Tensor& batch, BatchResult& result) const {
+  // Per-image views are calling-thread scratch; the tensors inside recycle
+  // their buffers through the per-thread pool across batches.
+  thread_local std::vector<tensor::Tensor> images_tls;
+  auto& images = images_tls;
+  split_nchw(batch, images);
+  run_legacy(images, result);
+}
+
+BatchResult BatchRunner::run(const tensor::Tensor& batch) const {
+  BatchResult result;
+  thread_local std::vector<tensor::Tensor> images_tls;
+  auto& images = images_tls;
+  split_nchw(batch, images);
+  run_legacy(images, result);
+  return result;
 }
 
 }  // namespace flightnn::runtime

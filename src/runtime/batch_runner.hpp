@@ -7,6 +7,14 @@
 // pass may themselves parallelize across output-filter blocks (nested
 // parallel_for draws from the same pool).
 //
+// Public API (the single entry point, DESIGN.md §11): callers build an
+// InferenceRequest and get an InferenceResult back, either owning
+// (`run(request)`) or into preallocated storage (`run(request, result)`,
+// the zero-allocation steady state of DESIGN.md §9). Dataset evaluation
+// (`evaluate`) and the serving layer (serving::Server) both sit on this one
+// path. The pre-request-API overloads survive as deprecated forwarding
+// shims for one release.
+//
 // Determinism: per-image results are bit-identical to serial execution at
 // any thread count, and the aggregate op counts are sums of per-image
 // integers, so they are thread-count-invariant too.
@@ -15,10 +23,12 @@
 
 #include "data/dataset.hpp"
 #include "inference/quantized_network.hpp"
+#include "runtime/inference_request.hpp"
 #include "tensor/tensor.hpp"
 
 namespace flightnn::runtime {
 
+// Pre-request-API result type, kept alive for the deprecated shims below.
 struct BatchResult {
   std::vector<tensor::Tensor> logits;  // one logits tensor per image, in order
   inference::NetworkOpCounts counts;
@@ -30,25 +40,59 @@ class BatchRunner {
   explicit BatchRunner(const inference::QuantizedNetwork& network)
       : network_(&network) {}
 
-  // Run every image ([C, H, W] or [1, C, H, W]) through the network.
-  [[nodiscard]] BatchResult run(const std::vector<tensor::Tensor>& images) const;
+  // Owning entry point: run every request image ([C, H, W] or [1, C, H, W])
+  // through the network. The result echoes request.id and carries logits,
+  // argmax, op counts and timing (queue_seconds = 0 for direct calls).
+  [[nodiscard]] InferenceResult run(const InferenceRequest& request) const;
 
-  // Run an NCHW batch tensor.
-  [[nodiscard]] BatchResult run(const tensor::Tensor& batch) const;
+  // Preallocated entry point: write into `result`, recycling its logits
+  // tensors, argmax storage and counter scratch. Feeding the same `result`
+  // back across batches is the zero-allocation steady state of DESIGN.md §9
+  // (asserted by tests/arena_allocation_test). When `per_image_counts` is
+  // non-null it receives one NetworkOpCounts per request image -- the
+  // serving batcher uses this to attribute a fused batch's census back to
+  // the individual requests that rode in it.
+  void run(const InferenceRequest& request, InferenceResult& result,
+           std::vector<inference::NetworkOpCounts>* per_image_counts =
+               nullptr) const;
 
-  // Allocation-reusing variants: write into `result`, recycling its logits
-  // tensors and counter storage. Feeding the same `result` back across
-  // batches is the zero-allocation steady state of DESIGN.md §9 (asserted by
-  // tests/arena_allocation_test).
-  void run(const std::vector<tensor::Tensor>& images, BatchResult& result) const;
-  void run(const tensor::Tensor& batch, BatchResult& result) const;
-
-  // Top-k classification accuracy over a dataset, images evaluated in
-  // parallel. Matches QuantizedNetwork::evaluate exactly.
+  // Top-k classification accuracy over a dataset. A thin wrapper over the
+  // request path: the dataset is evaluated as a sequence of fixed-size
+  // InferenceRequests, so serving and dataset evaluation exercise the same
+  // code path. Matches QuantizedNetwork::evaluate exactly.
   [[nodiscard]] double evaluate(const data::Dataset& dataset, int top_k = 1,
                                 inference::NetworkOpCounts* counts = nullptr) const;
 
+  // --- Deprecated pre-request-API shims (one release; DESIGN.md §11) ------
+
+  [[deprecated("use run(InferenceRequest) instead")]] [[nodiscard]]
+  BatchResult run(const std::vector<tensor::Tensor>& images) const;
+
+  [[deprecated("use run(InferenceRequest::from_nchw(batch)) instead")]]
+  [[nodiscard]]
+  BatchResult run(const tensor::Tensor& batch) const;
+
+  [[deprecated(
+      "use run(InferenceRequest, InferenceResult&) instead")]]
+  void run(const std::vector<tensor::Tensor>& images,
+           BatchResult& result) const;
+
+  [[deprecated(
+      "use run(InferenceRequest::from_nchw(batch), InferenceResult&) "
+      "instead")]]
+  void run(const tensor::Tensor& batch, BatchResult& result) const;
+
  private:
+  // The one forward-pass core every public entry point funnels into: run
+  // `n` images through the network in parallel, producing per-image logits
+  // and op counts. `logits` and `counts` are resized to `n`.
+  void run_images(const tensor::Tensor* images, std::size_t n,
+                  std::vector<tensor::Tensor>& logits,
+                  std::vector<inference::NetworkOpCounts>& counts) const;
+  // Non-deprecated core of the legacy shims.
+  void run_legacy(const std::vector<tensor::Tensor>& images,
+                  BatchResult& result) const;
+
   const inference::QuantizedNetwork* network_;
 };
 

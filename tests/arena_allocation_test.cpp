@@ -1,5 +1,5 @@
 // Zero-allocation steady state: after warm-up, repeated BatchRunner::run
-// calls into a reused BatchResult must perform no heap allocations. The test
+// calls into a reused InferenceResult must perform no heap allocations. The test
 // replaces the global operator new/delete pair with counting versions; every
 // allocation anywhere in the process (any thread) increments the counter
 // while counting is armed.
@@ -95,22 +95,22 @@ inference::QuantizedNetwork make_network() {
   return inference::QuantizedNetwork::compile(*model, Shape{1, 3, 16, 16});
 }
 
-std::vector<Tensor> make_images(std::int64_t n, std::uint64_t seed) {
+runtime::InferenceRequest make_request(std::int64_t n, std::uint64_t seed) {
   support::Rng rng(seed);
-  std::vector<Tensor> images;
-  images.reserve(static_cast<std::size_t>(n));
+  runtime::InferenceRequest request;
+  request.images.reserve(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
-    images.push_back(Tensor::randn(Shape{3, 16, 16}, rng));
+    request.images.push_back(Tensor::randn(Shape{3, 16, 16}, rng));
   }
-  return images;
+  return request;
 }
 
 long long count_allocs_in_batch(const runtime::BatchRunner& runner,
-                                const std::vector<Tensor>& images,
-                                runtime::BatchResult& result) {
+                                const runtime::InferenceRequest& request,
+                                runtime::InferenceResult& result) {
   g_alloc_count.store(0, std::memory_order_relaxed);
   g_counting.store(true, std::memory_order_seq_cst);
-  runner.run(images, result);
+  runner.run(request, result);
   g_counting.store(false, std::memory_order_seq_cst);
   return g_alloc_count.load(std::memory_order_relaxed);
 }
@@ -119,31 +119,33 @@ TEST(ArenaAllocationTest, SingleThreadSteadyStateAllocatesNothing) {
   runtime::set_num_threads(1);
   const auto network = make_network();
   const runtime::BatchRunner runner(network);
-  const auto images = make_images(6, 1001);
+  const auto request = make_request(6, 1001);
 
-  runtime::BatchResult result;
+  runtime::InferenceResult result;
   // Warm-up: first batch builds the tensor pool, quantization scratch,
   // arena slots and counter vectors; second proves stability before arming.
-  runner.run(images, result);
-  runner.run(images, result);
+  runner.run(request, result);
+  runner.run(request, result);
 
   for (int batch = 0; batch < 5; ++batch) {
-    const long long allocs = count_allocs_in_batch(runner, images, result);
+    const long long allocs = count_allocs_in_batch(runner, request, result);
     EXPECT_EQ(allocs, 0) << "steady-state batch " << batch
                          << " hit the heap " << allocs << " times";
   }
-  EXPECT_EQ(result.logits.size(), images.size());
-  EXPECT_EQ(result.counts.images, static_cast<std::int64_t>(images.size()));
+  EXPECT_EQ(result.logits.size(), request.images.size());
+  EXPECT_EQ(result.argmax.size(), request.images.size());
+  EXPECT_EQ(result.counts.images,
+            static_cast<std::int64_t>(request.images.size()));
 }
 
 TEST(ArenaAllocationTest, MultiThreadSteadyStateConverges) {
   runtime::set_num_threads(4);
   const auto network = make_network();
   const runtime::BatchRunner runner(network);
-  const auto images = make_images(9, 2002);
+  const auto request = make_request(9, 2002);
 
-  runtime::BatchResult result;
-  runner.run(images, result);  // spin up workers + first-touch warm-up
+  runtime::InferenceResult result;
+  runner.run(request, result);  // spin up workers + first-touch warm-up
 
   // Converge: workers warm their thread-local pools lazily and image->worker
   // assignment varies run to run, so allow a bounded number of batches for
@@ -154,7 +156,7 @@ TEST(ArenaAllocationTest, MultiThreadSteadyStateConverges) {
   int batch = 0;
   for (; batch < kMaxWarmupBatches && clean_streak < kRequiredCleanStreak;
        ++batch) {
-    const long long allocs = count_allocs_in_batch(runner, images, result);
+    const long long allocs = count_allocs_in_batch(runner, request, result);
     clean_streak = allocs == 0 ? clean_streak + 1 : 0;
   }
   ASSERT_EQ(clean_streak, kRequiredCleanStreak)
@@ -163,7 +165,7 @@ TEST(ArenaAllocationTest, MultiThreadSteadyStateConverges) {
 
   // Assert: once converged, the steady state must stay allocation-free.
   for (int i = 0; i < 5; ++i) {
-    const long long allocs = count_allocs_in_batch(runner, images, result);
+    const long long allocs = count_allocs_in_batch(runner, request, result);
     EXPECT_EQ(allocs, 0) << "post-convergence batch " << i << " allocated";
   }
   runtime::set_num_threads(1);

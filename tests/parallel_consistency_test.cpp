@@ -19,6 +19,7 @@
 #include "nn/pooling.hpp"
 #include "quant/lightnn.hpp"
 #include "runtime/batch_runner.hpp"
+#include "runtime/inference_request.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/rng.hpp"
 
@@ -165,24 +166,30 @@ TEST_P(NetworkBatchSizes, QuantizedNetworkBatchBitIdentical) {
   const runtime::BatchRunner runner(network);
 
   support::Rng rng(32);
-  std::vector<Tensor> images;
-  images.reserve(static_cast<std::size_t>(batch));
+  runtime::InferenceRequest request;
+  request.id = 77;
+  request.images.reserve(static_cast<std::size_t>(batch));
   for (std::int64_t i = 0; i < batch; ++i) {
-    images.push_back(Tensor::randn(Shape{3, 16, 16}, rng));
+    request.images.push_back(Tensor::randn(Shape{3, 16, 16}, rng));
   }
 
-  const runtime::BatchResult serial = runner.run(images);
-  ASSERT_EQ(serial.logits.size(), images.size());
+  const runtime::InferenceResult serial = runner.run(request);
+  ASSERT_EQ(serial.logits.size(), request.images.size());
+  ASSERT_EQ(serial.argmax.size(), request.images.size());
+  EXPECT_EQ(serial.id, 77u);
   EXPECT_EQ(serial.counts.images, batch);
+  EXPECT_EQ(serial.timing.batch_size, batch);
+  EXPECT_EQ(serial.timing.queue_seconds, 0.0);
 
   for (const int threads : kThreadCounts) {
     runtime::set_num_threads(threads);
-    const runtime::BatchResult parallel = runner.run(images);
+    const runtime::InferenceResult parallel = runner.run(request);
     ASSERT_EQ(parallel.logits.size(), serial.logits.size());
     for (std::size_t i = 0; i < serial.logits.size(); ++i) {
       expect_bitwise_equal(serial.logits[i], parallel.logits[i],
                            "network logits", threads);
     }
+    EXPECT_EQ(parallel.argmax, serial.argmax);
     EXPECT_EQ(parallel.counts.shifts, serial.counts.shifts);
     EXPECT_EQ(parallel.counts.adds, serial.counts.adds);
     EXPECT_EQ(parallel.counts.float_macs, serial.counts.float_macs);
@@ -194,7 +201,7 @@ TEST_P(NetworkBatchSizes, QuantizedNetworkBatchBitIdentical) {
 INSTANTIATE_TEST_SUITE_P(OddBatches, NetworkBatchSizes,
                          ::testing::Values<std::int64_t>(1, 3));
 
-TEST(ParallelConsistencyTest, BatchTensorOverloadMatchesVector) {
+TEST(ParallelConsistencyTest, NchwRequestMatchesPerImageRuns) {
   models::BuildOptions build;
   build.classes = 10;
   build.width_scale = 0.125F;
@@ -209,7 +216,8 @@ TEST(ParallelConsistencyTest, BatchTensorOverloadMatchesVector) {
   support::Rng rng(42);
   Tensor batch = Tensor::randn(Shape{3, 3, 16, 16}, rng);
   runtime::set_num_threads(4);
-  const runtime::BatchResult from_tensor = runner.run(batch);
+  const runtime::InferenceResult from_tensor =
+      runner.run(runtime::InferenceRequest::from_nchw(batch));
   runtime::set_num_threads(1);
   ASSERT_EQ(from_tensor.logits.size(), 3u);
   for (std::int64_t i = 0; i < 3; ++i) {

@@ -18,6 +18,7 @@
 #include "inference/quantized_network.hpp"
 #include "models/networks.hpp"
 #include "runtime/batch_runner.hpp"
+#include "runtime/inference_request.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/rng.hpp"
 
@@ -32,14 +33,16 @@ constexpr int kClientThreads = 4;
 constexpr int kRequestsPerClient = 3;
 constexpr std::int64_t kMaxBatch = 5;
 
-std::vector<Tensor> random_batch(std::uint64_t seed, std::int64_t batch) {
+runtime::InferenceRequest random_request(std::uint64_t seed,
+                                         std::int64_t batch) {
   support::Rng rng(seed);
-  std::vector<Tensor> images;
-  images.reserve(static_cast<std::size_t>(batch));
+  runtime::InferenceRequest request;
+  request.id = seed;
+  request.images.reserve(static_cast<std::size_t>(batch));
   for (std::int64_t i = 0; i < batch; ++i) {
-    images.push_back(Tensor::randn(Shape{3, 12, 12}, rng));
+    request.images.push_back(Tensor::randn(Shape{3, 12, 12}, rng));
   }
-  return images;
+  return request;
 }
 
 TEST(RuntimeStressTest, ConcurrentBatchRunnersOverSharedWeights) {
@@ -64,7 +67,7 @@ TEST(RuntimeStressTest, ConcurrentBatchRunnersOverSharedWeights) {
       const std::uint64_t seed =
           kBaseSeed + static_cast<std::uint64_t>(t * 100 + r);
       const std::int64_t batch = (t + r) % kMaxBatch + 1;
-      const auto result = runner.run(random_batch(seed, batch));
+      const auto result = runner.run(random_request(seed, batch));
       reference[static_cast<std::size_t>(t * kRequestsPerClient + r)] =
           result.logits;
     }
@@ -86,7 +89,7 @@ TEST(RuntimeStressTest, ConcurrentBatchRunnersOverSharedWeights) {
             kBaseSeed + static_cast<std::uint64_t>(t * 100 + r);
         const std::int64_t batch = (t + r) % kMaxBatch + 1;
         mine[static_cast<std::size_t>(r)] =
-            runner.run(random_batch(seed, batch)).logits;
+            runner.run(random_request(seed, batch)).logits;
       }
     });
   }
