@@ -7,12 +7,15 @@
 if(FLIGHTNN_SANITIZE)
   string(REPLACE "," ";" _flightnn_san_list "${FLIGHTNN_SANITIZE}")
 
-  if("memory" IN_LIST _flightnn_san_list AND
-     NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
-    message(FATAL_ERROR
-        "FLIGHTNN_SANITIZE=memory requires clang (current compiler: "
-        "${CMAKE_CXX_COMPILER_ID}). Use -DCMAKE_CXX_COMPILER=clang++.")
-  endif()
+  foreach(_flightnn_clang_only memory integer)
+    if("${_flightnn_clang_only}" IN_LIST _flightnn_san_list AND
+       NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      message(FATAL_ERROR
+          "FLIGHTNN_SANITIZE=${_flightnn_clang_only} requires clang (current "
+          "compiler: ${CMAKE_CXX_COMPILER_ID}). "
+          "Use -DCMAKE_CXX_COMPILER=clang++.")
+    endif()
+  endforeach()
   if("thread" IN_LIST _flightnn_san_list AND
      ("address" IN_LIST _flightnn_san_list OR
       "memory" IN_LIST _flightnn_san_list))
@@ -30,6 +33,13 @@ if(FLIGHTNN_SANITIZE)
     -g
   )
   add_link_options(-fsanitize=${_flightnn_san})
+  # The integer group's unsigned-overflow check is carved out: unsigned
+  # wraparound is defined behavior and the RNG (support/rng) and hash-style
+  # mixing rely on it by design. Everything else in the group (implicit
+  # truncations, sign changes, signed shifts) stays fatal.
+  if("integer" IN_LIST _flightnn_san_list)
+    add_compile_options(-fno-sanitize=unsigned-integer-overflow)
+  endif()
   add_compile_definitions(FLIGHTNN_FORCE_DCHECKS=1)
 
   unset(_flightnn_san)

@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared entry-point shim for the fuzz harnesses. Each harness defines
+// LLVMFuzzerTestOneInput; how it gets driven depends on the build:
+//
+//   - FLIGHTNN_FUZZ=ON (clang, the debug-fuzz preset): libFuzzer provides
+//     main() and mutates inputs under ASan+UBSan. This is the exploration
+//     mode that grows fuzz/corpus/.
+//   - default (any compiler, including the portable GCC build): this header
+//     provides a standalone main() that replays every file (or every file
+//     inside every directory) passed on the command line exactly once. The
+//     checked-in corpus replayed this way is the fuzz regression test that
+//     runs in tier-1 ctest -- every past crasher stays fixed, on every
+//     compiler, without a libFuzzer dependency.
+//
+// A harness returns 0 from LLVMFuzzerTestOneInput for both accepted and
+// cleanly-rejected inputs; only undefined behavior (caught by the
+// sanitizers) or an uncaught exception counts as a finding.
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#if !defined(FLIGHTNN_FUZZ_LIBFUZZER)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace flightnn::fuzz {
+
+inline int replay_file(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "fuzz: cannot open %s\n", path.string().c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(file)),
+                                 std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(data.data(), data.size());
+  return 0;
+}
+
+}  // namespace flightnn::fuzz
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  int failures = 0;
+  long replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        failures += flightnn::fuzz::replay_file(entry.path());
+        ++replayed;
+      }
+    } else {
+      failures += flightnn::fuzz::replay_file(arg);
+      ++replayed;
+    }
+  }
+  std::fprintf(stderr, "fuzz: replayed %ld input(s), %d unreadable\n",
+               replayed, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+#endif  // !FLIGHTNN_FUZZ_LIBFUZZER

@@ -10,6 +10,7 @@
 
 #include "runtime/scratch_arena.hpp"
 #include "runtime/thread_pool.hpp"
+#include "support/annotations.hpp"
 #include "support/check.hpp"
 #include "tensor/buffer_pool.hpp"
 
@@ -45,7 +46,7 @@ constexpr double kNsPerFlop = 0.05;
 // Pack the [mc x kc] block of A starting at (m0, p0) into mr-row
 // micro-panels: ap[ip][kk][r] = a(m0 + ip*mr + r, p0 + kk), zero-padded in
 // r past the edge so the microkernel never branches on partial tiles.
-void pack_a(const float* a, std::int64_t a_rs, std::int64_t a_cs,
+FLIGHTNN_HOT void pack_a(const float* a, std::int64_t a_rs, std::int64_t a_cs,
             std::int64_t m0, std::int64_t mc, std::int64_t p0,
             std::int64_t kc, float* ap, std::int64_t mr_tile) {
   const std::int64_t panels = (mc + mr_tile - 1) / mr_tile;
@@ -64,7 +65,7 @@ void pack_a(const float* a, std::int64_t a_rs, std::int64_t a_cs,
 
 // Pack the [kc x n] block of B starting at row p0 into nr-column
 // micro-panels: bp[jp][kk][j] = b(p0 + kk, jp*nr + j), zero-padded in j.
-void pack_b(const float* b, std::int64_t b_rs, std::int64_t b_cs,
+FLIGHTNN_HOT void pack_b(const float* b, std::int64_t b_rs, std::int64_t b_cs,
             std::int64_t p0, std::int64_t kc, std::int64_t n, float* bp,
             std::int64_t nr_tile) {
   const std::int64_t panels = (n + nr_tile - 1) / nr_tile;
@@ -93,7 +94,8 @@ void pack_b(const float* b, std::int64_t b_rs, std::int64_t b_cs,
 // the full tile (padding made the panels rectangular), partial-edge handling
 // deferred to the store. Accumulates into C, so the caller zeroes C rows
 // once before the first KC block when not accumulating.
-void micro_tile_scalar(const float* ap, const float* bp, std::int64_t kc,
+FLIGHTNN_HOT void micro_tile_scalar(const float* ap, const float* bp,
+                                    std::int64_t kc,
                        float* c, std::int64_t ldc, std::int64_t mr,
                        std::int64_t nr) {
   float acc[kMrScalar * kNrScalar] = {};
@@ -119,7 +121,7 @@ void micro_tile_scalar(const float* ap, const float* bp, std::int64_t kc,
 // broadcast live per k step (15 of 16 registers). Compiled with a target
 // attribute so the portable build still links it; only ever called after
 // __builtin_cpu_supports confirms avx2+fma.
-__attribute__((target("avx2,fma"))) void micro_tile_avx2(
+__attribute__((target("avx2,fma"))) FLIGHTNN_HOT void micro_tile_avx2(
     const float* ap, const float* bp, std::int64_t kc, float* c,
     std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
   constexpr std::int64_t kMrTile = 6;
@@ -214,10 +216,11 @@ const Kernel& active_kernel() {
 
 }  // namespace
 
-void gemm_strided(const float* a, std::int64_t a_rs, std::int64_t a_cs,
-                  const float* b, std::int64_t b_rs, std::int64_t b_cs,
-                  float* c, std::int64_t m, std::int64_t k, std::int64_t n,
-                  bool accumulate) {
+FLIGHTNN_HOT void gemm_strided(const float* a, std::int64_t a_rs,
+                               std::int64_t a_cs, const float* b,
+                               std::int64_t b_rs, std::int64_t b_cs, float* c,
+                               std::int64_t m, std::int64_t k, std::int64_t n,
+                               bool accumulate) {
   FLIGHTNN_DCHECK(m >= 0 && k >= 0 && n >= 0,
                   "gemm: negative dimensions m=", m, " k=", k, " n=", n);
   FLIGHTNN_DCHECK(a != nullptr && b != nullptr && c != nullptr,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/annotations.hpp"
 #include "support/check.hpp"
 
 #include "core/flightnn_transform.hpp"
@@ -482,8 +483,8 @@ QuantizedNetwork QuantizedNetwork::compile(nn::Sequential& model,
   return network;
 }
 
-tensor::Tensor QuantizedNetwork::run(const tensor::Tensor& image,
-                                     NetworkOpCounts* counts) const {
+FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor QuantizedNetwork::run(
+    const tensor::Tensor& image, NetworkOpCounts* counts) const {
   tensor::Tensor current;
   const auto& s = image.shape();
   FLIGHTNN_CHECK(s.rank() == 3 || (s.rank() == 4 && s[0] == 1),

@@ -8,6 +8,7 @@
 
 #include "runtime/scratch_arena.hpp"
 #include "runtime/thread_pool.hpp"
+#include "support/annotations.hpp"
 #include "support/check.hpp"
 
 namespace flightnn::inference {
@@ -131,6 +132,107 @@ std::int64_t valid_positions(std::int64_t k, std::int64_t out_n,
   const std::int64_t hi =
       std::min(out_n - 1, floor_div(in_n - 1 + padding - k, stride));
   return hi >= lo ? hi - lo + 1 : 0;
+}
+
+// Geometry bundle for the conv integer kernel: everything the inner loops
+// need, precomputed by the caller so the kernel itself stays integer-only.
+struct ConvKernelGeom {
+  std::int64_t in_h = 0, in_w = 0, in_hw = 0;
+  std::int64_t out_h = 0, out_w = 0, out_hw = 0;
+  std::int64_t stride = 1, padding = 0;
+  // Interior rectangle: rows [oy_lo, oy_hi) x cols [ox_lo, ox_hi) read
+  // in-bounds for every kernel tap; everything outside takes the guarded
+  // border path.
+  std::int64_t oy_lo = 0, oy_hi = 0, ox_lo = 0, ox_hi = 0;
+};
+
+// Integer-only accumulation of one conv output plane. Each filter's
+// accumulator plane is owned by exactly one caller chunk. The entry walk
+// adds the same multiset of integer addends the reference term-walk adds
+// (the multiplier q * sign*2^shift equals the shift-and-signed-add exactly
+// -- no overflow by the gain bound), and integer addition without overflow
+// is associative and commutative, so the integer plane is bit-identical to
+// run_reference at any accumulator width and thread count. Dequantization
+// (the only float arithmetic) stays in the caller, after this returns.
+template <typename AccT>
+FLIGHTNN_HOT FLIGHTNN_INT_KERNEL void conv_accumulate_filter(
+    const ShiftPlan& plan, std::int64_t f, const ConvKernelGeom& g,
+    const std::int32_t* in_data, const std::int64_t* off, AccT* acc) {
+  // Integer accumulators at scale 2^(input.scale_exp + e_min): each weight
+  // term sign * 2^e contributes sign * (q << (e - e_min)), a non-negative
+  // left shift since e >= e_min.
+  std::fill(acc, acc + g.out_hw, AccT{0});
+  const std::int64_t fb = plan.filter_begin[static_cast<std::size_t>(f)];
+  const std::int64_t fe = plan.filter_begin[static_cast<std::size_t>(f) + 1];
+  for (std::int64_t e = fb; e < fe; ++e) {
+    const auto ei = static_cast<std::size_t>(e);
+    const AccT m =
+        static_cast<AccT>(plan.sign[ei]) * (AccT{1} << plan.shift[ei]);
+    // Interior: every (oy, ox) in the rectangle reads in-bounds, so the
+    // inner loop is a straight multiply-accumulate; the stride-1 form is
+    // contiguous and vectorizes.
+    for (std::int64_t oy = g.oy_lo; oy < g.oy_hi; ++oy) {
+      const std::int64_t rbase =
+          off[e] + (oy * g.stride - g.padding) * g.in_w - g.padding;
+      AccT* arow = acc + oy * g.out_w;
+      if (g.stride == 1) {
+        const std::int32_t* irow = in_data + rbase + g.ox_lo;
+        AccT* a = arow + g.ox_lo;
+        const std::int64_t n = g.ox_hi - g.ox_lo;
+        for (std::int64_t i = 0; i < n; ++i) {
+          a[i] += static_cast<AccT>(irow[i]) * m;
+        }
+      } else {
+        for (std::int64_t ox = g.ox_lo; ox < g.ox_hi; ++ox) {
+          arow[ox] += static_cast<AccT>(in_data[rbase + ox * g.stride]) * m;
+        }
+      }
+    }
+    // Border: guarded path for rows/columns whose kernel tap may fall
+    // outside the input.
+    const std::int64_t kyv = plan.ky[ei], kxv = plan.kx[ei];
+    const std::int64_t plane =
+        static_cast<std::int64_t>(plan.channel[ei]) * g.in_hw;
+    const auto border_span = [&](std::int64_t oy, std::int64_t x0,
+                                 std::int64_t x1) {
+      const std::int64_t iy = oy * g.stride + kyv - g.padding;
+      if (iy < 0 || iy >= g.in_h) return;
+      const std::int64_t row = plane + iy * g.in_w;
+      AccT* arow = acc + oy * g.out_w;
+      for (std::int64_t ox = x0; ox < x1; ++ox) {
+        const std::int64_t ix = ox * g.stride + kxv - g.padding;
+        if (ix < 0 || ix >= g.in_w) continue;
+        arow[ox] += static_cast<AccT>(in_data[row + ix]) * m;
+      }
+    };
+    for (std::int64_t oy = 0; oy < g.oy_lo; ++oy) border_span(oy, 0, g.out_w);
+    for (std::int64_t oy = g.oy_hi; oy < g.out_h; ++oy) {
+      border_span(oy, 0, g.out_w);
+    }
+    for (std::int64_t oy = g.oy_lo; oy < g.oy_hi; ++oy) {
+      border_span(oy, 0, g.ox_lo);
+      border_span(oy, g.ox_hi, g.out_w);
+    }
+  }
+}
+
+// Integer-only dot product of one linear output feature against the plan's
+// entry stream. Same regrouping argument as the conv kernel: bit-identical
+// to the reference term-walk; dequantization stays in the caller.
+FLIGHTNN_HOT FLIGHTNN_INT_KERNEL std::int64_t shift_dot(
+    const ShiftPlan& plan, std::int64_t f, const std::int32_t* in_data) {
+  const std::int64_t fb = plan.filter_begin[static_cast<std::size_t>(f)];
+  const std::int64_t fe = plan.filter_begin[static_cast<std::size_t>(f) + 1];
+  std::int64_t acc = 0;
+  for (std::int64_t e = fb; e < fe; ++e) {
+    const auto ei = static_cast<std::size_t>(e);
+    // q * sign*2^shift equals the shift-and-signed-add exactly (no overflow
+    // by the gain bound) and keeps the loop branch-free.
+    const std::int64_t m = static_cast<std::int64_t>(plan.sign[ei]) *
+                           (std::int64_t{1} << plan.shift[ei]);
+    acc += static_cast<std::int64_t>(in_data[plan.element[ei]]) * m;
+  }
+  return acc;
 }
 
 // Shared core of the quantize functions: pow2 scale from the abs-max, values
@@ -297,8 +399,8 @@ ShiftConv2d::ShiftConv2d(const tensor::Tensor& quantized_weights, int k_max,
                         filter_gain_);
 }
 
-tensor::Tensor ShiftConv2d::run(const QuantizedActivations& input,
-                                OpCounts* counts) const {
+FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftConv2d::run(
+    const QuantizedActivations& input, OpCounts* counts) const {
   FLIGHTNN_CHECK(input.shape.rank() == 3 && input.shape[0] == in_channels_,
                  "ShiftConv2d::run: expected [", in_channels_,
                  ", H, W] input, got ", input.shape.to_string());
@@ -361,75 +463,17 @@ tensor::Tensor ShiftConv2d::run(const QuantizedActivations& input,
       max_gain <= kNarrowMax &&
       (max_gain == 0 || amax <= kNarrowMax / max_gain);
 
-  // One filter block, templated on the accumulator type. Each filter's
-  // accumulator plane is owned by exactly one chunk. The entry walk adds the
-  // same multiset of integer addends the reference term-walk adds (the
-  // multiplier q * sign*2^shift equals the shift-and-signed-add exactly --
-  // no overflow by the gain bound), and integer addition without overflow is
-  // associative and commutative, so the integer plane (and therefore the
-  // dequantized float plane) is bit-identical to run_reference at any
-  // accumulator width and thread count.
+  const ConvKernelGeom geom_k{in_h,  in_w,  in_hw, out_h, out_w, out_hw,
+                              stride_, padding_, oy_lo, oy_hi, ox_lo, ox_hi};
+
+  // One filter block, templated on the accumulator type: the integer kernel
+  // (conv_accumulate_filter, bit-identical to run_reference by the
+  // regrouping argument on its definition) followed by the float
+  // dequantize-and-bias tail.
   const auto filter_block = [&](auto* acc, std::int64_t f_begin,
                                 std::int64_t f_end) {
-    using AccT = std::remove_reference_t<decltype(*acc)>;
     for (std::int64_t f = f_begin; f < f_end; ++f) {
-      // Integer accumulators at scale 2^(input.scale_exp + e_min): each
-      // weight term sign * 2^e contributes sign * (q << (e - e_min)), a
-      // non-negative left shift since e >= e_min.
-      std::fill(acc, acc + out_hw, AccT{0});
-      const std::int64_t fb = plan_.filter_begin[static_cast<std::size_t>(f)];
-      const std::int64_t fe =
-          plan_.filter_begin[static_cast<std::size_t>(f) + 1];
-      for (std::int64_t e = fb; e < fe; ++e) {
-        const auto ei = static_cast<std::size_t>(e);
-        const AccT m = static_cast<AccT>(plan_.sign[ei]) *
-                       (AccT{1} << plan_.shift[ei]);
-        // Interior: every (oy, ox) in the rectangle reads in-bounds, so the
-        // inner loop is a straight multiply-accumulate; the stride-1 form is
-        // contiguous and vectorizes.
-        for (std::int64_t oy = oy_lo; oy < oy_hi; ++oy) {
-          const std::int64_t rbase =
-              off[e] + (oy * stride_ - padding_) * in_w - padding_;
-          AccT* arow = acc + oy * out_w;
-          if (stride_ == 1) {
-            const std::int32_t* irow = in_data + rbase + ox_lo;
-            AccT* a = arow + ox_lo;
-            const std::int64_t n = ox_hi - ox_lo;
-            for (std::int64_t i = 0; i < n; ++i) {
-              a[i] += static_cast<AccT>(irow[i]) * m;
-            }
-          } else {
-            for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox) {
-              arow[ox] += static_cast<AccT>(in_data[rbase + ox * stride_]) * m;
-            }
-          }
-        }
-        // Border: guarded path for rows/columns whose kernel tap may fall
-        // outside the input.
-        const std::int64_t kyv = plan_.ky[ei], kxv = plan_.kx[ei];
-        const std::int64_t plane =
-            static_cast<std::int64_t>(plan_.channel[ei]) * in_hw;
-        const auto border_span = [&](std::int64_t oy, std::int64_t x0,
-                                     std::int64_t x1) {
-          const std::int64_t iy = oy * stride_ + kyv - padding_;
-          if (iy < 0 || iy >= in_h) return;
-          const std::int64_t row = plane + iy * in_w;
-          AccT* arow = acc + oy * out_w;
-          for (std::int64_t ox = x0; ox < x1; ++ox) {
-            const std::int64_t ix = ox * stride_ + kxv - padding_;
-            if (ix < 0 || ix >= in_w) continue;
-            arow[ox] += static_cast<AccT>(in_data[row + ix]) * m;
-          }
-        };
-        for (std::int64_t oy = 0; oy < oy_lo; ++oy) border_span(oy, 0, out_w);
-        for (std::int64_t oy = oy_hi; oy < out_h; ++oy) {
-          border_span(oy, 0, out_w);
-        }
-        for (std::int64_t oy = oy_lo; oy < oy_hi; ++oy) {
-          border_span(oy, 0, ox_lo);
-          border_span(oy, ox_hi, out_w);
-        }
-      }
+      conv_accumulate_filter(plan_, f, geom_k, in_data, off, acc);
       // Dequantize and fold in the float bias.
       const float b = bias_.empty() ? 0.0F : bias_[f];
       float* out_plane = output.data() + f * out_hw;
@@ -579,8 +623,8 @@ ShiftLinear::ShiftLinear(const tensor::Tensor& quantized_weights, int k_max,
                         filter_gain_);
 }
 
-tensor::Tensor ShiftLinear::run(const QuantizedActivations& input,
-                                OpCounts* counts) const {
+FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftLinear::run(
+    const QuantizedActivations& input, OpCounts* counts) const {
   FLIGHTNN_CHECK(input.shape.numel() == in_features_,
                  "ShiftLinear::run: input numel ", input.shape.numel(),
                  " does not match in features ", in_features_);
@@ -604,18 +648,7 @@ tensor::Tensor ShiftLinear::run(const QuantizedActivations& input,
   runtime::parallel_for(0, out_features_, 1, feature_cost,
                         [&](std::int64_t f_begin, std::int64_t f_end) {
     for (std::int64_t f = f_begin; f < f_end; ++f) {
-      const std::int64_t fb = plan_.filter_begin[static_cast<std::size_t>(f)];
-      const std::int64_t fe =
-          plan_.filter_begin[static_cast<std::size_t>(f) + 1];
-      std::int64_t acc = 0;
-      for (std::int64_t e = fb; e < fe; ++e) {
-        const auto ei = static_cast<std::size_t>(e);
-        // q * sign*2^shift equals the shift-and-signed-add exactly (no
-        // overflow by the gain bound) and keeps the loop branch-free.
-        const std::int64_t m = static_cast<std::int64_t>(plan_.sign[ei]) *
-                               (std::int64_t{1} << plan_.shift[ei]);
-        acc += static_cast<std::int64_t>(in_data[plan_.element[ei]]) * m;
-      }
+      const std::int64_t acc = shift_dot(plan_, f, in_data);
       const float b = bias_.empty() ? 0.0F : bias_[f];
       output[f] = static_cast<float>(acc) * scale + b;
     }

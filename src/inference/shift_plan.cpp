@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "support/annotations.hpp"
 #include "support/check.hpp"
 
 namespace flightnn::inference {
@@ -23,8 +24,15 @@ ShiftPlan compile_impl(const core::Decomposition& decomposition,
   std::vector<std::vector<std::size_t>> terms_by_filter(
       static_cast<std::size_t>(filters));
   for (std::size_t t = 0; t < decomposition.terms.size(); ++t) {
-    const auto f = static_cast<std::size_t>(decomposition.terms[t].filter);
-    terms_by_filter[f].push_back(t);
+    const std::int64_t filter = decomposition.terms[t].filter;
+    // A term addressing a filter outside the decomposition's own range used
+    // to write straight past terms_by_filter; decompositions built from
+    // parsed (untrusted) packs reach this path, so the bound is a hard
+    // check, not a DCHECK.
+    FLIGHTNN_CHECK(filter >= 0 && filter < filters, "ShiftPlan: term ", t,
+                   " addresses filter ", filter, " outside [0, ", filters,
+                   ")");
+    terms_by_filter[static_cast<std::size_t>(filter)].push_back(t);
   }
 
   plan.filter_begin.reserve(static_cast<std::size_t>(filters) + 1);
@@ -38,6 +46,8 @@ ShiftPlan compile_impl(const core::Decomposition& decomposition,
       for (std::size_t e = 0; e < term.elements.size(); ++e) {
         const quant::Pow2Term w = term.elements[e];
         if (w.sign == 0) continue;  // elided: zero elements never reach run()
+        FLIGHTNN_CHECK(w.sign == 1 || w.sign == -1, "ShiftPlan: term sign ",
+                       static_cast<int>(w.sign), " must be -1, 0 or +1");
         const int shift = static_cast<int>(w.exponent) - config.e_min;
         FLIGHTNN_CHECK(shift >= 0 && shift < 62,
                        "ShiftPlan: shift ", shift,
@@ -64,25 +74,26 @@ ShiftPlan compile_impl(const core::Decomposition& decomposition,
     plan.filter_begin.push_back(plan.entries());
   }
 
-  if (spatial) {
-    FLIGHTNN_CHECK(in_channels > 0 && kernel > 0,
-                   "ShiftPlan: bad conv geometry ", in_channels, "x", kernel);
-  }
   return plan;
 }
 
 }  // namespace
 
-ShiftPlan ShiftPlan::compile_conv(const core::Decomposition& decomposition,
-                                  const quant::Pow2Config& config,
-                                  std::int64_t in_channels,
-                                  std::int64_t kernel) {
+FLIGHTNN_API_ENTRY ShiftPlan ShiftPlan::compile_conv(
+    const core::Decomposition& decomposition, const quant::Pow2Config& config,
+    std::int64_t in_channels, std::int64_t kernel) {
+  FLIGHTNN_CHECK(in_channels > 0 && kernel > 0,
+                 "ShiftPlan::compile_conv: bad conv geometry ", in_channels,
+                 "x", kernel);
   return compile_impl(decomposition, config, in_channels, kernel,
                       /*spatial=*/true);
 }
 
-ShiftPlan ShiftPlan::compile_linear(const core::Decomposition& decomposition,
-                                    const quant::Pow2Config& config) {
+FLIGHTNN_API_ENTRY ShiftPlan ShiftPlan::compile_linear(
+    const core::Decomposition& decomposition, const quant::Pow2Config& config) {
+  FLIGHTNN_CHECK(decomposition.elements_per_filter >= 0,
+                 "ShiftPlan::compile_linear: negative elements per filter ",
+                 decomposition.elements_per_filter);
   return compile_impl(decomposition, config, 0, 0, /*spatial=*/false);
 }
 

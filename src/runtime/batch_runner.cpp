@@ -6,6 +6,7 @@
 
 #include "nn/loss.hpp"
 #include "runtime/thread_pool.hpp"
+#include "support/annotations.hpp"
 #include "support/check.hpp"
 
 namespace flightnn::runtime {
@@ -36,12 +37,17 @@ int argmax_of(const tensor::Tensor& logits) {
 
 }  // namespace
 
-void BatchRunner::run_images(
+FLIGHTNN_HOT void BatchRunner::run_images(
     const tensor::Tensor* images, std::size_t n,
     std::vector<tensor::Tensor>& logits,
     std::vector<inference::NetworkOpCounts>& counts) const {
-  logits.resize(n);     // recycles logits tensors in place
-  counts.assign(n, {});  // per-image slots keep aggregation deterministic
+  // Both containers recycle their storage across batches: once sized to the
+  // steady-state batch shape they never reallocate (the operator-new hook in
+  // tests/arena_allocation_test holds this to zero).
+  // FLIGHTNN_LINT_SUPPRESS(hot-no-alloc): grow-once; recycles logits tensors in place
+  logits.resize(n);
+  // FLIGHTNN_LINT_SUPPRESS(hot-no-alloc): grow-once; per-image slots keep aggregation deterministic
+  counts.assign(n, {});
   parallel_for(0, static_cast<std::int64_t>(n), 1,
                [&](std::int64_t lo, std::int64_t hi) {
                  for (std::int64_t i = lo; i < hi; ++i) {
@@ -51,9 +57,18 @@ void BatchRunner::run_images(
                });
 }
 
-void BatchRunner::run(const InferenceRequest& request, InferenceResult& result,
-                      std::vector<inference::NetworkOpCounts>*
-                          per_image_counts) const {
+FLIGHTNN_HOT FLIGHTNN_API_ENTRY void BatchRunner::run(
+    const InferenceRequest& request, InferenceResult& result,
+    std::vector<inference::NetworkOpCounts>* per_image_counts) const {
+  // Boundary contract: every image must be a [C, H, W] or [1, C, H, W]
+  // tensor. The network re-checks shapes layer by layer; checking rank here
+  // makes a malformed request fail at the API boundary, named after it.
+  for (const auto& image : request.images) {
+    const auto rank = image.shape().rank();
+    FLIGHTNN_CHECK(rank == 3 || (rank == 4 && image.shape()[0] == 1),
+                   "BatchRunner::run: images must be [C,H,W] or [1,C,H,W], "
+                   "got ", image.shape().to_string());
+  }
   // Calling-thread scratch, reused across batches. The local reference is
   // load-bearing: a thread_local named directly inside a worker lambda
   // would resolve to each worker's own (empty) instance.
@@ -67,6 +82,7 @@ void BatchRunner::run(const InferenceRequest& request, InferenceResult& result,
              counts);
   const auto stop = std::chrono::steady_clock::now();
 
+  // FLIGHTNN_LINT_SUPPRESS(hot-no-alloc): grow-once; callers reuse the result struct, so steady-state resizes never reallocate
   result.argmax.resize(request.images.size());
   for (std::size_t i = 0; i < result.logits.size(); ++i) {
     result.argmax[i] = argmax_of(result.logits[i]);
@@ -86,8 +102,11 @@ InferenceResult BatchRunner::run(const InferenceRequest& request) const {
   return result;
 }
 
-double BatchRunner::evaluate(const data::Dataset& dataset, int top_k,
-                             inference::NetworkOpCounts* counts) const {
+FLIGHTNN_API_ENTRY double BatchRunner::evaluate(
+    const data::Dataset& dataset, int top_k,
+    inference::NetworkOpCounts* counts) const {
+  FLIGHTNN_CHECK(top_k >= 1, "BatchRunner::evaluate: top_k must be >= 1, got ",
+                 top_k);
   const std::int64_t n = dataset.size();
   if (n == 0) return 0.0;
   // The dataset is fed through the unified request path in fixed-size

@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/annotations.hpp"
+
 namespace flightnn::runtime {
 
 // Slot ids. One per independent scratch use; see lifetime rules above.
@@ -44,10 +46,14 @@ class ScratchArena {
 
   // Slot buffer resized to exactly `n` elements (contents unspecified).
   // Capacity only grows, so a request at or below the high-water mark does
-  // not allocate.
-  std::vector<std::int64_t>& i64(Scratch slot, std::size_t n);
-  std::vector<std::int32_t>& i32(Scratch slot, std::size_t n);
-  std::vector<float>& f32(Scratch slot, std::size_t n);
+  // not allocate -- the grow-once boundary where FLIGHTNN_HOT traversal
+  // stops (the "dies out in steady state" half is asserted dynamically by
+  // tests/arena_allocation_test).
+  FLIGHTNN_COLD_ALLOC std::vector<std::int64_t>& i64(Scratch slot,
+                                                     std::size_t n);
+  FLIGHTNN_COLD_ALLOC std::vector<std::int32_t>& i32(Scratch slot,
+                                                     std::size_t n);
+  FLIGHTNN_COLD_ALLOC std::vector<float>& f32(Scratch slot, std::size_t n);
 
   // Total bytes currently reserved across all slots (observability).
   [[nodiscard]] std::size_t footprint_bytes() const;

@@ -5,6 +5,7 @@
 #include <exception>
 #include <memory>
 
+#include "support/annotations.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
 #include "support/logging.hpp"
@@ -62,7 +63,7 @@ ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -79,7 +80,7 @@ void ThreadPool::run_op_chunks(detail::ParallelOp& op) {
         const std::int64_t hi = std::min(op.end, lo + op.chunk);
         op.invoke(op.ctx, lo, hi);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const support::MutexLock lock(mutex_);
         if (!op.error) op.error = std::current_exception();
         op.failed.store(true, std::memory_order_relaxed);
       }
@@ -93,12 +94,12 @@ void ThreadPool::run_op_chunks(detail::ParallelOp& op) {
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   for (;;) {
-    work_available_.wait(lock, [&] {
-      return stopping_ || !queue_.empty() ||
-             detail::find_runnable(ops_head_) != nullptr;
-    });
+    while (!stopping_ && queue_.empty() &&
+           detail::find_runnable(ops_head_) == nullptr) {
+      work_available_.wait(mutex_);
+    }
     if (detail::ParallelOp* op = detail::find_runnable(ops_head_)) {
       ++op->helpers_inside;  // pins the op: its caller now waits for us
       lock.unlock();
@@ -126,7 +127,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     FLIGHTNN_CHECK(!stopping_, "ThreadPool::submit: pool is shutting down");
     queue_.push_back(std::move(task));
   }
@@ -160,7 +161,7 @@ void ThreadPool::run_parallel(std::int64_t begin, std::int64_t end,
   op.ctx = ctx;
 
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     if (!stopping_) {
       // Push at the head: nested ops land in front of the op their caller is
       // already helping with, so free workers drain inner loops first.
@@ -175,7 +176,7 @@ void ThreadPool::run_parallel(std::int64_t begin, std::int64_t end,
   run_op_chunks(op);
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     // Unlink so no new helper can discover the op...
     for (detail::ParallelOp** p = &ops_head_; *p != nullptr;
          p = &(*p)->next_op) {
@@ -187,7 +188,7 @@ void ThreadPool::run_parallel(std::int64_t begin, std::int64_t end,
     // ...then wait out the helpers already inside. When the last one leaves,
     // its claimed chunks are complete, so done == chunks follows and the
     // stack frame holding `op` (and the caller's body object) is safe to pop.
-    helpers_idle_.wait(lock, [&] { return op.helpers_inside == 0; });
+    while (op.helpers_inside != 0) helpers_idle_.wait(mutex_);
   }
   FLIGHTNN_DCHECK(op.done.load(std::memory_order_acquire) == op.chunks,
                   "parallel_for: ", op.done.load(), " of ", op.chunks,
@@ -201,9 +202,9 @@ namespace {
 
 constexpr int kMaxThreads = 1024;
 
-std::mutex g_config_mutex;
-int g_threads = 0;  // 0 = not yet resolved
-std::unique_ptr<ThreadPool> g_pool;
+support::Mutex g_config_mutex;
+int g_threads FLIGHTNN_GUARDED_BY(g_config_mutex) = 0;  // 0 = not resolved
+std::unique_ptr<ThreadPool> g_pool FLIGHTNN_GUARDED_BY(g_config_mutex);
 
 int hardware_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -222,7 +223,7 @@ int resolve_default_threads() {
 }  // namespace
 
 int num_threads() {
-  const std::lock_guard<std::mutex> lock(g_config_mutex);
+  const support::MutexLock lock(g_config_mutex);
   if (g_threads == 0) g_threads = resolve_default_threads();
   return g_threads;
 }
@@ -233,7 +234,7 @@ void set_num_threads(int threads) {
                  "]");
   std::unique_ptr<ThreadPool> retired;
   {
-    const std::lock_guard<std::mutex> lock(g_config_mutex);
+    const support::MutexLock lock(g_config_mutex);
     g_threads = threads == 0 ? resolve_default_threads() : threads;
     if (g_pool && g_pool->size() != g_threads) retired = std::move(g_pool);
   }
@@ -242,8 +243,10 @@ void set_num_threads(int threads) {
   retired.reset();
 }
 
-ThreadPool& global_pool() {
-  const std::lock_guard<std::mutex> lock(g_config_mutex);
+// COLD_ALLOC: the pool is built once (and rebuilt only on a thread-count
+// change); steady-state parallel_for calls hit the existing instance.
+FLIGHTNN_COLD_ALLOC ThreadPool& global_pool() {
+  const support::MutexLock lock(g_config_mutex);
   if (g_threads == 0) g_threads = resolve_default_threads();
   if (!g_pool || g_pool->size() != g_threads) {
     g_pool = std::make_unique<ThreadPool>(g_threads);

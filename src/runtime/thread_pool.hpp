@@ -26,14 +26,13 @@
 //     thread (first one wins; remaining chunks are skipped).
 //   - The destructor drains pending submitted tasks before joining.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "support/annotated_mutex.hpp"
 #include "support/check.hpp"
 
 namespace flightnn::runtime {
@@ -57,7 +56,7 @@ class ThreadPool {
   // Fire-and-forget task. Runs inline when the pool has no workers. Pending
   // tasks are executed (not dropped) during destruction. (This path does
   // allocate a std::function; the hot inference loops only use parallel_for.)
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) FLIGHTNN_EXCLUDES(mutex_);
 
   // Invoke `body(lo, hi)` over disjoint subranges covering [begin, end)
   // exactly once, with each subrange at least `grain` long (except possibly
@@ -75,22 +74,26 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
+  void worker_loop() FLIGHTNN_EXCLUDES(mutex_);
   // Type-erased core of parallel_for: `invoke(ctx, lo, hi)` runs the body.
   void run_parallel(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     void (*invoke)(void*, std::int64_t, std::int64_t),
-                    void* ctx);
-  // Claim-and-run loop shared by the caller and helper workers.
-  void run_op_chunks(detail::ParallelOp& op);
+                    void* ctx) FLIGHTNN_EXCLUDES(mutex_);
+  // Claim-and-run loop shared by the caller and helper workers. Runs
+  // unlocked; only the failure path briefly takes the mutex to file the
+  // first exception.
+  void run_op_chunks(detail::ParallelOp& op) FLIGHTNN_EXCLUDES(mutex_);
 
   int threads_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  detail::ParallelOp* ops_head_ = nullptr;  // intrusive; guarded by mutex_
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable helpers_idle_;
-  bool stopping_ = false;
+  support::Mutex mutex_;
+  support::CondVar work_available_;
+  support::CondVar helpers_idle_;
+  std::deque<std::function<void()>> queue_ FLIGHTNN_GUARDED_BY(mutex_);
+  // Intrusive list head of in-flight parallel_for ops (stack-allocated in
+  // their callers; see ParallelOp in the .cpp for the pinning protocol).
+  detail::ParallelOp* ops_head_ FLIGHTNN_GUARDED_BY(mutex_) = nullptr;
+  bool stopping_ FLIGHTNN_GUARDED_BY(mutex_) = false;
 };
 
 // --- Process-wide thread configuration ---------------------------------------

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 #include "core/decompose.hpp"
@@ -41,7 +42,9 @@ class Reader {
  public:
   explicit Reader(const std::vector<std::uint8_t>& buffer) : buffer_(buffer) {}
   void bytes(void* out, std::size_t count) {
-    if (cursor_ + count > buffer_.size()) {
+    // Overflow-proof form of `cursor_ + count > size()`: a hostile length
+    // near SIZE_MAX must not wrap the sum and slip past the bound.
+    if (count > buffer_.size() - cursor_) {
       throw std::runtime_error("serialize: truncated buffer");
     }
     std::memcpy(out, buffer_.data() + cursor_, count);
@@ -66,6 +69,13 @@ class Reader {
     bytes(out, static_cast<std::size_t>(count) * sizeof(float));
   }
   [[nodiscard]] bool exhausted() const { return cursor_ == buffer_.size(); }
+  // Bytes left to read. Length fields parsed from the buffer are clamped
+  // against this before any resize: a count can never describe more payload
+  // than the buffer still holds, so hostile headers cannot force
+  // multi-gigabyte allocations out of a kilobyte file.
+  [[nodiscard]] std::size_t remaining() const {
+    return buffer_.size() - cursor_;
+  }
 
  private:
   const std::vector<std::uint8_t>& buffer_;
@@ -82,6 +92,13 @@ void write_tensor(Writer& writer, const tensor::Tensor& t) {
 
 void read_tensor_into(Reader& reader, tensor::Tensor& t, const char* what) {
   const std::uint32_t rank = reader.u32();
+  // Each dim costs 8 bytes of payload; bound the rank by what the buffer
+  // can actually hold before sizing the dims vector (a hostile rank of
+  // 2^32-1 would otherwise request a 32 GiB allocation up front).
+  if (rank > reader.remaining() / sizeof(std::int64_t)) {
+    throw std::runtime_error(std::string("serialize: rank exceeds buffer for ") +
+                             what);
+  }
   std::vector<std::int64_t> dims(rank);
   for (auto& d : dims) d = reader.i64();
   if (tensor::Shape(dims) != t.shape()) {
@@ -179,6 +196,9 @@ void load_state(nn::Sequential& model, const std::vector<std::uint8_t>& buffer) 
   }
   for (auto* transform : transforms) {
     const std::uint32_t count = reader.u32();
+    if (count > reader.remaining() / sizeof(float)) {
+      throw std::runtime_error("load_state: threshold count exceeds buffer");
+    }
     std::vector<float> thresholds(count);
     for (auto& t : thresholds) t = reader.f32();
     transform->set_thresholds(std::move(thresholds));
@@ -215,7 +235,14 @@ quant::Pow2Term decode_term(std::uint8_t code, const quant::Pow2Config& pow2) {
   quant::Pow2Term term;
   if (code == 0) return term;
   term.sign = (code & 0x8) != 0 ? -1 : 1;
-  term.exponent = static_cast<std::int8_t>(pow2.e_min + (code & 0x7) - 1);
+  const int exponent = pow2.e_min + (code & 0x7) - 1;
+  // The 3-bit offset can name exponents up to e_min + 6, which a hostile
+  // pack can push past the config's own e_max (encode_term never emits
+  // those); reject instead of materializing an out-of-budget weight.
+  if (exponent > pow2.e_max) {
+    throw std::invalid_argument("unpack_layer: exponent code above e_max");
+  }
+  term.exponent = static_cast<std::int8_t>(exponent);
   return term;
 }
 
@@ -342,9 +369,31 @@ PackedModel parse_packed(const std::vector<std::uint8_t>& buffer) {
   PackedModel model;
   model.pow2.e_min = static_cast<int>(reader.u32()) - 128;
   model.pow2.e_max = static_cast<int>(reader.u32()) - 128;
-  model.pow2.flush_to_zero = reader.u32() != 0;
+  const std::uint32_t flush = reader.u32();
+  // Strict parse (0 or 1 only) keeps parse -> serialize byte-lossless, the
+  // invariant the fuzz harness asserts on every accepted input.
+  if (flush > 1) {
+    throw std::runtime_error("parse_packed: invalid flush_to_zero flag");
+  }
+  model.pow2.flush_to_zero = flush == 1;
   model.k_max = static_cast<int>(reader.u32());
+  // Decoded exponents must stay inside the normal float range exp2_int
+  // realizes ([-126, 127]), and an inverted range cannot have been produced
+  // by serialize_packed.
+  if (model.pow2.e_min < -126 || model.pow2.e_max > 127 ||
+      model.pow2.e_min > model.pow2.e_max) {
+    throw std::runtime_error("parse_packed: invalid exponent range");
+  }
+  if (model.k_max < 0 || model.k_max > 255) {
+    throw std::runtime_error("parse_packed: invalid k_max");
+  }
   const std::uint32_t layer_count = reader.u32();
+  // A layer's header alone is filters + elements + nibble count = 24 bytes;
+  // bounding the count by the remaining payload keeps a hostile header from
+  // forcing a huge up-front vector allocation.
+  if (layer_count > reader.remaining() / 24) {
+    throw std::runtime_error("parse_packed: layer count exceeds buffer");
+  }
   model.layers.resize(layer_count);
   for (auto& layer : model.layers) {
     layer.filters = reader.i64();
@@ -352,9 +401,42 @@ PackedModel parse_packed(const std::vector<std::uint8_t>& buffer) {
     if (layer.filters < 0 || layer.elements_per_filter < 0) {
       throw std::runtime_error("parse_packed: negative dimensions");
     }
+    // One byte of filter_k payload per filter must still be in the buffer.
+    if (static_cast<std::uint64_t>(layer.filters) > reader.remaining()) {
+      throw std::runtime_error("parse_packed: filter count exceeds buffer");
+    }
     layer.filter_k.resize(static_cast<std::size_t>(layer.filters));
     reader.bytes(layer.filter_k.data(), layer.filter_k.size());
+    // Every per-filter term count must respect the model's k_max; a larger
+    // value would make unpack_layer walk more nibbles than the pack holds.
+    for (std::uint8_t k : layer.filter_k) {
+      if (k > model.k_max) {
+        throw std::runtime_error("parse_packed: filter k exceeds k_max");
+      }
+    }
     const std::int64_t nibble_bytes = reader.i64();
+    if (nibble_bytes < 0 ||
+        static_cast<std::uint64_t>(nibble_bytes) > reader.remaining()) {
+      throw std::runtime_error("parse_packed: nibble count exceeds buffer");
+    }
+    // The nibble stream length is fully determined by filter_k and the
+    // element count (4 bits per term element, rounded up to a byte); an
+    // inconsistent length means either truncated codes (unpack_layer would
+    // read out of bounds) or smuggled trailing payload. term_count() cannot
+    // overflow here: sum(filter_k) <= 255 * filters <= 255 * remaining()
+    // and elements_per_filter is about to be bounded by the same product.
+    std::int64_t term_sum = 0;
+    for (std::uint8_t k : layer.filter_k) term_sum += k;
+    if (layer.elements_per_filter > 0 &&
+        term_sum > (std::numeric_limits<std::int64_t>::max)() /
+                       layer.elements_per_filter) {
+      throw std::runtime_error("parse_packed: term count overflows");
+    }
+    const std::int64_t terms = term_sum * layer.elements_per_filter;
+    if (nibble_bytes != (terms + 1) / 2) {
+      throw std::runtime_error(
+          "parse_packed: nibble stream does not match filter_k");
+    }
     layer.nibbles.resize(static_cast<std::size_t>(nibble_bytes));
     reader.bytes(layer.nibbles.data(), layer.nibbles.size());
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/annotations.hpp"
 #include "support/check.hpp"
 
 namespace flightnn::serving {
@@ -37,7 +38,7 @@ Server::~Server() { shutdown(); }
 void Server::shutdown() {
   std::call_once(shutdown_once_, [this] {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const support::MutexLock lock(mutex_);
       stopping_ = true;
     }
     work_available_.notify_all();
@@ -46,11 +47,12 @@ void Server::shutdown() {
   });
 }
 
-Server::Submission Server::submit(runtime::InferenceRequest request) {
+FLIGHTNN_API_ENTRY Server::Submission Server::submit(
+    runtime::InferenceRequest request) {
   FLIGHTNN_CHECK(!request.images.empty(),
                  "serving::Server::submit: request must carry >= 1 image");
   const auto images = static_cast<std::int64_t>(request.images.size());
-  std::unique_lock<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   for (;;) {
     if (stopping_) return {SubmitStatus::ShuttingDown, {}};
     // An oversized request (> max_queue_images by itself) is admitted into
@@ -64,7 +66,7 @@ Server::Submission Server::submit(runtime::InferenceRequest request) {
       ++stats_.rejected;
       return {SubmitStatus::Overloaded, {}};
     }
-    space_available_.wait(lock);
+    space_available_.wait(mutex_);
   }
   Pending pending;
   pending.request = std::move(request);
@@ -78,17 +80,17 @@ Server::Submission Server::submit(runtime::InferenceRequest request) {
 }
 
 ServerStats Server::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return stats_;
 }
 
 void Server::batcher_loop() {
   std::vector<Pending> batch;
-  std::unique_lock<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   for (;;) {
     if (queue_.empty()) {
       if (stopping_) break;  // drained; graceful exit
-      work_available_.wait(lock);
+      work_available_.wait(mutex_);
       continue;
     }
     // Flush on max-batch-OR-deadline. During shutdown everything still
@@ -98,7 +100,7 @@ void Server::batcher_loop() {
         std::chrono::steady_clock::now() < deadline) {
       // Woken early by new arrivals (possibly completing a full batch), by
       // shutdown, or spuriously; the loop re-evaluates either way.
-      work_available_.wait_until(lock, deadline);
+      work_available_.wait_until(mutex_, deadline);
       continue;
     }
     // Take whole requests while the fused batch stays within max_batch;
@@ -128,11 +130,12 @@ void Server::batcher_loop() {
   }
 }
 
-void Server::execute_batch(std::vector<Pending>& batch) {
+FLIGHTNN_HOT void Server::execute_batch(std::vector<Pending>& batch) {
   const auto dispatched = std::chrono::steady_clock::now();
   fused_.images.clear();
   for (auto& pending : batch) {
     for (auto& image : pending.request.images) {
+      // FLIGHTNN_LINT_SUPPRESS(hot-no-alloc): grow-once; fused_ is reused across flushes (DESIGN.md §9)
       fused_.images.push_back(std::move(image));
     }
   }
@@ -154,10 +157,18 @@ void Server::execute_batch(std::vector<Pending>& batch) {
     const std::size_t count = pending.request.images.size();
     runtime::InferenceResult result;
     result.id = pending.request.id;
+    // Per-request result storage is handed to the client through the future,
+    // so it cannot be recycled batcher-side; these are the only steady-state
+    // allocations on the serving path and they are bounded per request
+    // (asserted by tests/arena_allocation_test's serving case).
+    // FLIGHTNN_LINT_SUPPRESS(hot-no-alloc): result ownership transfers to the client via the future
     result.logits.reserve(count);
+    // FLIGHTNN_LINT_SUPPRESS(hot-no-alloc): result ownership transfers to the client via the future
     result.argmax.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
+      // FLIGHTNN_LINT_SUPPRESS(hot-no-alloc): within the reserve above; never reallocates
       result.logits.push_back(std::move(fused_result_.logits[offset + i]));
+      // FLIGHTNN_LINT_SUPPRESS(hot-no-alloc): within the reserve above; never reallocates
       result.argmax.push_back(fused_result_.argmax[offset + i]);
       result.counts.shifts += per_image_counts_[offset + i].shifts;
       result.counts.adds += per_image_counts_[offset + i].adds;

@@ -30,7 +30,6 @@
 // BatchRunner::run of the same image (asserted by tests/serving_test).
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -40,6 +39,7 @@
 
 #include "runtime/batch_runner.hpp"
 #include "runtime/inference_request.hpp"
+#include "support/annotated_mutex.hpp"
 
 namespace flightnn::serving {
 
@@ -92,13 +92,14 @@ class Server {
 
   // Thread-safe; callable from any number of client threads concurrently.
   // The request must carry at least one image.
-  [[nodiscard]] Submission submit(runtime::InferenceRequest request);
+  [[nodiscard]] Submission submit(runtime::InferenceRequest request)
+      FLIGHTNN_EXCLUDES(mutex_);
 
   // Stop accepting new work, flush everything already accepted, join the
   // batcher thread. Idempotent and safe to call concurrently.
-  void shutdown();
+  void shutdown() FLIGHTNN_EXCLUDES(mutex_);
 
-  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] ServerStats stats() const FLIGHTNN_EXCLUDES(mutex_);
   [[nodiscard]] const ServerConfig& config() const { return config_; }
 
  private:
@@ -108,22 +109,22 @@ class Server {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void batcher_loop();
+  void batcher_loop() FLIGHTNN_EXCLUDES(mutex_);
   // Fuse `batch` into one BatchRunner request, execute it, and fulfill
   // every promise with its slice of the results. Runs without the lock.
-  void execute_batch(std::vector<Pending>& batch);
+  void execute_batch(std::vector<Pending>& batch) FLIGHTNN_EXCLUDES(mutex_);
 
   const runtime::BatchRunner* runner_;
   ServerConfig config_;
   std::chrono::steady_clock::duration max_delay_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;   // batcher waits here
-  std::condition_variable space_available_;  // blocking submitters wait here
-  std::deque<Pending> queue_;                // guarded by mutex_
-  std::int64_t queued_images_ = 0;           // guarded by mutex_
-  bool stopping_ = false;                    // guarded by mutex_
-  ServerStats stats_;                        // guarded by mutex_
+  mutable support::Mutex mutex_;
+  support::CondVar work_available_;   // batcher waits here
+  support::CondVar space_available_;  // blocking submitters wait here
+  std::deque<Pending> queue_ FLIGHTNN_GUARDED_BY(mutex_);
+  std::int64_t queued_images_ FLIGHTNN_GUARDED_BY(mutex_) = 0;
+  bool stopping_ FLIGHTNN_GUARDED_BY(mutex_) = false;
+  ServerStats stats_ FLIGHTNN_GUARDED_BY(mutex_);
 
   // Batcher-thread scratch, reused across flushes (see DESIGN.md §9).
   runtime::InferenceRequest fused_;

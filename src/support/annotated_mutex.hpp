@@ -1,0 +1,193 @@
+#pragma once
+
+// Clang thread-safety-analysis wrappers over the standard synchronization
+// primitives. Every mutex in the library (src/) goes through this header so
+// the relationship between locks and the state they guard is part of the
+// type system, not a comment: clang's -Wthread-safety proves, at compile
+// time, that annotated state is only touched with the right mutex held and
+// that every acquire has a matching release on all paths. GCC compiles the
+// annotations away to nothing, so the portable build is unaffected.
+//
+// Usage pattern (see runtime/thread_pool and serving/server for real uses):
+//
+//   support::Mutex mutex_;
+//   std::deque<Task> queue_ FLIGHTNN_GUARDED_BY(mutex_);
+//
+//   void push(Task t) {
+//     const support::MutexLock lock(mutex_);
+//     queue_.push_back(std::move(t));        // OK: mutex_ held
+//   }
+//
+// Condition waits use support::CondVar, whose wait functions are annotated
+// FLIGHTNN_REQUIRES(mutex) -- the analysis checks the caller holds the lock
+// across the wait, which is exactly the invariant std::condition_variable
+// leaves to comments. CondVar does not take predicates: write the `while
+// (!cond) cv.wait(mu);` loop at the call site, where the analysis can see
+// the guarded reads happen under the mutex.
+//
+// The raw-mutex lint rule (tools/flightnn_lint) rejects `std::mutex` /
+// `std::condition_variable` in src/ outside this header, so new concurrent
+// state cannot silently opt out of the analysis.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Annotation macros: thin spellings of clang's capability attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), empty elsewhere.
+#if defined(__clang__)
+#define FLIGHTNN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FLIGHTNN_THREAD_ANNOTATION(x)
+#endif
+
+// Declares a class to be a capability (a lock). The string names the
+// capability kind in diagnostics ("mutex 'mutex_' is not held ...").
+#define FLIGHTNN_CAPABILITY(x) FLIGHTNN_THREAD_ANNOTATION(capability(x))
+
+// Declares a RAII class that acquires a capability in its constructor and
+// releases it in its destructor.
+#define FLIGHTNN_SCOPED_CAPABILITY FLIGHTNN_THREAD_ANNOTATION(scoped_lockable)
+
+// Field annotation: reads and writes require holding `x`.
+#define FLIGHTNN_GUARDED_BY(x) FLIGHTNN_THREAD_ANNOTATION(guarded_by(x))
+
+// Field annotation for pointers: the pointed-to data is guarded by `x`.
+#define FLIGHTNN_PT_GUARDED_BY(x) FLIGHTNN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function annotation: the caller must hold the given capabilities.
+#define FLIGHTNN_REQUIRES(...) \
+  FLIGHTNN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Function annotation: the function acquires / releases the capabilities.
+#define FLIGHTNN_ACQUIRE(...) \
+  FLIGHTNN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FLIGHTNN_RELEASE(...) \
+  FLIGHTNN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FLIGHTNN_TRY_ACQUIRE(...) \
+  FLIGHTNN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function annotation: the function must be called *without* the capability
+// held (wards off self-deadlock on non-recursive mutexes).
+#define FLIGHTNN_EXCLUDES(...) \
+  FLIGHTNN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Escape hatch for code the analysis cannot follow (e.g. lock handoff
+// through std::adopt_lock). Every use carries a justifying comment.
+#define FLIGHTNN_NO_THREAD_SAFETY_ANALYSIS \
+  FLIGHTNN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace flightnn::support {
+
+// std::mutex with its lock/unlock operations visible to the analysis.
+class FLIGHTNN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FLIGHTNN_ACQUIRE() { mutex_.lock(); }
+  void unlock() FLIGHTNN_RELEASE() { mutex_.unlock(); }
+  bool try_lock() FLIGHTNN_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+// RAII lock over Mutex. Relockable: unlock()/lock() members let a scope
+// drop the mutex around a blocking call (the batcher's execute phase, a
+// worker running a task) while the analysis still verifies the state is
+// reacquired before the next guarded access.
+class FLIGHTNN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) FLIGHTNN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() FLIGHTNN_RELEASE() {
+    if (owns_) mutex_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() FLIGHTNN_ACQUIRE() {
+    mutex_.lock();
+    owns_ = true;
+  }
+  void unlock() FLIGHTNN_RELEASE() {
+    mutex_.unlock();
+    owns_ = false;
+  }
+
+ private:
+  Mutex& mutex_;
+  bool owns_ = true;
+};
+
+// Condition variable that waits on support::Mutex. The wait functions
+// require the mutex: clang checks the caller holds it, mirroring the
+// undefined-behavior contract of std::condition_variable::wait. Internally
+// the mutex is handed to a std::unique_lock via std::adopt_lock for the
+// duration of the wait and released back untouched -- ownership never
+// actually changes hands, which is why the analysis suppression on the
+// implementation is sound.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  // Atomically releases `mutex`, blocks, and reacquires before returning.
+  // Spurious wakeups happen; call in a `while (!condition)` loop.
+  void wait(Mutex& mutex) FLIGHTNN_REQUIRES(mutex) {
+    // Adopt/release handoff: the analysis cannot follow ownership through
+    // std::unique_lock, but the lock state on exit equals the state on
+    // entry, so hiding the interior is safe.
+    borrow(mutex, [this](std::unique_lock<std::mutex>& lock) {
+      cv_.wait(lock);
+    });
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mutex,
+                            const std::chrono::time_point<Clock, Duration>&
+                                deadline) FLIGHTNN_REQUIRES(mutex) {
+    std::cv_status status = std::cv_status::no_timeout;
+    borrow(mutex, [this, &status, &deadline](
+                      std::unique_lock<std::mutex>& lock) {
+      status = cv_.wait_until(lock, deadline);
+    });
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mutex,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      FLIGHTNN_REQUIRES(mutex) {
+    std::cv_status status = std::cv_status::no_timeout;
+    borrow(mutex,
+           [this, &status, &timeout](std::unique_lock<std::mutex>& lock) {
+             status = cv_.wait_for(lock, timeout);
+           });
+    return status;
+  }
+
+ private:
+  // Runs `body` with a std::unique_lock temporarily adopting `mutex`. The
+  // lock is released (not unlocked) on exit, so the caller still holds the
+  // mutex exactly as before.
+  template <typename Body>
+  void borrow(Mutex& mutex, const Body& body)
+      FLIGHTNN_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    body(lock);
+    lock.release();
+  }
+
+  std::condition_variable cv_;
+};
+
+}  // namespace flightnn::support

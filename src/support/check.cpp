@@ -10,6 +10,9 @@ namespace {
 
 std::atomic<CheckPolicy>& policy_storage() {
   static std::atomic<CheckPolicy> policy{[] {
+    // Magic-static initializer: runs exactly once under the C++11 static
+    // guard, and nothing in the process calls setenv.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("FLIGHTNN_CHECK_ABORT");
     const bool abort_requested =
         env != nullptr && env[0] != '\0' && env[0] != '0';

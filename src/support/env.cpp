@@ -8,6 +8,9 @@
 namespace flightnn::support {
 
 std::optional<std::string> env_string(const char* name) {
+  // Configuration reads happen during startup, before the thread pool
+  // spins up; nothing in the process calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* value = std::getenv(name);
   if (value == nullptr || value[0] == '\0') return std::nullopt;
   return std::string(value);

@@ -9,6 +9,9 @@ namespace flightnn::support {
 namespace {
 
 LogLevel initial_level() {
+  // Read once from a function-local static's initializer, before any worker
+  // threads exist; nothing in the process calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("FLIGHTNN_LOG_LEVEL");
   if (env == nullptr) return LogLevel::kInfo;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;

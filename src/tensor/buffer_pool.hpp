@@ -28,18 +28,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/annotations.hpp"
+
 namespace flightnn::tensor::pool {
 
 // Upper bound on bytes cached per thread before releases start freeing.
 inline constexpr std::size_t kMaxPooledBytes = std::size_t{64} << 20;  // 64 MiB
 
 // A buffer of exactly `n` elements with unspecified contents. Reuses a
-// cached buffer of the same size when one is available.
-std::vector<float> acquire(std::size_t n);
+// cached buffer of the same size when one is available -- the refill
+// boundary where FLIGHTNN_HOT traversal stops (steady-state workloads hit
+// the free list and never reach the allocator).
+FLIGHTNN_COLD_ALLOC std::vector<float> acquire(std::size_t n);
 
 // Return a buffer to the current thread's pool (or free it past the cap).
 // Never throws; an empty vector is a no-op.
-void release(std::vector<float>&& buffer) noexcept;
+FLIGHTNN_COLD_ALLOC void release(std::vector<float>&& buffer) noexcept;
 
 // --- Introspection / test hooks ----------------------------------------------
 

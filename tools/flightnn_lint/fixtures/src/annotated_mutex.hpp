@@ -1,0 +1,19 @@
+// Clean fixture: a file named annotated_mutex.hpp is the one place raw
+// std::mutex / std::condition_variable are allowed -- it is the wrapper.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock() { mutex_.lock(); }
+  void unlock() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable unused_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Seeded violations for the api-entry-check rule.
+
+namespace fixture {
+
+FLIGHTNN_API_ENTRY int entry_without_check(int n) {  // EXPECT-VIOLATION: api-entry-check
+  return n + 1;
+}
+
+// Clean: opens with a FLIGHTNN_CHECK.
+FLIGHTNN_API_ENTRY int entry_with_check(int n) {
+  FLIGHTNN_CHECK(n >= 0, "n must be non-negative, got ", n);
+  return n + 1;
+}
+
+// Clean: a leading validation loop still reaches FLIGHTNN_CHECK within the
+// rule's line window.
+FLIGHTNN_API_ENTRY int entry_with_check_loop(const int* values, int n) {
+  for (int i = 0; i < n; ++i) {
+    FLIGHTNN_CHECK(values[i] >= 0, "value ", i, " is negative");
+  }
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,55 @@
+// Seeded violations for the hot-no-alloc rule. Never compiled -- the
+// self-test lints this file and verifies each EXPECT-VIOLATION fires on its
+// exact line, and nothing else does.
+
+namespace fixture {
+
+// Un-annotated helper: allocating here is fine on its own, but reaching it
+// from a FLIGHTNN_HOT function is the transitive violation below.
+int helper_allocates(int n) {
+  int* block = new int[n];
+  int head = block[0];
+  delete[] block;
+  return head;
+}
+
+// Trusted grow-once boundary: the traversal must stop at the annotation
+// instead of descending into the push_back.
+FLIGHTNN_COLD_ALLOC void grow_once_boundary(int value) {
+  fixture_buffer.push_back(value);
+}
+
+FLIGHTNN_HOT int direct_allocation(int n) {
+  auto* block = new int[n];     // EXPECT-VIOLATION: hot-no-alloc
+  fixture_buffer.push_back(n);  // EXPECT-VIOLATION: hot-no-alloc
+  return block[0];
+}
+
+FLIGHTNN_HOT int transitive_allocation(int n) {
+  return helper_allocates(n);  // EXPECT-VIOLATION: hot-no-alloc
+}
+
+FLIGHTNN_HOT int cold_boundary_is_trusted(int n) {
+  grow_once_boundary(n);  // clean: callee is FLIGHTNN_COLD_ALLOC
+  return n;
+}
+
+FLIGHTNN_HOT int check_messages_are_cold(int n) {
+  // Clean: FLIGHTNN_CHECK evaluates its message lazily, so the to_string
+  // only runs on the (cold) failure path.
+  FLIGHTNN_CHECK(n > 0, "bad n: ", std::to_string(n));
+  return n;
+}
+
+FLIGHTNN_HOT void suppressed_with_justification() {
+  // FLIGHTNN_LINT_SUPPRESS(hot-no-alloc): grow-once scratch, reused across calls
+  fixture_scratch.reserve(64);
+}
+
+FLIGHTNN_HOT void suppressed_without_justification() {
+  // EXPECT-VIOLATION-NEXT-LINE: suppress-justification
+  // FLIGHTNN_LINT_SUPPRESS(hot-no-alloc):
+  fixture_scratch.reserve(64);
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Seeded violations for the int-kernel-no-float rule.
+
+namespace fixture {
+
+// Clean: pure integer arithmetic, the shape the rule exists to protect.
+FLIGHTNN_INT_KERNEL long long integer_dot(const int* a, const int* b,
+                                          long long n) {
+  long long acc = 0;
+  for (long long i = 0; i < n; ++i) {
+    acc += static_cast<long long>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+FLIGHTNN_INT_KERNEL long long leaky_kernel(const int* a, long long n) {
+  double scale = 1.5;  // EXPECT-VIOLATION: int-kernel-no-float
+  long long acc = 0;
+  for (long long i = 0; i < n; ++i) {
+    acc += a[i];
+  }
+  float bias = 0.0F;   // EXPECT-VIOLATION: int-kernel-no-float
+  return acc + static_cast<long long>(scale + bias);
+}
+
+// Clean: floats in an un-annotated sibling are out of scope.
+float dequantize_in_caller(long long acc, float scale) {
+  return static_cast<float>(acc) * scale;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Seeded violations for the raw-mutex rule.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+struct RawLocking {
+  std::mutex mutex_;                // EXPECT-VIOLATION: raw-mutex
+  std::condition_variable ready_;   // EXPECT-VIOLATION: raw-mutex
+  std::shared_mutex table_lock_;    // EXPECT-VIOLATION: raw-mutex
+};
+
+// Clean: the token inside a string literal is not a use.
+const char* kAdvice = "never hold a std::mutex across execute_batch";
+
+// Clean: std::condition_variable in a comment is not a use either.
+
+// Clean: std::once_flag is not a lock; call_once has no annotated wrapper.
+struct OnceIsFine {
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,623 @@
+#!/usr/bin/env python3
+"""flightnn_lint: FLightNN-specific invariant lint over compile_commands.json.
+
+Dependency-free (Python stdlib only). Four rules, each anchored on the
+marker macros from src/support/annotations.hpp:
+
+  hot-no-alloc        No heap allocation reachable from a FLIGHTNN_HOT
+                      function. Direct allocation evidence in the body is a
+                      violation; calls into un-annotated functions defined in
+                      this tree are followed transitively. FLIGHTNN_COLD_ALLOC
+                      callees are trusted grow-once boundaries and stop the
+                      traversal; FLIGHTNN_HOT callees are checked on their own.
+  int-kernel-no-float No float/double types or floating-point literals inside
+                      a FLIGHTNN_INT_KERNEL body: the bit-exactness argument
+                      for the shift kernels depends on integer-only math.
+  raw-mutex           std::mutex / std::condition_variable (and variants) are
+                      forbidden in src/ outside support/annotated_mutex.hpp;
+                      everything else must use the annotated wrappers so clang
+                      -Wthread-safety sees every lock.
+  api-entry-check     A FLIGHTNN_API_ENTRY function must validate its inputs:
+                      a FLIGHTNN_CHECK must appear within the first
+                      API_ENTRY_CHECK_WINDOW lines of the body.
+
+Suppressions: `// FLIGHTNN_LINT_SUPPRESS(rule-name): justification` on the
+violating line or the line directly above it. The justification is
+mandatory; an empty one is itself reported (rule `suppress-justification`).
+
+Self-test: `--selftest` runs the linter over tools/flightnn_lint/fixtures/,
+where every seeded violation is declared with `// EXPECT-VIOLATION: rule`
+on the line where it must fire. Extra, missing, or mis-ruled findings fail
+the self-test -- this is the proof that each rule actually bites.
+
+Exit status: 0 clean, 1 violations found, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+ANNOTATIONS = ("FLIGHTNN_HOT", "FLIGHTNN_COLD_ALLOC", "FLIGHTNN_INT_KERNEL",
+               "FLIGHTNN_API_ENTRY")
+
+# A FLIGHTNN_API_ENTRY body must reach a FLIGHTNN_CHECK within this many
+# lines (covers a leading validation loop over a batch).
+API_ENTRY_CHECK_WINDOW = 10
+
+# Direct heap-allocation evidence. Matched against comment/string-stripped
+# code, so message text never fires.
+ALLOC_PATTERNS: list[tuple[str, re.Pattern]] = [
+    ("operator new", re.compile(r"\bnew\b(?!\s*\()")),
+    ("operator new", re.compile(r"\bnew\s*\(")),
+    ("make_unique/make_shared", re.compile(r"\bmake_(?:unique|shared)\b")),
+    ("malloc family", re.compile(r"\b(?:malloc|calloc|realloc|strdup)\s*\(")),
+    ("container growth", re.compile(
+        r"\.\s*(?:push_back|emplace_back|emplace|resize|reserve|assign|"
+        r"insert|append)\s*\(")),
+    ("string build", re.compile(r"\bstd::(?:to_string|ostringstream|"
+                                r"stringstream|string\s*\()")),
+]
+
+RAW_MUTEX_PATTERN = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any)\b")
+
+FLOAT_TYPE_PATTERN = re.compile(r"\b(?:float|double|long\s+double)\b")
+FLOAT_LITERAL_PATTERN = re.compile(
+    r"(?<![\w.])(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fFlL]?"
+    r"|(?<![\w.])\d+[eE][+-]?\d+[fFlL]?"
+    r"|(?<![\w.])\d+[fF]\b")
+
+SUPPRESS_PATTERN = re.compile(
+    r"//\s*FLIGHTNN_LINT_SUPPRESS\(([a-z0-9-]+)\)\s*(?::\s*(.*))?")
+
+EXPECT_PATTERN = re.compile(r"//\s*EXPECT-VIOLATION:\s*([a-z0-9-]+)")
+EXPECT_NEXT_PATTERN = re.compile(
+    r"//\s*EXPECT-VIOLATION-NEXT-LINE:\s*([a-z0-9-]+)")
+
+# Call names never worth resolving: control flow, casts, and the std-ish
+# method names that would collide with unrelated definitions.
+CALL_IGNORE = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "defined", "assert",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "size", "data", "begin", "end", "empty", "clear", "front", "back",
+    "c_str", "get", "at", "count", "find", "min", "max", "abs", "move",
+    "forward", "swap", "exchange", "value", "shape", "rank", "numel",
+}
+
+KEYWORDS = {"if", "for", "while", "switch", "catch", "return", "do", "else",
+            "sizeof", "alignof", "decltype", "static_assert", "noexcept",
+            "alignas", "throw", "new", "delete", "operator", "requires"}
+
+
+@dataclass
+class Violation:
+    rule: str
+    path: Path
+    line: int  # 1-based
+    message: str
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = self.path.relative_to(root)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Function:
+    name: str
+    path: Path
+    line: int            # 1-based line of the body-opening brace
+    body_start: int      # offset just after '{' in the stripped text
+    body_end: int        # offset of the matching '}'
+    annotations: frozenset[str] = frozenset()
+
+
+@dataclass
+class SourceFile:
+    path: Path
+    raw: str
+    stripped: str        # comments/strings blanked, newlines preserved
+    line_offsets: list[int] = field(default_factory=list)
+
+    def line_of(self, offset: int) -> int:
+        lo, hi = 0, len(self.line_offsets) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.line_offsets[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    def raw_line(self, line: int) -> str:
+        lines = self.raw.splitlines()
+        return lines[line - 1] if 1 <= line <= len(lines) else ""
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving offsets."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                        i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def load_source(path: Path) -> SourceFile:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    stripped = strip_comments_and_strings(raw)
+    src = SourceFile(path=path, raw=raw, stripped=stripped)
+    offset = 0
+    for line in raw.splitlines(keepends=True):
+        src.line_offsets.append(offset)
+        offset += len(line)
+    if not src.line_offsets:
+        src.line_offsets.append(0)
+    return src
+
+
+def match_brace(text: str, open_index: int) -> int:
+    """Offset of the '}' matching the '{' at open_index, or -1."""
+    depth = 0
+    for i in range(open_index, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+DEF_NAME_PATTERN = re.compile(r"([A-Za-z_~]\w*)\s*$")
+
+
+def find_functions(src: SourceFile) -> list[Function]:
+    """Lexical function-definition scan.
+
+    Walks every top-level-ish '(' group: a definition is a name followed by
+    a balanced parameter list, optional specifier tokens, then '{'. Control
+    flow keywords and lambda introducers are rejected by name.
+    """
+    text = src.stripped
+    functions: list[Function] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        if text[i] != "(":
+            i += 1
+            continue
+        name_match = DEF_NAME_PATTERN.search(text, 0, i)
+        if not name_match or name_match.group(1) in KEYWORDS:
+            i += 1
+            continue
+        name = name_match.group(1)
+        # Balance the parameter list.
+        depth, j = 0, i
+        while j < n:
+            if text[j] == "(":
+                depth += 1
+            elif text[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        if j >= n:
+            break
+        # Skip specifiers between ')' and the body '{' / declaration ';'.
+        k = j + 1
+        body_at = -1
+        while k < n:
+            c = text[k]
+            if c == "{":
+                body_at = k
+                break
+            if c in ";=":  # declaration, pure-virtual, or default member init
+                break
+            if c == ":":  # constructor initializer list: scan to its '{'
+                brace = text.find("{", k)
+                semi = text.find(";", k)
+                if brace != -1 and (semi == -1 or brace < semi):
+                    body_at = brace
+                break
+            if c == "(":  # e.g. attribute args: skip balanced group
+                d2 = 0
+                while k < n:
+                    if text[k] == "(":
+                        d2 += 1
+                    elif text[k] == ")":
+                        d2 -= 1
+                        if d2 == 0:
+                            break
+                    k += 1
+            elif not (c.isalnum() or c in "_&*>- \t\n"):
+                break
+            k += 1
+        if body_at == -1:
+            i = j + 1
+            continue
+        close = match_brace(text, body_at)
+        if close == -1:
+            i = j + 1
+            continue
+        # Annotations apply if a marker macro appears shortly before the
+        # name (same declaration: scan back past the return type, stopping
+        # at the previous statement boundary).
+        decl_start = max(text.rfind(";", 0, name_match.start(1)),
+                         text.rfind("}", 0, name_match.start(1)),
+                         text.rfind("{", 0, name_match.start(1)))
+        decl = text[decl_start + 1:name_match.start(1)]
+        annotations = frozenset(a for a in ANNOTATIONS
+                                if re.search(rf"\b{a}\b", decl))
+        functions.append(Function(
+            name=name, path=src.path, line=src.line_of(body_at),
+            body_start=body_at + 1, body_end=close,
+            annotations=annotations))
+        i = body_at + 1
+    return functions
+
+
+def declared_annotations(src: SourceFile) -> dict[str, set[str]]:
+    """name -> annotations, from declarations as well as definitions.
+
+    Needed because e.g. tensor::pool::acquire carries FLIGHTNN_COLD_ALLOC on
+    its header declaration while the definition lives in a .cpp file.
+    """
+    result: dict[str, set[str]] = {}
+    for annotation in ANNOTATIONS:
+        for match in re.finditer(
+                rf"\b{annotation}\b[^;{{()]*?([A-Za-z_]\w*)\s*\(",
+                src.stripped):
+            result.setdefault(match.group(1), set()).add(annotation)
+    return result
+
+
+class Linter:
+    def __init__(self, root: Path, sources: list[SourceFile]):
+        self.root = root
+        self.sources = sources
+        self.functions: list[tuple[SourceFile, Function]] = []
+        self.by_name: dict[str, list[tuple[SourceFile, Function]]] = {}
+        self.annotation_index: dict[str, set[str]] = {}
+        self.violations: list[Violation] = []
+        self._alloc_memo: dict[tuple[str, int], tuple | None] = {}
+        for src in sources:
+            for fn in find_functions(src):
+                self.functions.append((src, fn))
+                self.by_name.setdefault(fn.name, []).append((src, fn))
+            for name, annotations in declared_annotations(src).items():
+                self.annotation_index.setdefault(name, set()).update(
+                    annotations)
+        for _, fn in self.functions:
+            self.annotation_index.setdefault(fn.name, set()).update(
+                fn.annotations)
+
+    # -- suppression handling ------------------------------------------------
+
+    def report(self, rule: str, src: SourceFile, line: int, message: str):
+        for candidate in (line, line - 1):
+            match = SUPPRESS_PATTERN.search(src.raw_line(candidate))
+            if match and match.group(1) == rule:
+                justification = (match.group(2) or "").strip()
+                if not justification:
+                    self.violations.append(Violation(
+                        "suppress-justification", src.path, candidate,
+                        f"FLIGHTNN_LINT_SUPPRESS({rule}) requires a "
+                        f"non-empty justification after ':'"))
+                return
+        self.violations.append(Violation(rule, src.path, line, message))
+
+    # -- rule: raw-mutex -----------------------------------------------------
+
+    def lint_raw_mutex(self, src: SourceFile):
+        if src.path.name == "annotated_mutex.hpp":
+            return
+        for match in RAW_MUTEX_PATTERN.finditer(src.stripped):
+            self.report(
+                "raw-mutex", src, src.line_of(match.start()),
+                f"{match.group(0)} is forbidden in src/: use "
+                f"support::Mutex / support::CondVar from "
+                f"support/annotated_mutex.hpp so clang thread-safety "
+                f"analysis sees the lock")
+
+    # -- rule: int-kernel-no-float -------------------------------------------
+
+    def lint_int_kernel(self, src: SourceFile, fn: Function):
+        body = src.stripped[fn.body_start:fn.body_end]
+        for pattern, what in ((FLOAT_TYPE_PATTERN, "floating-point type"),
+                              (FLOAT_LITERAL_PATTERN,
+                               "floating-point literal")):
+            for match in pattern.finditer(body):
+                self.report(
+                    "int-kernel-no-float", src,
+                    src.line_of(fn.body_start + match.start()),
+                    f"{what} '{match.group(0).strip()}' inside "
+                    f"FLIGHTNN_INT_KERNEL '{fn.name}': integer kernels must "
+                    f"stay bit-exact (keep dequantization in the caller)")
+
+    # -- rule: api-entry-check -----------------------------------------------
+
+    def lint_api_entry(self, src: SourceFile, fn: Function):
+        body = src.stripped[fn.body_start:fn.body_end]
+        first_line = src.line_of(fn.body_start)
+        window_lines = body.splitlines()[:API_ENTRY_CHECK_WINDOW]
+        if any("FLIGHTNN_CHECK" in line for line in window_lines):
+            return
+        self.report(
+            "api-entry-check", src, first_line,
+            f"FLIGHTNN_API_ENTRY '{fn.name}' must validate inputs with "
+            f"FLIGHTNN_CHECK within its first {API_ENTRY_CHECK_WINDOW} "
+            f"lines")
+
+    # -- rule: hot-no-alloc --------------------------------------------------
+
+    @staticmethod
+    def _mask_check_args(body: str) -> str:
+        """Blank FLIGHTNN_CHECK/DCHECK argument lists (offset-preserving).
+
+        The check macros evaluate their message arguments lazily -- only on
+        the failure path, which is cold by definition -- so allocation
+        evidence inside them (to_string, shape printing) is not hot-path
+        allocation.
+        """
+        out = list(body)
+        for match in re.finditer(r"\bFLIGHTNN_D?CHECK\w*\s*\(", body):
+            depth, i = 0, match.end() - 1
+            while i < len(body):
+                if body[i] == "(":
+                    depth += 1
+                elif body[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                if body[i] != "\n":
+                    out[i] = " "
+                i += 1
+        return "".join(out)
+
+    def _direct_alloc(self, src: SourceFile, fn: Function):
+        """Yield (offset, description) of direct allocation evidence."""
+        body = self._mask_check_args(src.stripped[fn.body_start:fn.body_end])
+        for what, pattern in ALLOC_PATTERNS:
+            for match in pattern.finditer(body):
+                yield fn.body_start + match.start(), what
+
+    def _callee_allocates(self, name: str, depth: int,
+                          stack: tuple[str, ...]):
+        """First (file, line, what, chain) found in callee `name`, or None."""
+        if depth > 4 or name in stack:
+            return None
+        annotations = self.annotation_index.get(name, set())
+        if "FLIGHTNN_COLD_ALLOC" in annotations:  # trusted grow-once boundary
+            return None
+        if "FLIGHTNN_HOT" in annotations:  # linted as its own root
+            return None
+        memo_key = (name, 0)
+        if memo_key in self._alloc_memo:
+            return self._alloc_memo[memo_key]
+        result = None
+        for src, fn in self.by_name.get(name, []):
+            for offset, what in self._direct_alloc(src, fn):
+                result = (src, src.line_of(offset), what, stack + (name,))
+                break
+            if result:
+                break
+            result = self._transitive_alloc(src, fn, depth, stack + (name,))
+            if result:
+                break
+        self._alloc_memo[memo_key] = result
+        return result
+
+    def _transitive_alloc(self, src: SourceFile, fn: Function, depth: int,
+                          stack: tuple[str, ...]):
+        body = self._mask_check_args(src.stripped[fn.body_start:fn.body_end])
+        seen: set[str] = set()
+        for match in re.finditer(r"([A-Za-z_]\w*)\s*\(", body):
+            callee = match.group(1)
+            if callee in CALL_IGNORE or callee in seen or callee == fn.name:
+                continue
+            seen.add(callee)
+            if callee not in self.by_name:
+                continue
+            found = self._callee_allocates(callee, depth + 1, stack)
+            if found:
+                return found
+        return None
+
+    def lint_hot_no_alloc(self, src: SourceFile, fn: Function):
+        for offset, what in self._direct_alloc(src, fn):
+            self.report(
+                "hot-no-alloc", src, src.line_of(offset),
+                f"{what} in FLIGHTNN_HOT '{fn.name}': the steady-state "
+                f"inference path must not touch the heap (use the scratch "
+                f"arena / buffer pool, or justify with a suppression)")
+        # Transitive: report at the call site inside the HOT body.
+        body = self._mask_check_args(src.stripped[fn.body_start:fn.body_end])
+        seen: set[str] = set()
+        for match in re.finditer(r"([A-Za-z_]\w*)\s*\(", body):
+            callee = match.group(1)
+            if callee in CALL_IGNORE or callee in seen or callee == fn.name:
+                continue
+            seen.add(callee)
+            if callee not in self.by_name:
+                continue
+            found = self._callee_allocates(callee, 1, (fn.name,))
+            if found:
+                callee_src, callee_line, what, chain = found
+                self.report(
+                    "hot-no-alloc", src,
+                    src.line_of(fn.body_start + match.start()),
+                    f"FLIGHTNN_HOT '{fn.name}' reaches {what} at "
+                    f"{callee_src.path.name}:{callee_line} via "
+                    f"{' -> '.join(chain)}: annotate the callee "
+                    f"FLIGHTNN_COLD_ALLOC if it is a grow-once boundary, "
+                    f"FLIGHTNN_HOT to lint it directly, or suppress with "
+                    f"justification")
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> list[Violation]:
+        for src in self.sources:
+            if "/src/" in str(src.path).replace("\\", "/") + "/":
+                self.lint_raw_mutex(src)
+        for src, fn in self.functions:
+            if "FLIGHTNN_INT_KERNEL" in fn.annotations:
+                self.lint_int_kernel(src, fn)
+            if "FLIGHTNN_API_ENTRY" in fn.annotations:
+                self.lint_api_entry(src, fn)
+            if "FLIGHTNN_HOT" in fn.annotations:
+                self.lint_hot_no_alloc(src, fn)
+        self.violations.sort(key=lambda v: (str(v.path), v.line, v.rule))
+        return self.violations
+
+
+def collect_files(compile_commands: Path | None, src_root: Path) -> list[Path]:
+    files: set[Path] = set()
+    if compile_commands is not None:
+        try:
+            entries = json.loads(compile_commands.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"flightnn_lint: cannot read {compile_commands}: {error}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        for entry in entries:
+            path = Path(entry["directory"], entry["file"]).resolve()
+            if src_root.resolve() in path.parents and path.exists():
+                files.add(path)
+    # Headers never appear in compile_commands; lint them all.
+    for header in src_root.rglob("*.hpp"):
+        files.add(header.resolve())
+    # Without compile_commands (or with a stale one), fall back to every
+    # translation unit in the tree so the lint never silently narrows.
+    if compile_commands is None:
+        for source in src_root.rglob("*.cpp"):
+            files.add(source.resolve())
+    return sorted(files)
+
+
+def run_lint(paths: list[Path], root: Path) -> int:
+    sources = [load_source(p) for p in paths]
+    violations = Linter(root, sources).run()
+    for violation in violations:
+        print(violation.render(root))
+    if violations:
+        print(f"flightnn_lint: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"flightnn_lint: clean ({len(sources)} files)", file=sys.stderr)
+    return 0
+
+
+def run_selftest(fixtures: Path, root: Path) -> int:
+    paths = sorted(fixtures.rglob("*.cpp")) + sorted(fixtures.rglob("*.hpp"))
+    if not paths:
+        print(f"flightnn_lint: no fixtures under {fixtures}", file=sys.stderr)
+        return 2
+    sources = [load_source(p) for p in paths]
+    violations = Linter(root, sources).run()
+
+    expected: set[tuple[Path, int, str]] = set()
+    for src in sources:
+        for i, line in enumerate(src.raw.splitlines(), start=1):
+            match = EXPECT_NEXT_PATTERN.search(line)
+            if match:
+                expected.add((src.path, i + 1, match.group(1)))
+                continue
+            match = EXPECT_PATTERN.search(line)
+            if match:
+                expected.add((src.path, i, match.group(1)))
+
+    actual = {(v.path, v.line, v.rule) for v in violations}
+    missing = expected - actual
+    unexpected = actual - expected
+    for path, line, rule in sorted(missing, key=str):
+        print(f"SELFTEST MISSING  {path.name}:{line}: expected [{rule}] "
+              f"to fire", file=sys.stderr)
+    for path, line, rule in sorted(unexpected, key=str):
+        print(f"SELFTEST EXTRA    {path.name}:{line}: [{rule}] fired "
+              f"unexpectedly", file=sys.stderr)
+    if missing or unexpected:
+        return 1
+    print(f"flightnn_lint selftest: {len(expected)} seeded violation(s) "
+          f"across {len(sources)} fixture(s), all fired exactly",
+          file=sys.stderr)
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="compile_commands.json from the build tree")
+    parser.add_argument("--src-root", type=Path, default=None,
+                        help="source root to lint (default: <repo>/src)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="lint the seeded-violation fixtures instead of "
+                             "the real tree and verify every rule fires")
+    args = parser.parse_args()
+
+    here = Path(__file__).resolve().parent
+    repo_root = here.parent.parent
+    if args.selftest:
+        return run_selftest(here / "fixtures", repo_root)
+    src_root = args.src_root or repo_root / "src"
+    if not src_root.is_dir():
+        print(f"flightnn_lint: no such source root: {src_root}",
+              file=sys.stderr)
+        return 2
+    files = collect_files(args.compile_commands, src_root)
+    if not files:
+        print("flightnn_lint: nothing to lint", file=sys.stderr)
+        return 2
+    return run_lint(files, repo_root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

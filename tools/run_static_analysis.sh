@@ -2,9 +2,11 @@
 # Static-analysis and correctness driver.
 #
 # Runs, in order:
-#   1. clang-format check over src/, tests/, bench/, examples/, tools/
-#   2. clang-tidy gate (configure with FLIGHTNN_ENABLE_CLANG_TIDY=ON + build)
-#   3. sanitizer presets (debug-asan, debug-ubsan) build + ctest
+#   1. flightnn_lint (tools/flightnn_lint): self-test, then the real tree
+#   2. clang-format check over src/, tests/, bench/, examples/, tools/
+#   3. clang-tidy, parallel via run-clang-tidy when available (falls back to
+#      the FLIGHTNN_ENABLE_CLANG_TIDY compile gate otherwise)
+#   4. sanitizer presets (debug-asan, debug-ubsan) build + ctest
 #
 # Each stage is gated on tool availability: a missing clang-format or
 # clang-tidy produces a SKIP, not a failure, so the script is usable both in
@@ -12,25 +14,35 @@
 # only gcc may exist). Sanitizer stages only need a working compiler and are
 # never skipped unless --no-sanitizers is given.
 #
-# Usage: tools/run_static_analysis.sh [--no-format] [--no-tidy] [--no-sanitizers]
+# Usage: tools/run_static_analysis.sh
+#          [--fix] [--no-lint] [--no-format] [--no-tidy] [--no-sanitizers]
+#
+#   --fix  apply fixes instead of just checking: clang-format -i over the
+#          tree and run-clang-tidy -fix (the tidy fallback path cannot fix).
+#
 # Exit code: 0 if every stage that ran passed, 1 otherwise.
 
-set -u -o pipefail
+set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${REPO_ROOT}"
 
+RUN_LINT=1
 RUN_FORMAT=1
 RUN_TIDY=1
 RUN_SANITIZERS=1
+FIX=0
 for arg in "$@"; do
   case "${arg}" in
+    --fix) FIX=1 ;;
+    --no-lint) RUN_LINT=0 ;;
     --no-format) RUN_FORMAT=0 ;;
     --no-tidy) RUN_TIDY=0 ;;
     --no-sanitizers) RUN_SANITIZERS=0 ;;
     *)
       echo "unknown option: ${arg}" >&2
-      echo "usage: $0 [--no-format] [--no-tidy] [--no-sanitizers]" >&2
+      echo "usage: $0 [--fix] [--no-lint] [--no-format] [--no-tidy]" \
+           "[--no-sanitizers]" >&2
       exit 2
       ;;
   esac
@@ -61,16 +73,55 @@ find_tool() {
   return 1
 }
 
-# --- 1. clang-format -------------------------------------------------------
+# A compilation database for the database-driven stages (flightnn_lint,
+# run-clang-tidy). Any configured build tree exports one; configure the
+# default tree if none exists yet.
+compile_db() {
+  local candidate
+  for candidate in build build/debug build/tidy build/release; do
+    if [[ -f "${candidate}/compile_commands.json" ]]; then
+      echo "${candidate}/compile_commands.json"
+      return 0
+    fi
+  done
+  cmake -B build -S . > /dev/null
+  echo "build/compile_commands.json"
+}
+
+# --- 1. flightnn_lint ------------------------------------------------------
+if [[ ${RUN_LINT} -eq 1 ]]; then
+  note "flightnn_lint"
+  if PYTHON="$(find_tool python3)"; then
+    LINT=tools/flightnn_lint/flightnn_lint.py
+    LINT_OK=1
+    "${PYTHON}" "${LINT}" --selftest || LINT_OK=0
+    "${PYTHON}" "${LINT}" --compile-commands "$(compile_db)" || LINT_OK=0
+    if [[ ${LINT_OK} -eq 1 ]]; then
+      record "lint: PASS"
+    else
+      record "lint: FAIL"
+      FAILURES=$((FAILURES + 1))
+    fi
+  else
+    record "lint: SKIP (python3 not installed)"
+  fi
+else
+  record "lint: SKIP (--no-lint)"
+fi
+
+# --- 2. clang-format -------------------------------------------------------
 if [[ ${RUN_FORMAT} -eq 1 ]]; then
   note "clang-format check"
   if CLANG_FORMAT="$(find_tool clang-format)"; then
     mapfile -t FILES < <(git ls-files -- 'src/**/*.cpp' 'src/**/*.hpp' \
       'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp' 'tools/*.cpp')
-    if "${CLANG_FORMAT}" --dry-run -Werror "${FILES[@]}"; then
+    if [[ ${FIX} -eq 1 ]]; then
+      "${CLANG_FORMAT}" -i "${FILES[@]}"
+      record "format: FIXED (${#FILES[@]} files)"
+    elif "${CLANG_FORMAT}" --dry-run -Werror "${FILES[@]}"; then
       record "format: PASS (${#FILES[@]} files)"
     else
-      record "format: FAIL (run: ${CLANG_FORMAT} -i <files>)"
+      record "format: FAIL (run: $0 --fix)"
       FAILURES=$((FAILURES + 1))
     fi
   else
@@ -80,18 +131,36 @@ else
   record "format: SKIP (--no-format)"
 fi
 
-# --- 2. clang-tidy ---------------------------------------------------------
+# --- 3. clang-tidy ---------------------------------------------------------
 if [[ ${RUN_TIDY} -eq 1 ]]; then
-  note "clang-tidy gate"
-  if find_tool clang-tidy > /dev/null; then
-    TIDY_BUILD="build/tidy"
-    if cmake -B "${TIDY_BUILD}" -S . -DCMAKE_BUILD_TYPE=Debug \
-        -DFLIGHTNN_ENABLE_CLANG_TIDY=ON \
-      && cmake --build "${TIDY_BUILD}" -j "${JOBS}"; then
-      record "tidy: PASS"
+  note "clang-tidy"
+  if CLANG_TIDY="$(find_tool clang-tidy)"; then
+    if RUN_CLANG_TIDY="$(find_tool run-clang-tidy)"; then
+      # Parallel mode: one clang-tidy process per core over the compilation
+      # database, restricted to src/ translation units.
+      DB="$(compile_db)"
+      TIDY_ARGS=(-clang-tidy-binary "${CLANG_TIDY}" -p "$(dirname "${DB}")" \
+                 -j "${JOBS}" -quiet "${REPO_ROOT}/src/.*")
+      if [[ ${FIX} -eq 1 ]]; then
+        TIDY_ARGS=(-fix "${TIDY_ARGS[@]}")
+      fi
+      if "${RUN_CLANG_TIDY}" "${TIDY_ARGS[@]}"; then
+        record "tidy: PASS (run-clang-tidy -j ${JOBS})"
+      else
+        record "tidy: FAIL"
+        FAILURES=$((FAILURES + 1))
+      fi
     else
-      record "tidy: FAIL"
-      FAILURES=$((FAILURES + 1))
+      # Fallback: the compile-time gate (serial, cannot apply fixes).
+      TIDY_BUILD="build/tidy"
+      if cmake -B "${TIDY_BUILD}" -S . -DCMAKE_BUILD_TYPE=Debug \
+          -DFLIGHTNN_ENABLE_CLANG_TIDY=ON \
+        && cmake --build "${TIDY_BUILD}" -j "${JOBS}"; then
+        record "tidy: PASS (compile gate)"
+      else
+        record "tidy: FAIL"
+        FAILURES=$((FAILURES + 1))
+      fi
     fi
   else
     record "tidy: SKIP (clang-tidy not installed)"
@@ -100,7 +169,7 @@ else
   record "tidy: SKIP (--no-tidy)"
 fi
 
-# --- 3. sanitizer presets --------------------------------------------------
+# --- 4. sanitizer presets --------------------------------------------------
 if [[ ${RUN_SANITIZERS} -eq 1 ]]; then
   for preset in debug-asan debug-ubsan; do
     note "sanitizer preset: ${preset}"
