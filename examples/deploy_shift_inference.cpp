@@ -8,6 +8,13 @@
 //
 //   $ ./examples/deploy_shift_inference [--threads N] [--max-batch B]
 //                                       [--queue-delay-ms D] [--profile]
+//                                       [--save-artifact PATH]
+//                                       [--load-artifact PATH]
+//
+// --save-artifact writes the compiled network as a flat deployment artifact
+// (serialize/artifact.hpp) after training. --load-artifact skips training
+// entirely: the artifact is mmap-ed, fixed up in O(#sections), and served
+// directly -- the production cold-start path.
 //
 // --threads sets the runtime pool size for both training and the shift
 // engine (0 = FLIGHTNN_NUM_THREADS / hardware default). Outputs are
@@ -17,6 +24,7 @@
 // (QuantizedNetwork::profile).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <string>
@@ -32,9 +40,79 @@
 #include "runtime/batch_runner.hpp"
 #include "runtime/inference_request.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serialize/artifact.hpp"
 #include "serving/server.hpp"
 #include "support/argparse.hpp"
 #include "support/table.hpp"
+
+namespace {
+
+// Push a burst of client-shaped requests (1-4 images each) through the
+// dynamic batcher and print the per-request timing table. Shared between
+// the freshly-trained path and the artifact cold-start path -- the network
+// serves identically regardless of where its plans live.
+int serve_burst(const flightnn::inference::QuantizedNetwork& network,
+                std::int64_t channels, std::int64_t height, std::int64_t width,
+                int max_batch, double queue_delay_ms) {
+  using namespace flightnn;
+  const runtime::BatchRunner runner(network);
+  serving::ServerConfig serve;
+  serve.max_batch = max_batch;
+  serve.max_queue_delay_s = queue_delay_ms * 1e-3;
+  serving::Server server(runner, serve);
+  std::printf(
+      "\nserving config: threads=%d max_batch=%d max_queue_delay=%.1fms "
+      "queue_bound=%zu images, mode=%s\n",
+      runtime::num_threads(), server.config().max_batch,
+      server.config().max_queue_delay_s * 1e3,
+      server.config().max_queue_images,
+      server.config().block_on_full ? "block-on-full" : "reject-on-overload");
+
+  support::Rng rng(1234);
+  constexpr int kRequests = 6;
+  std::vector<std::future<runtime::InferenceResult>> futures;
+  std::vector<std::int64_t> sizes;
+  for (int r = 0; r < kRequests; ++r) {
+    runtime::InferenceRequest inference_request;
+    inference_request.id = static_cast<std::uint64_t>(r + 1);
+    const int images_in_request = r % 4 + 1;
+    for (int i = 0; i < images_in_request; ++i) {
+      inference_request.images.push_back(tensor::Tensor::randn(
+          tensor::Shape{channels, height, width}, rng));
+    }
+    sizes.push_back(images_in_request);
+    auto submission = server.submit(std::move(inference_request));
+    if (submission.status != serving::SubmitStatus::Ok) {
+      std::fprintf(stderr, "request %d not admitted: %s\n", r + 1,
+                   serving::to_string(submission.status));
+      return 1;
+    }
+    futures.push_back(std::move(submission.result));
+  }
+
+  support::Table serve_table({"request", "images", "queue (ms)",
+                              "compute (ms)", "rode batch", "top-1",
+                              "shifts", "adds"});
+  for (std::size_t r = 0; r < futures.size(); ++r) {
+    const runtime::InferenceResult result = futures[r].get();
+    serve_table.add_row(
+        {std::to_string(result.id), std::to_string(sizes[r]),
+         support::format_fixed(result.timing.queue_seconds * 1e3, 2),
+         support::format_fixed(result.timing.compute_seconds * 1e3, 2),
+         std::to_string(result.timing.batch_size),
+         std::to_string(result.argmax.empty() ? -1 : result.argmax[0]),
+         std::to_string(result.counts.shifts),
+         std::to_string(result.counts.adds)});
+  }
+  server.shutdown();
+  const auto stats = server.stats();
+  std::printf("per-request timing (%lld dynamic batches executed):\n%s",
+              static_cast<long long>(stats.batches),
+              serve_table.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace flightnn;
@@ -45,6 +123,10 @@ int main(int argc, char** argv) {
                   "0");
   parser.add_flag("--max-batch", "dynamic batcher flush size (images)", "8");
   parser.add_flag("--queue-delay-ms", "dynamic batcher flush deadline", "2");
+  parser.add_flag("--save-artifact",
+                  "write the compiled network as a deployment artifact", "");
+  parser.add_flag("--load-artifact",
+                  "serve an existing artifact (skips training)", "");
   std::vector<std::string> args(argv + 1, argv + argc);
   // --profile is a bare switch (no value).
   const auto profile_it = std::find(args.begin(), args.end(),
@@ -59,6 +141,35 @@ int main(int argc, char** argv) {
   }
   runtime::set_num_threads(parser.get_int("--threads"));
   std::printf("runtime threads: %d\n", runtime::num_threads());
+
+  // --- Artifact cold-start path: mmap, fix up, serve. No training. --------
+  if (const std::string load_path = parser.get("--load-artifact");
+      !load_path.empty()) {
+    try {
+      const auto t0 = std::chrono::steady_clock::now();
+      const serialize::ArtifactModel artifact =
+          serialize::ArtifactModel::load(load_path);
+      const double load_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0).count();
+      std::printf(
+          "loaded artifact %s: %zu bytes, input [%lld, %lld, %lld], "
+          "%zu steps, cold start %.2f ms\n",
+          load_path.c_str(), artifact.size(),
+          static_cast<long long>(artifact.input_c()),
+          static_cast<long long>(artifact.input_h()),
+          static_cast<long long>(artifact.input_w()),
+          artifact.network().step_count(), load_ms);
+      return serve_burst(artifact.network(), artifact.input_c(),
+                         artifact.input_h(), artifact.input_w(),
+                         parser.get_int("--max-batch"),
+                         parser.get_double("--queue-delay-ms"));
+    } catch (const serialize::ArtifactError& error) {
+      std::fprintf(stderr, "cannot serve %s: %s\n", load_path.c_str(),
+                   error.what());
+      return 1;
+    }
+  }
 
   // Train a small FLightNN (as in quickstart, fewer epochs).
   auto spec = data::cifar10_like(0.25F);
@@ -133,59 +244,24 @@ int main(int argc, char** argv) {
   // per-request observability the serving API carries natively.
   const auto network = inference::QuantizedNetwork::compile(
       *model, tensor::Shape{1, spec.channels, spec.height, spec.width});
-  const runtime::BatchRunner runner(network);
-  serving::ServerConfig serve;
-  serve.max_batch = parser.get_int("--max-batch");
-  serve.max_queue_delay_s = parser.get_double("--queue-delay-ms") * 1e-3;
-  serving::Server server(runner, serve);
-  std::printf(
-      "\nserving config: threads=%d max_batch=%d max_queue_delay=%.1fms "
-      "queue_bound=%zu images, mode=%s\n",
-      runtime::num_threads(), server.config().max_batch,
-      server.config().max_queue_delay_s * 1e3,
-      server.config().max_queue_images,
-      server.config().block_on_full ? "block-on-full" : "reject-on-overload");
 
-  constexpr int kRequests = 6;
-  std::vector<std::future<runtime::InferenceResult>> futures;
-  std::vector<std::int64_t> sizes;
-  for (int r = 0; r < kRequests; ++r) {
-    runtime::InferenceRequest inference_request;
-    inference_request.id = static_cast<std::uint64_t>(r + 1);
-    const int images_in_request = r % 4 + 1;
-    for (int i = 0; i < images_in_request; ++i) {
-      inference_request.images.push_back(tensor::Tensor::randn(
-          tensor::Shape{spec.channels, spec.height, spec.width}, rng));
-    }
-    sizes.push_back(images_in_request);
-    auto submission = server.submit(std::move(inference_request));
-    if (submission.status != serving::SubmitStatus::Ok) {
-      std::fprintf(stderr, "request %d not admitted: %s\n", r + 1,
-                   serving::to_string(submission.status));
-      return 1;
-    }
-    futures.push_back(std::move(submission.result));
+  // --save-artifact: freeze the compiled network into the flat deployment
+  // blob a later --load-artifact run (or any serving replica) can mmap.
+  if (const std::string save_path = parser.get("--save-artifact");
+      !save_path.empty()) {
+    const auto program = inference::compile_program(
+        *model, tensor::Shape{1, spec.channels, spec.height, spec.width});
+    serialize::save_artifact(program, save_path);
+    const auto blob = serialize::build_artifact(program);
+    std::printf("\nsaved deployment artifact: %s (%zu bytes, %zu ops)\n",
+                save_path.c_str(), blob.size(), program.ops.size());
   }
 
-  support::Table serve_table({"request", "images", "queue (ms)",
-                              "compute (ms)", "rode batch", "top-1",
-                              "shifts", "adds"});
-  for (std::size_t r = 0; r < futures.size(); ++r) {
-    const runtime::InferenceResult result = futures[r].get();
-    serve_table.add_row(
-        {std::to_string(result.id), std::to_string(sizes[r]),
-         support::format_fixed(result.timing.queue_seconds * 1e3, 2),
-         support::format_fixed(result.timing.compute_seconds * 1e3, 2),
-         std::to_string(result.timing.batch_size),
-         std::to_string(result.argmax.empty() ? -1 : result.argmax[0]),
-         std::to_string(result.counts.shifts),
-         std::to_string(result.counts.adds)});
-  }
-  server.shutdown();
-  const auto stats = server.stats();
-  std::printf("per-request timing (%lld dynamic batches executed):\n%s",
-              static_cast<long long>(stats.batches),
-              serve_table.to_string().c_str());
+  const int serve_status =
+      serve_burst(network, spec.channels, spec.height, spec.width,
+                  parser.get_int("--max-batch"),
+                  parser.get_double("--queue-delay-ms"));
+  if (serve_status != 0) return serve_status;
 
   if (profile) {
     // Break one image's inference cost down per step: where the wall time

@@ -17,14 +17,17 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/quantize_model.hpp"
+#include "inference/network_program.hpp"
 #include "models/networks.hpp"
 #include "nn/sequential.hpp"
+#include "serialize/artifact.hpp"
 #include "serialize/model_io.hpp"
 
 namespace fs = std::filesystem;
@@ -200,6 +203,146 @@ void emit_shift_plan(const fs::path& dir) {
   write_seed(dir, "max_counts", pseudo_random(512, 0xF1A9U));
 }
 
+// One deterministic seed per corruption class of the artifact loader's
+// validation ladder (header, checksum, section table, op records, plan
+// streams), plus two valid artifacts -- a tiny VGG and a tiny ResNet (for
+// residual-segment coverage) -- built by the repo's own compiler.
+void emit_artifact(const fs::path& dir) {
+  namespace ser = flightnn::serialize;
+  using ser::ArtifactHeader;
+  using ser::OpRecord;
+  using ser::SectionDesc;
+  using ser::SectionKind;
+
+  const auto compile_blob = [](int network_id, float width_scale) {
+    flightnn::models::BuildOptions build;
+    build.classes = 4;
+    build.width_scale = width_scale;
+    build.seed = 7;
+    auto model = flightnn::models::build_network(
+        flightnn::models::table1_network(network_id), build);
+    flightnn::core::install_lightnn(*model, 2);
+    const auto program = flightnn::inference::compile_program(
+        *model, flightnn::tensor::Shape{1, 3, 8, 8});
+    return ser::build_artifact(program);
+  };
+  const Bytes vgg = compile_blob(4, 0.125F);
+  write_seed(dir, "artifact_vgg_valid", vgg);
+  write_seed(dir, "artifact_resnet_valid", compile_blob(2, 0.0625F));
+
+  const auto header_of = [](const Bytes& blob) {
+    ArtifactHeader header;
+    std::memcpy(&header, blob.data(), sizeof(header));
+    return header;
+  };
+  const auto patch_header = [&](Bytes blob, auto mutate) {
+    ArtifactHeader header = header_of(blob);
+    mutate(header);
+    std::memcpy(blob.data(), &header, sizeof(header));
+    return blob;
+  };
+  const auto section_at = [&](const Bytes& blob, std::size_t index) {
+    SectionDesc desc;
+    std::memcpy(&desc, blob.data() + sizeof(ArtifactHeader) +
+                           index * sizeof(SectionDesc), sizeof(desc));
+    return desc;
+  };
+  // Find a section by kind; exits if the fixture lacks it.
+  const auto find_kind = [&](const Bytes& blob, SectionKind kind) {
+    const ArtifactHeader header = header_of(blob);
+    for (std::uint32_t i = 0; i < header.section_count; ++i) {
+      const SectionDesc desc = section_at(blob, i);
+      if (desc.kind == static_cast<std::uint32_t>(kind)) return desc;
+    }
+    std::fprintf(stderr, "artifact fixture lacks section kind %u\n",
+                 static_cast<unsigned>(kind));
+    std::exit(1);
+  };
+  const auto resealed = [](Bytes blob) {
+    ser::rewrite_artifact_checksum(blob);
+    return blob;
+  };
+
+  {
+    Bytes mutated = vgg;
+    mutated[0] ^= 0xFF;
+    write_seed(dir, "artifact_bad_magic", mutated);
+  }
+  write_seed(dir, "artifact_bad_version",
+             patch_header(vgg, [](ArtifactHeader& h) { h.version = 99; }));
+  write_seed(dir, "artifact_bad_input_geom",
+             patch_header(vgg, [](ArtifactHeader& h) { h.input_c = -1; }));
+  {
+    Bytes mutated = vgg;
+    mutated.back() ^= 0x01;  // payload flip without reseal
+    write_seed(dir, "artifact_bad_checksum", mutated);
+  }
+  {
+    Bytes mutated = vgg;
+    mutated.resize(sizeof(ArtifactHeader) / 2);
+    write_seed(dir, "artifact_truncated_header", mutated);
+    mutated = vgg;
+    mutated.resize(mutated.size() - 48);
+    write_seed(dir, "artifact_truncated_payload", mutated);
+  }
+  {
+    Bytes mutated = vgg;  // misalign the first per-op section
+    SectionDesc desc = section_at(mutated, 1);
+    desc.offset += 4;
+    std::memcpy(mutated.data() + sizeof(ArtifactHeader) + sizeof(SectionDesc),
+                &desc, sizeof(desc));
+    write_seed(dir, "artifact_section_misaligned", resealed(mutated));
+  }
+  {
+    Bytes mutated = vgg;  // section range escaping the file
+    SectionDesc desc = section_at(mutated, 1);
+    desc.bytes = ~std::uint64_t{0} / 2;
+    std::memcpy(mutated.data() + sizeof(ArtifactHeader) + sizeof(SectionDesc),
+                &desc, sizeof(desc));
+    write_seed(dir, "artifact_section_oob", resealed(mutated));
+  }
+  {
+    Bytes mutated = vgg;  // first op record: unknown kind
+    const SectionDesc program = find_kind(mutated, SectionKind::kProgram);
+    OpRecord record;
+    std::memcpy(&record, mutated.data() + program.offset, sizeof(record));
+    record.kind = 0xAB;
+    std::memcpy(mutated.data() + program.offset, &record, sizeof(record));
+    write_seed(dir, "artifact_bad_op_kind", resealed(mutated));
+  }
+  {
+    Bytes mutated = vgg;  // plan sign outside {-1, +1}
+    const SectionDesc sign = find_kind(mutated, SectionKind::kPlanSign);
+    mutated[sign.offset] = 5;
+    write_seed(dir, "artifact_bad_sign", resealed(mutated));
+  }
+  {
+    Bytes mutated = vgg;  // shift beyond the exponent window
+    const SectionDesc shift = find_kind(mutated, SectionKind::kPlanShift);
+    mutated[shift.offset] = 60;
+    write_seed(dir, "artifact_bad_shift", resealed(mutated));
+  }
+  {
+    Bytes mutated = vgg;  // non-monotone filter prefix
+    const SectionDesc begin = find_kind(mutated, SectionKind::kPlanFilterBegin);
+    std::int64_t hostile = -1;
+    std::memcpy(mutated.data() + begin.offset + 8, &hostile, sizeof(hostile));
+    write_seed(dir, "artifact_bad_filter_begin", resealed(mutated));
+  }
+  {
+    Bytes mutated = vgg;  // overflow gain disagreeing with the entries
+    const SectionDesc gain = find_kind(mutated, SectionKind::kPlanFilterGain);
+    std::int64_t value = 0;
+    std::memcpy(&value, mutated.data() + gain.offset, sizeof(value));
+    value += 1;
+    std::memcpy(mutated.data() + gain.offset, &value, sizeof(value));
+    write_seed(dir, "artifact_bad_gain", resealed(mutated));
+  }
+
+  write_seed(dir, "empty", {});
+  write_seed(dir, "random_512", pseudo_random(512, 0xA97FAC7U));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -210,11 +353,15 @@ int main(int argc, char** argv) {
   const fs::path root(argv[1]);
   const fs::path model_io = root / "model_io";
   const fs::path shift_plan = root / "shift_plan";
+  const fs::path artifact = root / "artifact";
   fs::create_directories(model_io);
   fs::create_directories(shift_plan);
+  fs::create_directories(artifact);
   std::printf("%s:\n", model_io.string().c_str());
   emit_model_io(model_io);
   std::printf("%s:\n", shift_plan.string().c_str());
   emit_shift_plan(shift_plan);
+  std::printf("%s:\n", artifact.string().c_str());
+  emit_artifact(artifact);
   return 0;
 }

@@ -1,0 +1,125 @@
+#pragma once
+
+// NetworkProgram: the flat intermediate representation between a trained
+// model and the executable QuantizedNetwork. compile_program() walks the
+// layer tree once (the same dynamic_cast walk QuantizedNetwork::compile
+// always did) and lowers every layer into a self-contained ProgramOp --
+// shift layers carry their compiled ShiftPlan, batch norm arrives already
+// folded into per-channel affines, residual blocks are flattened into
+// pre-order segments with explicit child counts.
+//
+// The IR exists so the deployment artifact (serialize/artifact.hpp) has a
+// stable, pointer-free description to serialize: every field is a scalar,
+// a tensor, or a plan stream, so an op can be laid out into a flat blob
+// and reconstituted without re-deriving anything from the float model.
+// QuantizedNetwork::from_program() turns a program back into steps; for
+// ops whose quantized weights are present (the in-memory compile path) the
+// engines keep their reference decomposition, and for ops carrying only a
+// plan (the artifact load path) the engines adopt the plan directly --
+// run() is bit-identical either way because both execute the same plan.
+
+#include <cstdint>
+#include <vector>
+
+#include "inference/shift_plan.hpp"
+#include "quant/pow2.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flightnn::nn {
+class Sequential;
+}  // namespace flightnn::nn
+
+namespace flightnn::inference {
+
+struct CompileOptions {
+  // Activation bit width used where the model has no explicit quantizer.
+  int act_bits = 8;
+  // Maximum shift terms expected per weight (for decomposition).
+  int k_max = 2;
+  quant::Pow2Config pow2;
+  // Execute shift layers through the pre-plan reference engine instead of
+  // the compiled plan. Outputs are bit-identical; this exists so benchmarks
+  // can measure the whole-network seed-vs-plan speedup.
+  bool use_reference_engine = false;
+};
+
+// Serialization-stable op kinds (artifact format v1 records these values;
+// append only, never renumber).
+enum class ProgramOpKind : std::uint32_t {
+  kQuantAct = 1,
+  kShiftConv = 2,
+  kFloatConv = 3,
+  kAffine = 4,
+  kLeakyRelu = 5,
+  kMaxPool = 6,
+  kGap = 7,
+  kFlatten = 8,
+  kShiftLinear = 9,
+  kFloatLinear = 10,
+  kResidual = 11,
+};
+
+// One lowered layer. Only the fields its kind reads are meaningful; the
+// rest stay at their defaults.
+struct ProgramOp {
+  ProgramOpKind kind = ProgramOpKind::kQuantAct;
+
+  int bits = 0;      // kQuantAct: activation quantizer width
+  int act_bits = 8;  // shift ops: input re-quantization width
+  float slope = 0.0F;  // kLeakyRelu
+
+  // Geometry. Conv: out_channels/in_channels/kernel/stride/padding.
+  // Linear: out_channels = out features, in_channels = in features.
+  // MaxPool: window/stride.
+  std::int64_t out_channels = 0;
+  std::int64_t in_channels = 0;
+  std::int64_t kernel = 0;
+  std::int64_t window = 0;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+
+  // Shift ops: compiled plan + the pow2 grid it shifts on, plus the
+  // decomposition's term census (metadata reported by term_count()).
+  std::int64_t term_count = 0;
+  int k_max = 0;
+  quant::Pow2Config pow2;
+  ShiftPlan plan;
+
+  // Shift ops, in-memory compile only: the quantized weight tensor the plan
+  // was lowered from. Kept so from_program can build engines that retain
+  // the reference term-walk (use_reference_engine, filter_k). Empty on the
+  // artifact load path -- the artifact stores plans, not float weights.
+  tensor::Tensor weights;  // also: kFloatConv/kFloatLinear weights
+  tensor::Tensor bias;     // conv/linear bias; may be empty
+
+  // kAffine (folded batch norm): y = scale[c] * x + affine_bias[c].
+  std::vector<float> scale;
+  std::vector<float> affine_bias;
+
+  // kResidual: the ops vector continues with three flattened segments --
+  // main, shortcut, post, in that order. Counts are TOTAL ops per segment,
+  // nested residuals included, so a reader can skip a segment without
+  // recursing.
+  std::int64_t main_ops = 0;
+  std::int64_t shortcut_ops = 0;
+  std::int64_t post_ops = 0;
+  bool has_shortcut = false;
+};
+
+// A compiled network: pre-order flat op list plus the input geometry the
+// program was compiled for.
+struct NetworkProgram {
+  std::vector<ProgramOp> ops;
+  std::int64_t input_c = 0;
+  std::int64_t input_h = 0;
+  std::int64_t input_w = 0;
+};
+
+// Lower a trained model. Walks the layer tree in execution order; throws on
+// layer types it does not understand. The model is used in eval mode during
+// compilation (one dummy forward fixes geometry and batch-norm statistics).
+NetworkProgram compile_program(nn::Sequential& model,
+                               const tensor::Shape& input_shape,
+                               const CompileOptions& options = {});
+
+}  // namespace flightnn::inference

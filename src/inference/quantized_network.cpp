@@ -1,21 +1,13 @@
 #include "inference/quantized_network.hpp"
 
+#include <algorithm>
 #include <chrono>
-#include <cmath>
-#include <stdexcept>
+#include <utility>
 
 #include "support/annotations.hpp"
 #include "support/check.hpp"
 
-#include "core/flightnn_transform.hpp"
-#include "nn/activations.hpp"
-#include "nn/batchnorm.hpp"
-#include "nn/conv2d.hpp"
-#include "nn/linear.hpp"
 #include "nn/loss.hpp"
-#include "nn/pooling.hpp"
-#include "nn/residual.hpp"
-#include "quant/lightnn.hpp"
 
 namespace flightnn::inference {
 
@@ -335,134 +327,129 @@ class ResidualStep final : public Step {
   std::vector<StepPtr> post_;
 };
 
-// --- Compilation ----------------------------------------------------------------
+// --- Program -> steps -----------------------------------------------------
+//
+// from_program consumes the flat pre-order op list with a cursor. Residual
+// segments are length-delimited (op.main_ops etc. are total counts), so the
+// builder checks exact consumption at every nesting level: a program whose
+// counts lie -- truncated, overlapping, or out of range -- fails with a
+// typed CheckFailure instead of misassembling a network. The artifact
+// loader leans on this as its final structural gate.
 
-struct CompileState {
-  const CompileOptions* options;
-  int current_act_bits;  // bits of the most recent activation quantizer
-};
+StepPtr build_step(std::vector<ProgramOp>& ops, std::size_t& cursor,
+                   std::size_t end, bool use_reference);
 
-void compile_into(nn::Sequential& seq, CompileState& state,
-                  std::vector<StepPtr>& steps);
-
-void compile_layer(nn::Layer& layer, CompileState& state,
-                   std::vector<StepPtr>& steps) {
-  if (auto* seq = dynamic_cast<nn::Sequential*>(&layer)) {
-    compile_into(*seq, state, steps);
-    return;
+std::vector<StepPtr> build_segment(std::vector<ProgramOp>& ops,
+                                   std::size_t& cursor, std::int64_t count,
+                                   std::size_t end, bool use_reference,
+                                   const char* what) {
+  FLIGHTNN_CHECK(count >= 0 && static_cast<std::size_t>(count) <= end - cursor,
+                 "from_program: residual ", what, " segment claims ", count,
+                 " ops but only ", end - cursor, " remain");
+  const std::size_t segment_end = cursor + static_cast<std::size_t>(count);
+  std::vector<StepPtr> steps;
+  steps.reserve(static_cast<std::size_t>(count));
+  while (cursor < segment_end) {
+    steps.push_back(build_step(ops, cursor, segment_end, use_reference));
   }
-  if (auto* aq = dynamic_cast<nn::ActivationQuant*>(&layer)) {
-    state.current_act_bits = aq->bits();
-    steps.push_back(std::make_unique<QuantizeActStep>(aq->bits()));
-    return;
-  }
-  if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
-    tensor::Tensor wq = conv->quantized_weight();
-    tensor::Tensor bias =
-        conv->has_bias() ? conv->bias().value : tensor::Tensor();
-    int k_max = 0;
-    quant::Pow2Config pow2 = state.options->pow2;
-    if (auto* lightnn =
-            dynamic_cast<quant::LightNNTransform*>(conv->weight_transform())) {
-      k_max = lightnn->k();
-      pow2 = lightnn->config();
-    } else if (auto* fl = dynamic_cast<core::FLightNNTransform*>(
-                   conv->weight_transform())) {
-      k_max = fl->config().k_max;
-      pow2 = fl->config().pow2;
-    }
-    if (k_max > 0) {
-      steps.push_back(std::make_unique<ShiftConvStep>(
-          ShiftConv2d(wq, k_max, pow2, conv->stride(), conv->padding(),
-                      std::move(bias)),
-          state.current_act_bits, state.options->use_reference_engine));
-    } else {
-      steps.push_back(std::make_unique<FloatConvStep>(
-          std::move(wq), std::move(bias), conv->stride(), conv->padding()));
-    }
-    return;
-  }
-  if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&layer)) {
-    const auto& mean = bn->running_mean();
-    const auto& var = bn->running_var();
-    const auto channels = static_cast<std::size_t>(mean.numel());
-    std::vector<float> scale(channels), bias(channels);
-    for (std::size_t c = 0; c < channels; ++c) {
-      const auto i = static_cast<std::int64_t>(c);
-      const float inv_std = 1.0F / std::sqrt(var[i] + 1e-5F);
-      scale[c] = bn->gamma().value[i] * inv_std;
-      bias[c] = bn->beta().value[i] - mean[i] * scale[c];
-    }
-    steps.push_back(std::make_unique<AffineStep>(std::move(scale), std::move(bias)));
-    return;
-  }
-  if (auto* act = dynamic_cast<nn::LeakyReLU*>(&layer)) {
-    steps.push_back(std::make_unique<LeakyReLUStep>(act->negative_slope()));
-    return;
-  }
-  if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
-    steps.push_back(std::make_unique<MaxPoolStep>(pool->window(), pool->stride()));
-    return;
-  }
-  if (dynamic_cast<nn::GlobalAvgPool*>(&layer) != nullptr) {
-    steps.push_back(std::make_unique<GapStep>());
-    return;
-  }
-  if (dynamic_cast<nn::Flatten*>(&layer) != nullptr) {
-    steps.push_back(std::make_unique<FlattenStep>());
-    return;
-  }
-  if (auto* linear = dynamic_cast<nn::Linear*>(&layer)) {
-    tensor::Tensor wq = linear->quantized_weight();
-    tensor::Tensor bias = linear->bias().value;
-    int k_max = 0;
-    quant::Pow2Config pow2 = state.options->pow2;
-    if (auto* lightnn =
-            dynamic_cast<quant::LightNNTransform*>(linear->weight_transform())) {
-      k_max = lightnn->k();
-      pow2 = lightnn->config();
-    } else if (auto* fl = dynamic_cast<core::FLightNNTransform*>(
-                   linear->weight_transform())) {
-      k_max = fl->config().k_max;
-      pow2 = fl->config().pow2;
-    }
-    if (k_max > 0) {
-      steps.push_back(std::make_unique<ShiftLinearStep>(
-          ShiftLinear(wq, k_max, pow2, std::move(bias)),
-          state.current_act_bits, state.options->use_reference_engine));
-    } else {
-      steps.push_back(
-          std::make_unique<FloatLinearStep>(std::move(wq), std::move(bias)));
-    }
-    return;
-  }
-  if (auto* block = dynamic_cast<nn::ResidualBlock*>(&layer)) {
-    // Each branch sees the same incoming activation-quantization state.
-    std::vector<StepPtr> main_steps, shortcut_steps, post_steps;
-    CompileState main_state = state;
-    compile_into(block->main_path(), main_state, main_steps);
-    CompileState skip_state = state;
-    const bool has_shortcut = block->shortcut() != nullptr;
-    if (has_shortcut) {
-      compile_into(*block->shortcut(), skip_state, shortcut_steps);
-    }
-    CompileState post_state = main_state;
-    compile_into(block->post(), post_state, post_steps);
-    state = post_state;
-    steps.push_back(std::make_unique<ResidualStep>(
-        std::move(main_steps), std::move(shortcut_steps), has_shortcut,
-        std::move(post_steps)));
-    return;
-  }
-  throw std::invalid_argument("QuantizedNetwork: unsupported layer '" +
-                              layer.name() + "'");
+  return steps;
 }
 
-void compile_into(nn::Sequential& seq, CompileState& state,
-                  std::vector<StepPtr>& steps) {
-  for (const auto& layer : seq.layers()) {
-    compile_layer(*layer, state, steps);
+StepPtr build_step(std::vector<ProgramOp>& ops, std::size_t& cursor,
+                   std::size_t end, bool use_reference) {
+  FLIGHTNN_CHECK(cursor < end, "from_program: op stream exhausted");
+  ProgramOp op = std::move(ops[cursor]);
+  ++cursor;
+  switch (op.kind) {
+    case ProgramOpKind::kQuantAct:
+      FLIGHTNN_CHECK(op.bits >= 2 && op.bits <= 16, "from_program: quant op ",
+                     op.bits, " bits outside [2, 16]");
+      return std::make_unique<QuantizeActStep>(op.bits);
+    case ProgramOpKind::kShiftConv: {
+      FLIGHTNN_CHECK(op.act_bits >= 2 && op.act_bits <= 16,
+                     "from_program: shift conv act bits ", op.act_bits,
+                     " outside [2, 16]");
+      if (!op.weights.empty()) {
+        // In-memory compile: rebuild from the quantized weights so the
+        // engine keeps its reference decomposition.
+        return std::make_unique<ShiftConvStep>(
+            ShiftConv2d(op.weights, op.k_max, op.pow2, op.stride, op.padding,
+                        std::move(op.bias)),
+            op.act_bits, use_reference);
+      }
+      FLIGHTNN_CHECK(!use_reference,
+                     "from_program: reference engine requested but the "
+                     "program carries plans only (artifact load path)");
+      const ShiftConvSpec spec{op.out_channels, op.in_channels, op.kernel,
+                               op.stride,       op.padding,     op.term_count};
+      return std::make_unique<ShiftConvStep>(
+          ShiftConv2d(std::move(op.plan), spec, op.pow2, std::move(op.bias)),
+          op.act_bits, /*use_reference=*/false);
+    }
+    case ProgramOpKind::kFloatConv:
+      FLIGHTNN_CHECK(op.weights.shape().rank() == 4,
+                     "from_program: float conv weights must be OIHW");
+      return std::make_unique<FloatConvStep>(std::move(op.weights),
+                                             std::move(op.bias), op.stride,
+                                             op.padding);
+    case ProgramOpKind::kAffine:
+      FLIGHTNN_CHECK(op.scale.size() == op.affine_bias.size(),
+                     "from_program: affine scale/bias size mismatch (",
+                     op.scale.size(), " vs ", op.affine_bias.size(), ")");
+      return std::make_unique<AffineStep>(std::move(op.scale),
+                                          std::move(op.affine_bias));
+    case ProgramOpKind::kLeakyRelu:
+      return std::make_unique<LeakyReLUStep>(op.slope);
+    case ProgramOpKind::kMaxPool:
+      FLIGHTNN_CHECK(op.window > 0 && op.stride > 0,
+                     "from_program: max pool window ", op.window, " / stride ",
+                     op.stride, " must be positive");
+      return std::make_unique<MaxPoolStep>(op.window, op.stride);
+    case ProgramOpKind::kGap:
+      return std::make_unique<GapStep>();
+    case ProgramOpKind::kFlatten:
+      return std::make_unique<FlattenStep>();
+    case ProgramOpKind::kShiftLinear: {
+      FLIGHTNN_CHECK(op.act_bits >= 2 && op.act_bits <= 16,
+                     "from_program: shift linear act bits ", op.act_bits,
+                     " outside [2, 16]");
+      if (!op.weights.empty()) {
+        return std::make_unique<ShiftLinearStep>(
+            ShiftLinear(op.weights, op.k_max, op.pow2, std::move(op.bias)),
+            op.act_bits, use_reference);
+      }
+      FLIGHTNN_CHECK(!use_reference,
+                     "from_program: reference engine requested but the "
+                     "program carries plans only (artifact load path)");
+      const ShiftLinearSpec spec{op.out_channels, op.in_channels,
+                                 op.term_count};
+      return std::make_unique<ShiftLinearStep>(
+          ShiftLinear(std::move(op.plan), spec, op.pow2, std::move(op.bias)),
+          op.act_bits, /*use_reference=*/false);
+    }
+    case ProgramOpKind::kFloatLinear:
+      FLIGHTNN_CHECK(op.weights.shape().rank() == 2,
+                     "from_program: float linear weights must be [out, in]");
+      return std::make_unique<FloatLinearStep>(std::move(op.weights),
+                                               std::move(op.bias));
+    case ProgramOpKind::kResidual: {
+      FLIGHTNN_CHECK(op.has_shortcut || op.shortcut_ops == 0,
+                     "from_program: residual without shortcut claims ",
+                     op.shortcut_ops, " shortcut ops");
+      auto main_steps =
+          build_segment(ops, cursor, op.main_ops, end, use_reference, "main");
+      auto shortcut_steps = build_segment(ops, cursor, op.shortcut_ops, end,
+                                          use_reference, "shortcut");
+      auto post_steps =
+          build_segment(ops, cursor, op.post_ops, end, use_reference, "post");
+      return std::make_unique<ResidualStep>(
+          std::move(main_steps), std::move(shortcut_steps), op.has_shortcut,
+          std::move(post_steps));
+    }
   }
+  FLIGHTNN_CHECK(false, "from_program: unknown op kind ",
+                 static_cast<std::uint32_t>(op.kind));
+  return nullptr;  // unreachable
 }
 
 }  // namespace
@@ -470,16 +457,20 @@ void compile_into(nn::Sequential& seq, CompileState& state,
 QuantizedNetwork QuantizedNetwork::compile(nn::Sequential& model,
                                            const tensor::Shape& input_shape,
                                            const CompileOptions& options) {
-  FLIGHTNN_CHECK(input_shape.rank() == 4 && input_shape[0] == 1,
-                 "QuantizedNetwork: expected [1, C, H, W] input shape, got ",
-                 input_shape.to_string());
-  // One eval forward so batch-norm statistics and conv geometry are final.
-  tensor::Tensor dummy(input_shape);
-  (void)model.forward(dummy, /*training=*/false);
+  return from_program(compile_program(model, input_shape, options),
+                      options.use_reference_engine);
+}
 
+QuantizedNetwork QuantizedNetwork::from_program(NetworkProgram program,
+                                                bool use_reference_engine) {
   QuantizedNetwork network;
-  CompileState state{&options, options.act_bits};
-  compile_into(model, state, network.steps_);
+  std::size_t cursor = 0;
+  const std::size_t end = program.ops.size();
+  network.steps_.reserve(end);
+  while (cursor < end) {
+    network.steps_.push_back(
+        build_step(program.ops, cursor, end, use_reference_engine));
+  }
   return network;
 }
 

@@ -27,22 +27,11 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "inference/network_program.hpp"
 #include "inference/shift_engine.hpp"
 #include "nn/sequential.hpp"
 
 namespace flightnn::inference {
-
-struct CompileOptions {
-  // Activation bit width used where the model has no explicit quantizer.
-  int act_bits = 8;
-  // Maximum shift terms expected per weight (for decomposition).
-  int k_max = 2;
-  quant::Pow2Config pow2;
-  // Execute shift layers through the pre-plan reference engine instead of
-  // the compiled plan. Outputs are bit-identical; this exists so benchmarks
-  // can measure the whole-network seed-vs-plan speedup.
-  bool use_reference_engine = false;
-};
 
 struct NetworkOpCounts {
   std::int64_t shifts = 0;
@@ -70,6 +59,15 @@ class QuantizedNetwork {
   static QuantizedNetwork compile(nn::Sequential& model,
                                   const tensor::Shape& input_shape,
                                   const CompileOptions& options = {});
+
+  // Build an executable network from a lowered program (the IR
+  // compile_program emits and the deployment artifact stores). Ops whose
+  // quantized weights are present get engines with the full reference
+  // term-walk; plan-only ops (artifact load path) get plan-adopting
+  // engines. run() is bit-identical either way. `use_reference_engine`
+  // requires the weights to be present.
+  static QuantizedNetwork from_program(NetworkProgram program,
+                                       bool use_reference_engine = false);
 
   // Run one image [C, H, W] (or [1, C, H, W]) to logits.
   [[nodiscard]] tensor::Tensor run(const tensor::Tensor& image,

@@ -95,9 +95,9 @@ std::int64_t max_abs_value(const std::vector<std::int32_t>& values) {
 // DCHECK the inner loop would otherwise carry. (The bound sums absolute
 // contributions, so it also covers every intermediate partial sum.)
 #if FLIGHTNN_DCHECKS_ENABLED
+template <typename GainArray>  // std::vector or PlanArray of int64
 void dcheck_no_overflow(const QuantizedActivations& input,
-                        const std::vector<std::int64_t>& filter_gain,
-                        const char* what) {
+                        const GainArray& filter_gain, const char* what) {
   const std::int64_t max_q = input.abs_max();
   for (std::size_t o = 0; o < filter_gain.size(); ++o) {
     const std::int64_t gain = filter_gain[o];
@@ -108,9 +108,43 @@ void dcheck_no_overflow(const QuantizedActivations& input,
   }
 }
 #else
-void dcheck_no_overflow(const QuantizedActivations&,
-                        const std::vector<std::int64_t>&, const char*) {}
+template <typename GainArray>
+void dcheck_no_overflow(const QuantizedActivations&, const GainArray&,
+                        const char*) {}
 #endif
+
+// Structural invariants shared by the plan-adopting constructors: stream
+// sizes consistent, filter_begin a monotone prefix over `filters`. The
+// artifact loader has already validated every entry in depth (bounds, sign,
+// shift range, recomputed gains); this re-checks only what is cheap, so a
+// corrupted adoption still fails fast instead of indexing wild.
+void check_adopted_plan(const ShiftPlan& plan, std::int64_t filters,
+                        bool conv, const char* what) {
+  FLIGHTNN_CHECK(plan.filters == filters, what, ": plan covers ", plan.filters,
+                 " filters, spec says ", filters);
+  FLIGHTNN_CHECK(static_cast<std::int64_t>(plan.filter_begin.size()) ==
+                     filters + 1,
+                 what, ": filter_begin has ", plan.filter_begin.size(),
+                 " entries, expected ", filters + 1);
+  FLIGHTNN_CHECK(plan.filter_begin.front() == 0 &&
+                     plan.filter_begin.back() == plan.entries(),
+                 what, ": filter_begin does not span the entry stream");
+  FLIGHTNN_CHECK(static_cast<std::int64_t>(plan.filter_gain.size()) == filters,
+                 what, ": filter_gain has ", plan.filter_gain.size(),
+                 " entries, expected ", filters);
+  const auto entries = static_cast<std::size_t>(plan.entries());
+  FLIGHTNN_CHECK(plan.shift.size() == entries && plan.sign.size() == entries,
+                 what, ": shift/sign streams do not match the entry count");
+  if (conv) {
+    FLIGHTNN_CHECK(plan.channel.size() == entries &&
+                       plan.ky.size() == entries && plan.kx.size() == entries,
+                   what, ": conv plan needs channel/ky/kx streams of ",
+                   entries, " entries");
+  } else {
+    FLIGHTNN_CHECK(plan.channel.empty() && plan.ky.empty() && plan.kx.empty(),
+                   what, ": linear plan must not carry spatial streams");
+  }
+}
 
 // Integer division helpers for the interior/valid-range arithmetic; both
 // require b > 0 and round the true quotient toward -inf / +inf.
@@ -397,6 +431,37 @@ ShiftConv2d::ShiftConv2d(const tensor::Tensor& quantized_weights, int k_max,
                                   kernel_);
   index_terms_by_filter(decomposition_, config_, out_channels_, filter_terms_,
                         filter_gain_);
+  term_count_ = decomposition_.term_count();
+  has_reference_ = true;
+}
+
+ShiftConv2d::ShiftConv2d(ShiftPlan plan, const ShiftConvSpec& spec,
+                         const quant::Pow2Config& config, tensor::Tensor bias)
+    : config_(config),
+      out_channels_(spec.out_channels),
+      in_channels_(spec.in_channels),
+      kernel_(spec.kernel),
+      stride_(spec.stride),
+      padding_(spec.padding),
+      term_count_(spec.term_count),
+      bias_(std::move(bias)),
+      plan_(std::move(plan)) {
+  FLIGHTNN_CHECK(out_channels_ > 0 && in_channels_ > 0 && kernel_ > 0,
+                 "ShiftConv2d: bad adopted geometry [", out_channels_, ", ",
+                 in_channels_, ", ", kernel_, "]");
+  FLIGHTNN_CHECK(stride_ > 0 && padding_ >= 0, "ShiftConv2d: bad stride ",
+                 stride_, " / padding ", padding_);
+  FLIGHTNN_CHECK(bias_.empty() || bias_.numel() == out_channels_,
+                 "ShiftConv2d: bias size ", bias_.numel(),
+                 " does not match out channels ", out_channels_);
+  check_adopted_plan(plan_, out_channels_, /*conv=*/true, "ShiftConv2d");
+}
+
+const std::vector<int>& ShiftConv2d::filter_k() const {
+  FLIGHTNN_CHECK(has_reference_,
+                 "ShiftConv2d::filter_k: engine was adopted from a compiled "
+                 "plan; the decomposition is gone");
+  return decomposition_.filter_k;
 }
 
 FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftConv2d::run(
@@ -524,6 +589,9 @@ FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftConv2d::run(
 
 tensor::Tensor ShiftConv2d::run_reference(const QuantizedActivations& input,
                                           OpCounts* counts) const {
+  FLIGHTNN_CHECK(has_reference_,
+                 "ShiftConv2d::run_reference: engine was adopted from a "
+                 "compiled plan; only run() is available");
   FLIGHTNN_CHECK(input.shape.rank() == 3 && input.shape[0] == in_channels_,
                  "ShiftConv2d::run: expected [", in_channels_,
                  ", H, W] input, got ", input.shape.to_string());
@@ -621,6 +689,25 @@ ShiftLinear::ShiftLinear(const tensor::Tensor& quantized_weights, int k_max,
   plan_ = ShiftPlan::compile_linear(decomposition_, config_);
   index_terms_by_filter(decomposition_, config_, out_features_, filter_terms_,
                         filter_gain_);
+  term_count_ = decomposition_.term_count();
+  has_reference_ = true;
+}
+
+ShiftLinear::ShiftLinear(ShiftPlan plan, const ShiftLinearSpec& spec,
+                         const quant::Pow2Config& config, tensor::Tensor bias)
+    : config_(config),
+      out_features_(spec.out_features),
+      in_features_(spec.in_features),
+      term_count_(spec.term_count),
+      bias_(std::move(bias)),
+      plan_(std::move(plan)) {
+  FLIGHTNN_CHECK(out_features_ > 0 && in_features_ > 0,
+                 "ShiftLinear: bad adopted geometry [", out_features_, ", ",
+                 in_features_, "]");
+  FLIGHTNN_CHECK(bias_.empty() || bias_.numel() == out_features_,
+                 "ShiftLinear: bias size ", bias_.numel(),
+                 " does not match out features ", out_features_);
+  check_adopted_plan(plan_, out_features_, /*conv=*/false, "ShiftLinear");
 }
 
 FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftLinear::run(
@@ -664,6 +751,9 @@ FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftLinear::run(
 
 tensor::Tensor ShiftLinear::run_reference(const QuantizedActivations& input,
                                           OpCounts* counts) const {
+  FLIGHTNN_CHECK(has_reference_,
+                 "ShiftLinear::run_reference: engine was adopted from a "
+                 "compiled plan; only run() is available");
   FLIGHTNN_CHECK(input.shape.numel() == in_features_,
                  "ShiftLinear::run: input numel ", input.shape.numel(),
                  " does not match in features ", in_features_);

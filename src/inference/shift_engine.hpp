@@ -77,6 +77,25 @@ struct OpCounts {
   std::int64_t adds = 0;    // accumulator additions
 };
 
+// Geometry bundle for engines rebuilt from an already-compiled plan (the
+// deployment-artifact load path, where the original weight tensor is gone).
+struct ShiftConvSpec {
+  std::int64_t out_channels = 0;
+  std::int64_t in_channels = 0;
+  std::int64_t kernel = 0;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+  // Single-shift filter terms the plan was lowered from (metadata only;
+  // reported by term_count()).
+  std::int64_t term_count = 0;
+};
+
+struct ShiftLinearSpec {
+  std::int64_t out_features = 0;
+  std::int64_t in_features = 0;
+  std::int64_t term_count = 0;
+};
+
 // A convolution compiled to the single-shift datapath.
 class ShiftConv2d {
  public:
@@ -86,6 +105,15 @@ class ShiftConv2d {
   ShiftConv2d(const tensor::Tensor& quantized_weights, int k_max,
               const quant::Pow2Config& config, std::int64_t stride,
               std::int64_t padding, tensor::Tensor bias = {});
+
+  // Adopt an already-compiled plan (deployment-artifact load path: the plan's
+  // streams may be zero-copy views into a mapped blob). The caller vouches
+  // for the plan's per-entry validity (the artifact loader validates every
+  // stream before construction); this constructor re-checks the cheap
+  // structural invariants. run_reference()/filter_k() are unavailable -- no
+  // decomposition exists.
+  ShiftConv2d(ShiftPlan plan, const ShiftConvSpec& spec,
+              const quant::Pow2Config& config, tensor::Tensor bias = {});
 
   // Run on one quantized image; returns the dequantized float output
   // [out_channels, out_h, out_w]. Accumulates op counts into `counts` if
@@ -98,22 +126,25 @@ class ShiftConv2d {
 
   // The pre-plan engine: walks the decomposition's term vectors directly,
   // zero elements and all. Kept as the differential oracle / seed baseline;
-  // output and op counts are bit-identical to run().
+  // output and op counts are bit-identical to run(). Requires a
+  // weights-built engine (has_reference()); plan-adopting engines throw.
   [[nodiscard]] tensor::Tensor run_reference(const QuantizedActivations& input,
                                              OpCounts* counts = nullptr) const;
 
   // Number of single-shift filter terms (the LightNN-1 engine's workload).
-  [[nodiscard]] std::int64_t term_count() const { return decomposition_.term_count(); }
-  [[nodiscard]] const std::vector<int>& filter_k() const {
-    return decomposition_.filter_k;
-  }
+  [[nodiscard]] std::int64_t term_count() const { return term_count_; }
+  // Whether the decomposition (run_reference / filter_k) is available.
+  [[nodiscard]] bool has_reference() const { return has_reference_; }
+  [[nodiscard]] const std::vector<int>& filter_k() const;
   [[nodiscard]] std::int64_t out_channels() const { return out_channels_; }
   [[nodiscard]] const ShiftPlan& plan() const { return plan_; }
 
  private:
-  core::Decomposition decomposition_;
+  core::Decomposition decomposition_;  // empty for plan-adopting engines
   quant::Pow2Config config_;
   std::int64_t out_channels_, in_channels_, kernel_, stride_, padding_;
+  std::int64_t term_count_ = 0;
+  bool has_reference_ = false;
   tensor::Tensor bias_;  // float; folded in after dequantization
   // Compiled SoA execution plan (run()'s workload).
   ShiftPlan plan_;
@@ -136,23 +167,32 @@ class ShiftLinear {
   ShiftLinear(const tensor::Tensor& quantized_weights, int k_max,
               const quant::Pow2Config& config, tensor::Tensor bias = {});
 
+  // Adopt an already-compiled plan (see the ShiftConv2d overload).
+  ShiftLinear(ShiftPlan plan, const ShiftLinearSpec& spec,
+              const quant::Pow2Config& config, tensor::Tensor bias = {});
+
   // `input.shape` must be rank-1 [in_features]. Returns the dequantized
   // float output [out_features]. Plan-compiled, like ShiftConv2d::run.
   [[nodiscard]] tensor::Tensor run(const QuantizedActivations& input,
                                    OpCounts* counts = nullptr) const;
 
-  // Pre-plan term walk (differential oracle / seed baseline).
+  // Pre-plan term walk (differential oracle / seed baseline); requires a
+  // weights-built engine (has_reference()).
   [[nodiscard]] tensor::Tensor run_reference(const QuantizedActivations& input,
                                              OpCounts* counts = nullptr) const;
 
-  [[nodiscard]] std::int64_t term_count() const { return decomposition_.term_count(); }
+  [[nodiscard]] std::int64_t term_count() const { return term_count_; }
+  [[nodiscard]] bool has_reference() const { return has_reference_; }
   [[nodiscard]] std::int64_t out_features() const { return out_features_; }
+  [[nodiscard]] std::int64_t in_features() const { return in_features_; }
   [[nodiscard]] const ShiftPlan& plan() const { return plan_; }
 
  private:
-  core::Decomposition decomposition_;
+  core::Decomposition decomposition_;  // empty for plan-adopting engines
   quant::Pow2Config config_;
   std::int64_t out_features_, in_features_;
+  std::int64_t term_count_ = 0;
+  bool has_reference_ = false;
   tensor::Tensor bias_;
   ShiftPlan plan_;
   // Same per-filter term grouping / overflow-gain precomputation as

@@ -10,6 +10,7 @@
 #include "core/quantize_model.hpp"
 #include "nn/batchnorm.hpp"
 #include "quant/lightnn.hpp"
+#include "serialize/wire.hpp"
 
 namespace flightnn::serialize {
 
@@ -18,69 +19,9 @@ namespace {
 constexpr char kCheckpointMagic[] = "FLNNCKPT1";
 constexpr char kPackMagic[] = "FLNNPACK1";
 
-// --- Little binary writer/reader ------------------------------------------------
-
-class Writer {
- public:
-  void bytes(const void* data, std::size_t count) {
-    const auto* p = static_cast<const std::uint8_t*>(data);
-    buffer_.insert(buffer_.end(), p, p + count);
-  }
-  void u32(std::uint32_t value) { bytes(&value, sizeof(value)); }
-  void i64(std::int64_t value) { bytes(&value, sizeof(value)); }
-  void f32(float value) { bytes(&value, sizeof(value)); }
-  void floats(const float* data, std::int64_t count) {
-    bytes(data, static_cast<std::size_t>(count) * sizeof(float));
-  }
-  std::vector<std::uint8_t> take() { return std::move(buffer_); }
-
- private:
-  std::vector<std::uint8_t> buffer_;
-};
-
-class Reader {
- public:
-  explicit Reader(const std::vector<std::uint8_t>& buffer) : buffer_(buffer) {}
-  void bytes(void* out, std::size_t count) {
-    // Overflow-proof form of `cursor_ + count > size()`: a hostile length
-    // near SIZE_MAX must not wrap the sum and slip past the bound.
-    if (count > buffer_.size() - cursor_) {
-      throw std::runtime_error("serialize: truncated buffer");
-    }
-    std::memcpy(out, buffer_.data() + cursor_, count);
-    cursor_ += count;
-  }
-  std::uint32_t u32() {
-    std::uint32_t value = 0;
-    bytes(&value, sizeof(value));
-    return value;
-  }
-  std::int64_t i64() {
-    std::int64_t value = 0;
-    bytes(&value, sizeof(value));
-    return value;
-  }
-  float f32() {
-    float value = 0;
-    bytes(&value, sizeof(value));
-    return value;
-  }
-  void floats(float* out, std::int64_t count) {
-    bytes(out, static_cast<std::size_t>(count) * sizeof(float));
-  }
-  [[nodiscard]] bool exhausted() const { return cursor_ == buffer_.size(); }
-  // Bytes left to read. Length fields parsed from the buffer are clamped
-  // against this before any resize: a count can never describe more payload
-  // than the buffer still holds, so hostile headers cannot force
-  // multi-gigabyte allocations out of a kilobyte file.
-  [[nodiscard]] std::size_t remaining() const {
-    return buffer_.size() - cursor_;
-  }
-
- private:
-  const std::vector<std::uint8_t>& buffer_;
-  std::size_t cursor_ = 0;
-};
+// Hardened byte-stream helpers shared with the artifact format (wire.hpp).
+using Writer = ByteWriter;
+using Reader = ByteReader;
 
 void write_tensor(Writer& writer, const tensor::Tensor& t) {
   writer.u32(static_cast<std::uint32_t>(t.shape().rank()));

@@ -18,18 +18,27 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "core/quantize_model.hpp"
+#include "inference/network_program.hpp"
 #include "inference/quantized_network.hpp"
 #include "models/networks.hpp"
 #include "runtime/batch_runner.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serialize/artifact.hpp"
 #include "serving/server.hpp"
 #include "support/rng.hpp"
 #include "tensor/tensor.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FLIGHTNN_ARENA_TEST_HAS_PID 1
+#endif
 
 namespace {
 
@@ -138,6 +147,54 @@ TEST(ArenaAllocationTest, SingleThreadSteadyStateAllocatesNothing) {
   EXPECT_EQ(result.argmax.size(), request.images.size());
   EXPECT_EQ(result.counts.images,
             static_cast<std::int64_t>(request.images.size()));
+}
+
+// Deployment regression: a network executed out of an mmap-loaded artifact
+// (plan streams are zero-copy views into the read-only mapping; engines hold
+// no weights) must reach the same zero-allocation steady state as the
+// in-process compiled network above. Catches any loader change that starts
+// materializing per-batch copies of the mapped plan data.
+TEST(ArenaAllocationTest, ArtifactMmapLoadedSteadyStateAllocatesNothing) {
+  runtime::set_num_threads(1);
+
+  models::BuildOptions build;
+  build.classes = 10;
+  build.width_scale = 0.125F;
+  build.seed = 17;
+  auto model = models::build_network(models::table1_network(1), build);
+  core::install_lightnn(*model, 2);
+  const inference::NetworkProgram program =
+      inference::compile_program(*model, Shape{1, 3, 16, 16});
+
+#ifdef FLIGHTNN_ARENA_TEST_HAS_PID
+  const std::string pid = std::to_string(static_cast<long>(::getpid()));
+#else
+  const std::string pid = "0";
+#endif
+  const std::string path =
+      ::testing::TempDir() + "/arena_artifact_" + pid + ".flnart";
+  serialize::save_artifact(program, path);
+
+  {
+    const serialize::ArtifactModel artifact =
+        serialize::ArtifactModel::load(path);
+    const runtime::BatchRunner runner(artifact.network());
+    const auto request = make_request(6, 3003);
+
+    runtime::InferenceResult result;
+    runner.run(request, result);
+    runner.run(request, result);
+
+    for (int batch = 0; batch < 5; ++batch) {
+      const long long allocs = count_allocs_in_batch(runner, request, result);
+      EXPECT_EQ(allocs, 0)
+          << "artifact-backed steady-state batch " << batch << " hit the heap "
+          << allocs << " times";
+    }
+    EXPECT_EQ(result.logits.size(), request.images.size());
+    EXPECT_EQ(result.argmax.size(), request.images.size());
+  }
+  std::remove(path.c_str());
 }
 
 TEST(ArenaAllocationTest, MultiThreadSteadyStateConverges) {

@@ -8,6 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FLIGHTNN_SERIALIZE_TEST_HAS_PID 1
+#endif
 
 #include "core/quantize_model.hpp"
 #include "core/trainer.hpp"
@@ -41,6 +47,19 @@ std::unique_ptr<nn::Sequential> make_model(std::uint64_t seed = 3) {
   build.width_scale = 0.25F;
   build.seed = seed;
   return models::build_network(models::table1_network(4), build);
+}
+
+// Collision-free scratch file inside the gtest-managed temp dir: a fixed
+// name races when several test binaries (or ctest shards) run concurrently.
+std::string unique_temp_path(const char* stem) {
+#ifdef FLIGHTNN_SERIALIZE_TEST_HAS_PID
+  const std::string pid = std::to_string(static_cast<long>(::getpid()));
+#else
+  const std::string pid = "0";
+#endif
+  static int counter = 0;
+  return ::testing::TempDir() + "/" + stem + "_" + pid + "_" +
+         std::to_string(counter++) + ".bin";
 }
 
 // Train briefly so batch-norm running stats and thresholds are non-trivial.
@@ -89,7 +108,7 @@ TEST(CheckpointTest, DiskRoundTrip) {
   const auto split = tiny_task();
   auto model = make_model();
   train_briefly(*model, split);
-  const std::string path = ::testing::TempDir() + "/flightnn_ckpt.bin";
+  const std::string path = unique_temp_path("flightnn_ckpt");
   save_state(*model, path);
 
   auto restored = make_model(51);
