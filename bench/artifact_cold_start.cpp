@@ -28,6 +28,7 @@
 #include "core/quantize_model.hpp"
 #include "inference/network_program.hpp"
 #include "inference/quantized_network.hpp"
+#include "inference/shift_kernels.hpp"
 #include "models/networks.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serialize/artifact.hpp"
@@ -218,6 +219,8 @@ int main(int argc, char** argv) {
   out.add_number("artifact_cold_start_ms", best_artifact_ms);
   out.add_number("speedup", speedup);
   out.add_bool("logits_identical", true);
+  bench::add_host_info(
+      out, inference::kernel_tier_name(inference::active_shift_kernels().tier));
   const std::string json_path = parser.get("--json");
   if (!bench::write_json_file(json_path, out)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -8,7 +8,10 @@
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "support/simd.hpp"
 
 namespace flightnn::bench {
 
@@ -109,6 +112,60 @@ inline bool write_json_file(const std::string& path,
   const bool ok =
       std::fwrite(text.data(), 1, text.size(), file) == text.size();
   std::fclose(file);
+  return ok;
+}
+
+// Host provenance block every BENCH_*.json carries: a throughput or kernel
+// number is only comparable to another run if the CPU topology and the ISA
+// tier the dispatcher picked are known. `dispatch_tier` is the tier the
+// bench actually ran with (active_shift_kernels().tier's name), which can
+// differ from the detected ISA under FLIGHTNN_FORCE_SCALAR or the test
+// override.
+inline void add_host_info(JsonObject& object, const std::string& dispatch_tier) {
+  JsonObject host;
+  host.add_int("hardware_concurrency",
+               static_cast<long long>(std::thread::hardware_concurrency()));
+  host.add_bool("avx2", support::cpu_has_avx2());
+  host.add_bool("fma", support::cpu_has_fma());
+  host.add_string("dispatch_tier", dispatch_tier);
+  object.add("host", host.to_string(2));
+}
+
+// Splice `object` into an existing BENCH_*.json under `key`, so a second
+// writer (e.g. kernels_microbench) can extend a file another bench produced
+// without a JSON parser. Relies on write_json_file's output shape: the file
+// is one top-level object ending "}\n". Fails (returns false) if the file
+// is missing or does not end in '}', leaving it untouched.
+inline bool merge_into_json_file(const std::string& path,
+                                 const std::string& key,
+                                 const JsonObject& object) {
+  FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return false;
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(in);
+  while (!text.empty() &&
+         (text.back() == '\n' || text.back() == '\r' || text.back() == ' ')) {
+    text.pop_back();
+  }
+  if (text.size() < 2 || text.back() != '}') return false;
+  text.pop_back();
+  while (!text.empty() &&
+         (text.back() == '\n' || text.back() == '\r' || text.back() == ' ')) {
+    text.pop_back();
+  }
+  const bool empty_object = !text.empty() && text.back() == '{';
+  text += std::string(empty_object ? "\n" : ",\n") + "  \"" +
+          json_escape(key) + "\": " + object.to_string(2) + "\n}\n";
+  FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) return false;
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  std::fclose(out);
   return ok;
 }
 

@@ -8,12 +8,16 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/decompose.hpp"
 #include "core/flightnn_transform.hpp"
 #include "inference/shift_engine.hpp"
+#include "inference/shift_kernels.hpp"
 #include "nn/conv2d.hpp"
 #include "quant/lightnn.hpp"
 #include "runtime/thread_pool.hpp"
@@ -153,6 +157,29 @@ void BM_PlanCompile(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanCompile);
 
+// The same plan executed under a pinned kernel tier (Arg: 0 = scalar,
+// 1 = AVX2; on a host without AVX2 the dispatcher falls back and both args
+// measure the scalar kernels). The ratio Arg(0)/Arg(1) is the per-layer
+// vectorization speedup; the machine-readable ns/term rows land in
+// BENCH_shift_engine.json (see emit_kernel_tier_rows below).
+void BM_ShiftEngineConvTier(benchmark::State& state) {
+  const int tier = static_cast<int>(state.range(0));
+  support::Rng rng(6);
+  const quant::Pow2Config config;
+  tensor::Tensor w = random_weights(32, 32, 7);
+  tensor::Tensor wq = quant::quantize_lightnn(w, 2, config);
+  tensor::Tensor img = tensor::Tensor::randn(tensor::Shape{32, 16, 16}, rng);
+  const auto qimg = inference::quantize_image(img, 8);
+  inference::ShiftConv2d engine(wq, 2, config, 1, 1);
+  inference::set_kernel_tier_override(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(qimg));
+  }
+  inference::set_kernel_tier_override(-1);
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * 16 * 16 * 9);
+}
+BENCHMARK(BM_ShiftEngineConvTier)->Arg(0)->Arg(1);
+
 // Same shift-add convolution with the output-filter blocks fanned out over
 // the runtime pool. Arg is the thread count; Arg(1) should match
 // BM_ShiftEngineConv/2 (the serial fast path) to within noise.
@@ -220,17 +247,146 @@ void BM_Im2ColGemmConv(benchmark::State& state) {
 }
 BENCHMARK(BM_Im2ColGemmConv);
 
+// Scalar-vs-vector per-kernel rows (ns/term), spliced into the
+// BENCH_shift_engine.json that throughput_scaling writes so the kernel
+// numbers live next to the whole-network numbers instead of stdout-only.
+// Measures one conv layer (conv_interior kernel + scalar border) and one
+// linear layer (shift_dot kernel) under both tiers, asserting byte-identical
+// output; falls back to a standalone file when the target does not exist.
+int emit_kernel_tier_rows(const std::string& path, bool smoke) {
+  runtime::set_num_threads(1);
+  const int repeats = smoke ? 5 : 25;
+  const quant::Pow2Config config;
+  support::Rng rng(21);
+
+  tensor::Tensor wc = random_weights(32, 32, 7);
+  tensor::Tensor wcq = quant::quantize_lightnn(wc, 2, config);
+  const inference::ShiftConv2d conv(wcq, 2, config, 1, 1);
+  tensor::Tensor img = tensor::Tensor::randn(tensor::Shape{32, 32, 32}, rng);
+  const auto qimg = inference::quantize_image(img, 8);
+
+  tensor::Tensor wl =
+      tensor::Tensor::randn(tensor::Shape{256, 512}, rng, 0.0F, 0.3F);
+  tensor::Tensor wlq = quant::quantize_lightnn(wl, 2, config);
+  const inference::ShiftLinear linear(wlq, 2, config);
+  tensor::Tensor vec = tensor::Tensor::randn(tensor::Shape{512}, rng);
+  const auto qvec = inference::quantize_tensor(vec, 8);
+
+  // Interleaved scalar/vector sampling: alternating single runs so slow
+  // clock drift (turbo ramp-up, VM steal time) hits both tiers equally --
+  // block-wise timing systematically favors whichever tier runs later.
+  std::vector<double> cs, cv, ls, lv;
+  for (std::vector<double>* v : {&cs, &cv, &ls, &lv}) {
+    v->reserve(static_cast<std::size_t>(repeats));
+  }
+  const auto sample = [](int tier, const auto& fn) {
+    inference::set_kernel_tier_override(tier);
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+  };
+  sample(0, [&] { (void)conv.run(qimg); });  // warm-up both tiers
+  sample(1, [&] { (void)conv.run(qimg); });
+  for (int r = 0; r < repeats; ++r) {
+    cs.push_back(sample(0, [&] { (void)conv.run(qimg); }));
+    cv.push_back(sample(1, [&] { (void)conv.run(qimg); }));
+    ls.push_back(sample(0, [&] { (void)linear.run(qvec); }));
+    lv.push_back(sample(1, [&] { (void)linear.run(qvec); }));
+  }
+  const auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double conv_scalar_s = median(cs);
+  const double conv_vec_s = median(cv);
+  const double lin_scalar_s = median(ls);
+  const double lin_vec_s = median(lv);
+  inference::set_kernel_tier_override(0);
+  const tensor::Tensor conv_scalar_out = conv.run(qimg);
+  const tensor::Tensor lin_scalar_out = linear.run(qvec);
+  inference::set_kernel_tier_override(1);
+  const tensor::Tensor conv_vec_out = conv.run(qimg);
+  const tensor::Tensor lin_vec_out = linear.run(qvec);
+  inference::set_kernel_tier_override(-1);
+  if (std::memcmp(conv_scalar_out.data(), conv_vec_out.data(),
+                  static_cast<std::size_t>(conv_scalar_out.numel()) *
+                      sizeof(float)) != 0 ||
+      std::memcmp(lin_scalar_out.data(), lin_vec_out.data(),
+                  static_cast<std::size_t>(lin_scalar_out.numel()) *
+                      sizeof(float)) != 0) {
+    std::fprintf(stderr, "FATAL: scalar and vector kernel outputs differ\n");
+    return 1;
+  }
+
+  const double conv_terms = static_cast<double>(conv.term_count());
+  const double lin_terms = static_cast<double>(linear.term_count());
+  // ns per single-shift term per output pixel for the conv layer (the plan
+  // visits every term once per output position), plain ns/term for linear.
+  const double conv_positions = 32.0 * 32.0;
+  bench::JsonObject rows;
+  rows.add_string(
+      "vector_tier",
+      inference::kernel_tier_name(
+          inference::shift_kernels_for(inference::KernelTier::kAvx2).tier));
+  rows.add_int("repeats", repeats);
+  rows.add_number("conv_interior_scalar_ns_per_term",
+                  conv_scalar_s * 1e9 / (conv_terms * conv_positions));
+  rows.add_number("conv_interior_vector_ns_per_term",
+                  conv_vec_s * 1e9 / (conv_terms * conv_positions));
+  rows.add_number("conv_interior_vector_speedup", conv_scalar_s / conv_vec_s);
+  rows.add_number("shift_dot_scalar_ns_per_term",
+                  lin_scalar_s * 1e9 / lin_terms);
+  rows.add_number("shift_dot_vector_ns_per_term", lin_vec_s * 1e9 / lin_terms);
+  rows.add_number("shift_dot_vector_speedup", lin_scalar_s / lin_vec_s);
+  rows.add_bool("tiers_bit_identical", true);
+
+  if (bench::merge_into_json_file(path, "kernels_microbench", rows)) {
+    std::printf("merged kernel tier rows into %s\n", path.c_str());
+  } else {
+    bench::JsonObject out;
+    out.add_string("bench", "kernels_microbench");
+    out.add_string("git_sha", bench::git_sha());
+    bench::add_host_info(out, inference::kernel_tier_name(
+                                  inference::active_shift_kernels().tier));
+    out.add("kernels_microbench", rows.to_string(2));
+    const std::string fallback = "BENCH_kernels_microbench.json";
+    if (!bench::write_json_file(fallback, out)) {
+      std::fprintf(stderr, "FATAL: could not write %s\n", fallback.c_str());
+      return 1;
+    }
+    std::printf("%s not found; wrote kernel tier rows to %s\n", path.c_str(),
+                fallback.c_str());
+  }
+  std::printf(
+      "conv interior: %.2fx vector speedup; shift_dot: %.2fx vector "
+      "speedup (bit-identical)\n",
+      conv_scalar_s / conv_vec_s, lin_scalar_s / lin_vec_s);
+  return 0;
+}
+
 }  // namespace
 
-// Custom main so CI can pass a bare `--smoke` switch: it becomes a short
-// minimum measuring time, keeping the full suite under a few seconds.
+// Custom main so CI can pass a bare `--smoke` switch (it becomes a short
+// minimum measuring time, keeping the full suite under a few seconds) and
+// `--bench-json PATH` (the BENCH_shift_engine.json to splice the kernel
+// tier rows into; default looks in the working directory).
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
+  std::string bench_json = "BENCH_shift_engine.json";
+  const auto json_it = std::find_if(args.begin(), args.end(), [](char* arg) {
+    return std::strcmp(arg, "--bench-json") == 0;
+  });
+  if (json_it != args.end() && json_it + 1 != args.end()) {
+    bench_json = *(json_it + 1);
+    args.erase(json_it, json_it + 2);
+  }
   char min_time[] = "--benchmark_min_time=0.01";
   const auto smoke = std::find_if(args.begin(), args.end(), [](char* arg) {
     return std::strcmp(arg, "--smoke") == 0;
   });
-  if (smoke != args.end()) *smoke = min_time;
+  const bool is_smoke = smoke != args.end();
+  if (is_smoke) *smoke = min_time;
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
@@ -238,5 +394,5 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return emit_kernel_tier_rows(bench_json, is_smoke);
 }

@@ -19,12 +19,15 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "core/quantize_model.hpp"
 #include "inference/quantized_network.hpp"
 #include "inference/shift_engine.hpp"
+#include "inference/shift_kernels.hpp"
+#include "inference/shift_plan.hpp"
 #include "models/networks.hpp"
 #include "quant/lightnn.hpp"
 #include "runtime/batch_runner.hpp"
@@ -85,6 +88,33 @@ double time_layer(int repeats, const Fn& fn) {
   }
   std::sort(samples.begin(), samples.end());
   return samples[samples.size() / 2];
+}
+
+// Interleaved A/B medians: one sample of `a`, one of `b`, repeated. Slow
+// clock drift (turbo ramp-up, VM steal time) then hits both sides equally,
+// which block-wise timing does not guarantee -- and the A/B ratio is the
+// number this bench is accepted on.
+template <typename FnA, typename FnB>
+std::pair<double, double> time_layer_ab(int repeats, const FnA& a,
+                                        const FnB& b) {
+  a();
+  b();  // warm-up
+  std::vector<double> sa, sb;
+  sa.reserve(static_cast<std::size_t>(repeats));
+  sb.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    a();
+    auto stop = std::chrono::steady_clock::now();
+    sa.push_back(std::chrono::duration<double>(stop - start).count());
+    start = std::chrono::steady_clock::now();
+    b();
+    stop = std::chrono::steady_clock::now();
+    sb.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return {sa[sa.size() / 2], sb[sb.size() / 2]};
 }
 
 }  // namespace
@@ -175,8 +205,9 @@ int main(int argc, char** argv) {
   // --- Plan vs pre-plan reference engine, whole network, 1 thread ---------
   runtime::set_num_threads(1);
   const double plan_img_s = run_once(runner, request, repeats, nullptr);
+  std::vector<tensor::Tensor> ref_logits;
   const double ref_img_s =
-      run_once(reference_runner, request, repeats, nullptr);
+      run_once(reference_runner, request, repeats, &ref_logits);
   const double engine_speedup = plan_img_s / ref_img_s;
 
   // --- Per-term kernel cost + sparsity payoff on one conv layer -----------
@@ -197,15 +228,110 @@ int main(int argc, char** argv) {
   const inference::ShiftConv2d dense(wq_dense, 2, pow2, 1, 1);
   const inference::ShiftConv2d pruned(wq_pruned, 2, pow2, 1, 1);
   tensor::Tensor layer_img =
-      tensor::Tensor::randn(tensor::Shape{32, 16, 16}, layer_rng);
+      tensor::Tensor::randn(tensor::Shape{32, 32, 32}, layer_rng);
   const auto qimg = inference::quantize_image(layer_img, 8);
+
+  // --- Scalar vs vectorized plan path -------------------------------------
+  // Same compiled plan, only the dispatch tier changes (test override pins
+  // it per sample, interleaved, then clears). The ratio is the interior-conv
+  // kernel speedup the vector tier buys on this host -- ~1.0x on machines
+  // without AVX2 (tier 1 falls back to the scalar table) or under
+  // FLIGHTNN_FORCE_SCALAR. Pruning must not change the tier a layer
+  // dispatches to: a pruned plan has fewer entries, not a different layout.
+  const inference::KernelTier active = inference::active_shift_kernels().tier;
+  const char* active_tier = inference::kernel_tier_name(active);
+  if (std::string(dense.kernel_tier(8)) != pruned.kernel_tier(8)) {
+    std::fprintf(stderr, "FATAL: pruning changed kernel tier (%s vs %s)\n",
+                 dense.kernel_tier(8), pruned.kernel_tier(8));
+    return 1;
+  }
+  const auto [dense_vector_s, dense_scalar_s] = time_layer_ab(
+      layer_repeats,
+      [&] {
+        inference::set_kernel_tier_override(1);
+        (void)dense.run(qimg);
+      },
+      [&] {
+        inference::set_kernel_tier_override(0);
+        (void)dense.run(qimg);
+      });
+  inference::set_kernel_tier_override(-1);
   const double dense_s =
-      time_layer(layer_repeats, [&] { (void)dense.run(qimg); });
+      active == inference::KernelTier::kAvx2 ? dense_vector_s : dense_scalar_s;
   const double pruned_s =
       time_layer(layer_repeats, [&] { (void)pruned.run(qimg); });
   const double sparse_speedup = dense_s / pruned_s;
   const double ns_per_term =
       dense_s * 1e9 / static_cast<double>(dense.term_count());
+
+  // --- Interior kernel proper, both tier tables over the same plan --------
+  // The whole-layer A/B above includes the guarded border walk and the float
+  // dequantize tail, which run identical code on both tiers (~12% of a 32x32
+  // output plane plus one float pass) and dilute the ratio. The acceptance
+  // number times the dispatched interior kernel alone: the layer's compiled
+  // streams, the same derived per-entry offsets the engine builds
+  // (channel plane + kernel tap), per-filter zeroed planes, interleaved
+  // sampling as above. On hosts without AVX2 the kAvx2 table falls back to
+  // scalar and the ratio reads ~1.0x.
+  const inference::ShiftPlan& dense_plan = dense.plan();
+  const std::int64_t lw = 32;
+  const std::int64_t lhw = lw * lw;
+  std::vector<std::int64_t> entry_off(
+      static_cast<std::size_t>(dense_plan.entries()));
+  for (std::size_t e = 0; e < entry_off.size(); ++e) {
+    entry_off[e] = static_cast<std::int64_t>(dense_plan.channel[e]) * lhw +
+                   static_cast<std::int64_t>(dense_plan.ky[e]) * lw +
+                   dense_plan.kx[e];
+  }
+  const inference::ConvInteriorGeom interior{lw, lw, 1, 1, lw - 1, 1, lw - 1};
+  const auto run_interior = [&](inference::ConvInteriorFn fn,
+                                std::int32_t* acc) {
+    for (std::int64_t f = 0; f < 32; ++f) {
+      std::fill(acc, acc + lhw, std::int32_t{0});
+      fn(qimg.values.data(), entry_off.data(), dense_plan.mult.data(),
+         dense_plan.filter_begin[static_cast<std::size_t>(f)],
+         dense_plan.filter_begin[static_cast<std::size_t>(f) + 1], interior,
+         acc);
+    }
+  };
+  const inference::ConvInteriorFn scalar_fn =
+      inference::shift_kernels_for(inference::KernelTier::kScalar)
+          .conv_interior_i32;
+  const inference::ConvInteriorFn vector_fn =
+      inference::shift_kernels_for(inference::KernelTier::kAvx2)
+          .conv_interior_i32;
+  std::vector<std::int32_t> acc_scalar(static_cast<std::size_t>(lhw), 0);
+  std::vector<std::int32_t> acc_vector(static_cast<std::size_t>(lhw), 0);
+  run_interior(scalar_fn, acc_scalar.data());
+  run_interior(vector_fn, acc_vector.data());
+  if (std::memcmp(acc_scalar.data(), acc_vector.data(),
+                  acc_scalar.size() * sizeof(std::int32_t)) != 0) {
+    std::fprintf(stderr,
+                 "FATAL: interior kernel tiers disagree on the last filter "
+                 "plane\n");
+    return 1;
+  }
+  const auto [interior_vector_s, interior_scalar_s] = time_layer_ab(
+      layer_repeats, [&] { run_interior(vector_fn, acc_vector.data()); },
+      [&] { run_interior(scalar_fn, acc_scalar.data()); });
+  const double interior_conv_vector_speedup =
+      interior_scalar_s / interior_vector_s;
+
+  inference::set_kernel_tier_override(0);
+  std::vector<tensor::Tensor> scalar_logits;
+  const double scalar_img_s =
+      run_once(runner, request, repeats, &scalar_logits);
+  inference::set_kernel_tier_override(-1);
+  // All three engines -- vectorized plan (thread-sweep baseline `reference`),
+  // scalar plan, and the pre-plan reference term walk -- must produce
+  // byte-identical logits: the tiers regroup the same integer addends.
+  if (!bitwise_equal(reference, scalar_logits) ||
+      !bitwise_equal(reference, ref_logits)) {
+    std::fprintf(stderr,
+                 "FATAL: kernel tiers disagree (vector vs scalar vs "
+                 "reference logits)\n");
+    return 1;
+  }
 
   std::printf("\nbatch=%lld repeats=%d hardware_concurrency-default=%d%s\n\n%s",
               static_cast<long long>(batch), repeats, hw,
@@ -214,11 +340,21 @@ int main(int argc, char** argv) {
       "\nplan vs reference engine (1 thread): %.1f img/s vs %.1f img/s "
       "(%.2fx)\n",
       plan_img_s, ref_img_s, engine_speedup);
-  std::printf("dense conv layer: %.3f ms (%lld terms, %.1f ns/term)\n",
+  std::printf("dense conv layer: %.3f ms (%lld terms, %.1f ns/term, %s tier)\n",
               dense_s * 1e3, static_cast<long long>(dense.term_count()),
-              ns_per_term);
+              ns_per_term, active_tier);
   std::printf("50%%-pruned layer: %.3f ms (%.2fx faster than dense)\n",
               pruned_s * 1e3, sparse_speedup);
+  std::printf("scalar-tier dense conv layer: %.3f ms\n", dense_scalar_s * 1e3);
+  std::printf(
+      "interior conv kernel: %.3f ms scalar vs %.3f ms vector -> "
+      "%.2fx vector speedup\n",
+      interior_scalar_s * 1e3, interior_vector_s * 1e3,
+      interior_conv_vector_speedup);
+  std::printf(
+      "scalar-tier whole network (1 thread): %.1f img/s (vs %.1f img/s %s "
+      "tier); vector/scalar/reference logits bit-identical\n",
+      scalar_img_s, plan_img_s, active_tier);
 
   // --- Result file --------------------------------------------------------
   bench::JsonObject out;
@@ -236,6 +372,15 @@ int main(int argc, char** argv) {
   out.add_number("pruned50_layer_ms", pruned_s * 1e3);
   out.add_number("pruned50_speedup_vs_dense", sparse_speedup);
   out.add_number("ns_per_term_dense_conv", ns_per_term);
+  out.add_string("dispatch_tier", active_tier);
+  out.add_number("dense_layer_vector_ms", dense_vector_s * 1e3);
+  out.add_number("dense_layer_scalar_ms", dense_scalar_s * 1e3);
+  out.add_number("interior_kernel_vector_ms", interior_vector_s * 1e3);
+  out.add_number("interior_kernel_scalar_ms", interior_scalar_s * 1e3);
+  out.add_number("interior_conv_vector_speedup", interior_conv_vector_speedup);
+  out.add_number("scalar_img_per_s_1thread", scalar_img_s);
+  out.add_bool("tiers_bit_identical", true);
+  bench::add_host_info(out, active_tier);
   const std::string json_path = parser.get("--json");
   if (!bench::write_json_file(json_path, out)) {
     std::fprintf(stderr, "FATAL: could not write %s\n", json_path.c_str());

@@ -26,6 +26,7 @@
 
 #include "bench_common.hpp"
 #include "core/quantize_model.hpp"
+#include "inference/shift_kernels.hpp"
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
 #include "models/networks.hpp"
@@ -205,6 +206,8 @@ int main(int argc, char** argv) {
   out.add_number("gemm_speedup_vs_reference_1thread", kernel_speedup);
   out.add("thread_sweep", bench::json_array(sweep_json));
   out.add_bool("reg_loss_bit_identical_across_threads", deterministic);
+  bench::add_host_info(
+      out, inference::kernel_tier_name(inference::active_shift_kernels().tier));
   const std::string json_path = parser.get("--json");
   if (!bench::write_json_file(json_path, out)) {
     std::fprintf(stderr, "FATAL: could not write %s\n", json_path.c_str());

@@ -20,8 +20,9 @@
 // engine (0 = FLIGHTNN_NUM_THREADS / hardware default). Outputs are
 // bit-identical at every thread count. --max-batch / --queue-delay-ms are
 // the dynamic batcher's flush knobs (DESIGN.md §11). --profile additionally
-// prints per-layer wall time and shift-term counts
-// (QuantizedNetwork::profile).
+// prints per-layer wall time, shift-term counts, and the kernel tier
+// (scalar vs avx2) each layer dispatched to (QuantizedNetwork::profile) --
+// the deployment check that a host is actually on the vector fast path.
 
 #include <algorithm>
 #include <chrono>
@@ -112,6 +113,35 @@ int serve_burst(const flightnn::inference::QuantizedNetwork& network,
   return 0;
 }
 
+// Break one image's inference cost down per step: where the wall time goes,
+// how many single-shift terms each shift layer executes, and which kernel
+// tier (scalar / avx2) each layer dispatched to. Shared between the
+// freshly-trained path and the artifact cold-start path, so a deployment
+// can confirm its mmap-loaded plans landed on the vector fast path.
+void print_profile(const flightnn::inference::QuantizedNetwork& network,
+                   std::int64_t channels, std::int64_t height,
+                   std::int64_t width) {
+  using namespace flightnn;
+  support::Rng rng(99);
+  tensor::Tensor image =
+      tensor::Tensor::randn(tensor::Shape{channels, height, width}, rng);
+  const auto steps = network.profile(image, /*repeats=*/20);
+  double total_us = 0.0;
+  for (const auto& step : steps) total_us += step.seconds * 1e6;
+  support::Table table({"step", "kernel", "time (us)", "% of total", "terms",
+                        "shifts", "adds", "float MACs"});
+  for (const auto& step : steps) {
+    const double us = step.seconds * 1e6;
+    table.add_row({step.name, step.kernel_tier, support::format_fixed(us, 1),
+                   support::format_fixed(100.0 * us / total_us, 1),
+                   std::to_string(step.terms), std::to_string(step.shifts),
+                   std::to_string(step.adds),
+                   std::to_string(step.float_macs)});
+  }
+  std::printf("\nper-layer profile (%zu steps, %.1f us/image total):\n%s",
+              steps.size(), total_us, table.to_string().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,10 +190,15 @@ int main(int argc, char** argv) {
           static_cast<long long>(artifact.input_h()),
           static_cast<long long>(artifact.input_w()),
           artifact.network().step_count(), load_ms);
-      return serve_burst(artifact.network(), artifact.input_c(),
-                         artifact.input_h(), artifact.input_w(),
-                         parser.get_int("--max-batch"),
-                         parser.get_double("--queue-delay-ms"));
+      const int status = serve_burst(artifact.network(), artifact.input_c(),
+                                     artifact.input_h(), artifact.input_w(),
+                                     parser.get_int("--max-batch"),
+                                     parser.get_double("--queue-delay-ms"));
+      if (status == 0 && profile) {
+        print_profile(artifact.network(), artifact.input_c(),
+                      artifact.input_h(), artifact.input_w());
+      }
+      return status;
     } catch (const serialize::ArtifactError& error) {
       std::fprintf(stderr, "cannot serve %s: %s\n", load_path.c_str(),
                    error.what());
@@ -264,25 +299,7 @@ int main(int argc, char** argv) {
   if (serve_status != 0) return serve_status;
 
   if (profile) {
-    // Break one image's inference cost down per step: where the wall time
-    // goes and how many single-shift terms each shift layer executes.
-    tensor::Tensor image = tensor::Tensor::randn(
-        tensor::Shape{spec.channels, spec.height, spec.width}, rng);
-    const auto steps = network.profile(image, /*repeats=*/20);
-    double total_us = 0.0;
-    for (const auto& step : steps) total_us += step.seconds * 1e6;
-    support::Table table({"step", "time (us)", "% of total", "terms",
-                          "shifts", "adds", "float MACs"});
-    for (const auto& step : steps) {
-      const double us = step.seconds * 1e6;
-      table.add_row({step.name, support::format_fixed(us, 1),
-                     support::format_fixed(100.0 * us / total_us, 1),
-                     std::to_string(step.terms), std::to_string(step.shifts),
-                     std::to_string(step.adds),
-                     std::to_string(step.float_macs)});
-    }
-    std::printf("\nper-layer profile (%zu steps, %.1f us/image total):\n%s",
-                steps.size(), total_us, table.to_string().c_str());
+    print_profile(network, spec.channels, spec.height, spec.width);
   }
   return 0;
 }

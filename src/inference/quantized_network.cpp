@@ -72,6 +72,9 @@ class ShiftConvStep final : public Step {
   [[nodiscard]] std::int64_t term_count() const override {
     return engine_.term_count();
   }
+  [[nodiscard]] const char* kernel_tier() const override {
+    return use_reference_ ? "reference" : engine_.kernel_tier(act_bits_);
+  }
 
  private:
   ShiftConv2d engine_;
@@ -252,6 +255,9 @@ class ShiftLinearStep final : public Step {
   }
   [[nodiscard]] std::int64_t term_count() const override {
     return engine_.term_count();
+  }
+  [[nodiscard]] const char* kernel_tier() const override {
+    return use_reference_ ? "reference" : engine_.kernel_tier(act_bits_);
   }
 
  private:
@@ -514,6 +520,7 @@ std::vector<StepProfile> QuantizedNetwork::profile(const tensor::Tensor& image,
     StepProfile p;
     p.name = step->describe();
     p.terms = step->term_count();
+    p.kernel_tier = step->kernel_tier();
     NetworkOpCounts ops{};
     tensor::Tensor out;
     const auto t0 = std::chrono::steady_clock::now();

@@ -49,6 +49,9 @@ struct StepProfile {
   std::int64_t adds = 0;
   std::int64_t float_macs = 0;
   std::int64_t terms = 0;  // single-shift filter terms (0 for non-shift steps)
+  // Kernel tier the step dispatches to ("scalar" / "avx2"; "reference" for
+  // term-walk steps, "-" for steps that do not run on the shift engine).
+  std::string kernel_tier = "-";
 };
 
 class QuantizedNetwork {
@@ -100,6 +103,8 @@ class QuantizedNetwork {
     // Single-shift filter terms executed by this step (0 for steps that do
     // not run on the shift engine).
     [[nodiscard]] virtual std::int64_t term_count() const { return 0; }
+    // Kernel tier this step dispatches to (see StepProfile::kernel_tier).
+    [[nodiscard]] virtual const char* kernel_tier() const { return "-"; }
   };
 
  private:

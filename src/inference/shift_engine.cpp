@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <type_traits>
 
+#include "inference/shift_kernels.hpp"
 #include "runtime/scratch_arena.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/annotations.hpp"
@@ -180,14 +181,59 @@ struct ConvKernelGeom {
   std::int64_t oy_lo = 0, oy_hi = 0, ox_lo = 0, ox_hi = 0;
 };
 
-// Integer-only accumulation of one conv output plane. Each filter's
-// accumulator plane is owned by exactly one caller chunk. The entry walk
-// adds the same multiset of integer addends the reference term-walk adds
-// (the multiplier q * sign*2^shift equals the shift-and-signed-add exactly
-// -- no overflow by the gain bound), and integer addition without overflow
-// is associative and commutative, so the integer plane is bit-identical to
-// run_reference at any accumulator width and thread count. Dequantization
-// (the only float arithmetic) stays in the caller, after this returns.
+// Border half of the conv kernel: guarded accumulation of every output
+// position outside the interior rectangle, for all of filter f's entries.
+// Shared by the scalar path (via conv_accumulate_filter) and the vector
+// path (which handles only the interior); keeping one copy of the guard
+// logic keeps the two paths trivially in agreement. Accumulates on top of
+// whatever is already in `acc` -- interior-then-border versus the old
+// per-entry interleaving is a pure regrouping of exact integer adds, hence
+// bit-identical (DESIGN.md §9).
+template <typename AccT>
+FLIGHTNN_HOT FLIGHTNN_INT_KERNEL void conv_border_filter(
+    const ShiftPlan& plan, std::int64_t f, const ConvKernelGeom& g,
+    const std::int32_t* in_data, AccT* acc) {
+  const std::int64_t fb = plan.filter_begin[static_cast<std::size_t>(f)];
+  const std::int64_t fe = plan.filter_begin[static_cast<std::size_t>(f) + 1];
+  for (std::int64_t e = fb; e < fe; ++e) {
+    const auto ei = static_cast<std::size_t>(e);
+    const AccT m =
+        static_cast<AccT>(plan.sign[ei]) * (AccT{1} << plan.shift[ei]);
+    const std::int64_t kyv = plan.ky[ei], kxv = plan.kx[ei];
+    const std::int64_t plane =
+        static_cast<std::int64_t>(plan.channel[ei]) * g.in_hw;
+    const auto border_span = [&](std::int64_t oy, std::int64_t x0,
+                                 std::int64_t x1) {
+      const std::int64_t iy = oy * g.stride + kyv - g.padding;
+      if (iy < 0 || iy >= g.in_h) return;
+      const std::int64_t row = plane + iy * g.in_w;
+      AccT* arow = acc + oy * g.out_w;
+      for (std::int64_t ox = x0; ox < x1; ++ox) {
+        const std::int64_t ix = ox * g.stride + kxv - g.padding;
+        if (ix < 0 || ix >= g.in_w) continue;
+        arow[ox] += static_cast<AccT>(in_data[row + ix]) * m;
+      }
+    };
+    for (std::int64_t oy = 0; oy < g.oy_lo; ++oy) border_span(oy, 0, g.out_w);
+    for (std::int64_t oy = g.oy_hi; oy < g.out_h; ++oy) {
+      border_span(oy, 0, g.out_w);
+    }
+    for (std::int64_t oy = g.oy_lo; oy < g.oy_hi; ++oy) {
+      border_span(oy, 0, g.ox_lo);
+      border_span(oy, g.ox_hi, g.out_w);
+    }
+  }
+}
+
+// Integer-only accumulation of one conv output plane (scalar tier). Each
+// filter's accumulator plane is owned by exactly one caller chunk. The entry
+// walk adds the same multiset of integer addends the reference term-walk
+// adds (the multiplier q * sign*2^shift equals the shift-and-signed-add
+// exactly -- no overflow by the gain bound), and integer addition without
+// overflow is associative and commutative, so the integer plane is
+// bit-identical to run_reference at any accumulator width and thread count.
+// Dequantization (the only float arithmetic) stays in the caller, after
+// this returns.
 template <typename AccT>
 FLIGHTNN_HOT FLIGHTNN_INT_KERNEL void conv_accumulate_filter(
     const ShiftPlan& plan, std::int64_t f, const ConvKernelGeom& g,
@@ -222,32 +268,10 @@ FLIGHTNN_HOT FLIGHTNN_INT_KERNEL void conv_accumulate_filter(
         }
       }
     }
-    // Border: guarded path for rows/columns whose kernel tap may fall
-    // outside the input.
-    const std::int64_t kyv = plan.ky[ei], kxv = plan.kx[ei];
-    const std::int64_t plane =
-        static_cast<std::int64_t>(plan.channel[ei]) * g.in_hw;
-    const auto border_span = [&](std::int64_t oy, std::int64_t x0,
-                                 std::int64_t x1) {
-      const std::int64_t iy = oy * g.stride + kyv - g.padding;
-      if (iy < 0 || iy >= g.in_h) return;
-      const std::int64_t row = plane + iy * g.in_w;
-      AccT* arow = acc + oy * g.out_w;
-      for (std::int64_t ox = x0; ox < x1; ++ox) {
-        const std::int64_t ix = ox * g.stride + kxv - g.padding;
-        if (ix < 0 || ix >= g.in_w) continue;
-        arow[ox] += static_cast<AccT>(in_data[row + ix]) * m;
-      }
-    };
-    for (std::int64_t oy = 0; oy < g.oy_lo; ++oy) border_span(oy, 0, g.out_w);
-    for (std::int64_t oy = g.oy_hi; oy < g.out_h; ++oy) {
-      border_span(oy, 0, g.out_w);
-    }
-    for (std::int64_t oy = g.oy_lo; oy < g.oy_hi; ++oy) {
-      border_span(oy, 0, g.ox_lo);
-      border_span(oy, g.ox_hi, g.out_w);
-    }
   }
+  // Border: guarded path for rows/columns whose kernel tap may fall outside
+  // the input.
+  conv_border_filter(plan, f, g, in_data, acc);
 }
 
 // Integer-only dot product of one linear output feature against the plan's
@@ -267,6 +291,26 @@ FLIGHTNN_HOT FLIGHTNN_INT_KERNEL std::int64_t shift_dot(
     acc += static_cast<std::int64_t>(in_data[plan.element[ei]]) * m;
   }
   return acc;
+}
+
+// Largest per-filter accumulator gain of a plan (0 for an empty plan).
+std::int64_t plan_max_gain(const ShiftPlan& plan) {
+  std::int64_t max_gain = 0;
+  for (const std::int64_t g : plan.filter_gain) {
+    max_gain = std::max(max_gain, g);
+  }
+  return max_gain;
+}
+
+// Narrow (int32) accumulation bound: |any partial sum| <= max|q| * gain (the
+// gain sums absolute contributions), so when the product fits int32 the
+// whole accumulation can run in 32-bit lanes -- scalar or SIMD -- without
+// any value differing from the int64 computation. The per-entry multiplier
+// sign * 2^shift also fits (it is one of the gain's addends).
+constexpr std::int64_t kNarrowMax = 0x7fffffff;
+bool narrow_bound_ok(std::int64_t max_gain, std::int64_t amax) {
+  return max_gain <= kNarrowMax &&
+         (max_gain == 0 || amax <= kNarrowMax / max_gain);
 }
 
 // Shared core of the quantize functions: pow2 scale from the abs-max, values
@@ -455,6 +499,10 @@ ShiftConv2d::ShiftConv2d(ShiftPlan plan, const ShiftConvSpec& spec,
                  "ShiftConv2d: bias size ", bias_.numel(),
                  " does not match out channels ", out_channels_);
   check_adopted_plan(plan_, out_channels_, /*conv=*/true, "ShiftConv2d");
+  // In-loader repack for the vector tier: the adopted core streams stay
+  // zero-copy views into the artifact mapping; only the derived mult stream
+  // is materialized here (idempotent if the plan already carries it).
+  plan_.build_vector_streams();
 }
 
 const std::vector<int>& ShiftConv2d::filter_k() const {
@@ -513,23 +561,37 @@ FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftConv2d::run(
   const float scale = std::ldexp(1.0F, input.scale_exp + config_.e_min);
   tensor::Tensor output(tensor::Shape{out_channels_, out_h, out_w});
 
-  // Accumulator width selection. |any partial sum| <= max|q| * filter_gain
-  // (the gain sums absolute contributions), so when that bound fits int32
-  // the whole accumulation can run in 32-bit lanes: no value differs from
-  // the int64 computation, and the narrower adds/multiplies vectorize twice
-  // as wide. The per-entry multiplier sign * 2^shift also fits (it is one of
-  // the gain's addends). With 8-bit activations and the default exponent
-  // range this path is taken for any realistic layer.
-  constexpr std::int64_t kNarrowMax = 0x7fffffff;
-  std::int64_t max_gain = 0;
-  for (const std::int64_t g : plan_.filter_gain) max_gain = std::max(max_gain, g);
+  // Accumulator width selection (narrow_bound_ok above). With 8-bit
+  // activations and the default exponent range the int32 path is taken for
+  // any realistic layer.
+  const std::int64_t max_gain = plan_max_gain(plan_);
   const std::int64_t amax = input.abs_max();
-  const bool narrow =
-      max_gain <= kNarrowMax &&
-      (max_gain == 0 || amax <= kNarrowMax / max_gain);
+  const bool narrow = narrow_bound_ok(max_gain, amax);
 
   const ConvKernelGeom geom_k{in_h,  in_w,  in_hw, out_h, out_w, out_hw,
                               stride_, padding_, oy_lo, oy_hi, ox_lo, ox_hi};
+
+  // Kernel-tier dispatch (shift_kernels.hpp): the vector tier covers the
+  // stride-1 interior through the plan's derived mult stream and leaves the
+  // guarded border to the shared scalar conv_border_filter. It requires the
+  // narrow bound (int32 lanes) and stride 1 (contiguous output rows);
+  // everything else keeps the scalar plan path. Both tiers are bit-identical
+  // by the regrouping argument on conv_accumulate_filter.
+  const ShiftKernels& kern = active_shift_kernels();
+  const bool use_vector = narrow && stride_ == 1 &&
+                          kern.tier != KernelTier::kScalar &&
+                          plan_.vector_streams_built;
+  const ConvInteriorGeom interior{in_w, out_w, padding_,
+                                  oy_lo, oy_hi, ox_lo, ox_hi};
+
+  // Dequantize one accumulator plane and fold in the float bias.
+  const auto dequant_plane = [&](const auto* acc, std::int64_t f) {
+    const float b = bias_.empty() ? 0.0F : bias_[f];
+    float* out_plane = output.data() + f * out_hw;
+    for (std::int64_t i = 0; i < out_hw; ++i) {
+      out_plane[i] = static_cast<float>(acc[i]) * scale + b;
+    }
+  };
 
   // One filter block, templated on the accumulator type: the integer kernel
   // (conv_accumulate_filter, bit-identical to run_reference by the
@@ -539,12 +601,22 @@ FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftConv2d::run(
                                 std::int64_t f_end) {
     for (std::int64_t f = f_begin; f < f_end; ++f) {
       conv_accumulate_filter(plan_, f, geom_k, in_data, off, acc);
-      // Dequantize and fold in the float bias.
-      const float b = bias_.empty() ? 0.0F : bias_[f];
-      float* out_plane = output.data() + f * out_hw;
-      for (std::int64_t i = 0; i < out_hw; ++i) {
-        out_plane[i] = static_cast<float>(acc[i]) * scale + b;
-      }
+      dequant_plane(acc, f);
+    }
+  };
+
+  // Vector-tier filter block: zero the plane, run the dispatched interior
+  // kernel over the derived mult stream, then the shared scalar border.
+  const auto filter_block_vector = [&](std::int32_t* acc, std::int64_t f_begin,
+                                       std::int64_t f_end) {
+    for (std::int64_t f = f_begin; f < f_end; ++f) {
+      std::fill(acc, acc + out_hw, std::int32_t{0});
+      kern.conv_interior_i32(
+          in_data, off, plan_.mult.data(),
+          plan_.filter_begin[static_cast<std::size_t>(f)],
+          plan_.filter_begin[static_cast<std::size_t>(f) + 1], interior, acc);
+      conv_border_filter(plan_, f, geom_k, in_data, acc);
+      dequant_plane(acc, f);
     }
   };
 
@@ -560,7 +632,11 @@ FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftConv2d::run(
                           [&](std::int64_t f_begin, std::int64_t f_end) {
       auto& acc_buf = runtime::ScratchArena::current().i32(
           runtime::Scratch::kConvAccumulator, static_cast<std::size_t>(out_hw));
-      filter_block(acc_buf.data(), f_begin, f_end);
+      if (use_vector) {
+        filter_block_vector(acc_buf.data(), f_begin, f_end);
+      } else {
+        filter_block(acc_buf.data(), f_begin, f_end);
+      }
     });
   } else {
     runtime::parallel_for(0, out_channels_, 1, filter_cost,
@@ -708,6 +784,9 @@ ShiftLinear::ShiftLinear(ShiftPlan plan, const ShiftLinearSpec& spec,
                  "ShiftLinear: bias size ", bias_.numel(),
                  " does not match out features ", out_features_);
   check_adopted_plan(plan_, out_features_, /*conv=*/false, "ShiftLinear");
+  // In-loader repack for the vector tier (see the ShiftConv2d overload);
+  // linear plans additionally get the lane-padded gather streams.
+  plan_.build_vector_streams();
 }
 
 FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftLinear::run(
@@ -725,6 +804,17 @@ FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftLinear::run(
   tensor::Tensor output(tensor::Shape{out_features_});
   const std::int32_t* in_data = input.values.data();
 
+  // Kernel-tier dispatch: the 8-wide gather kernel runs over the plan's
+  // lane-padded element/mult streams when the narrow bound admits int32
+  // lane partials (see shift_kernels.hpp for the overflow argument); the
+  // scalar int64 shift_dot remains the fallback and oracle. Bit-identical
+  // either way -- same addend multiset, no overflow, exact regrouping.
+  const ShiftKernels& kern = active_shift_kernels();
+  const bool use_vector =
+      kern.tier != KernelTier::kScalar && plan_.vector_streams_built &&
+      !plan_.pad_begin.empty() &&
+      narrow_bound_ok(plan_max_gain(plan_), input.abs_max());
+
   // Parallel across output features; each feature's accumulator is private
   // to one chunk and the entry walk regroups the reference path's exact
   // integer addends, so the result is bit-identical to run_reference at any
@@ -735,7 +825,13 @@ FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftLinear::run(
   runtime::parallel_for(0, out_features_, 1, feature_cost,
                         [&](std::int64_t f_begin, std::int64_t f_end) {
     for (std::int64_t f = f_begin; f < f_end; ++f) {
-      const std::int64_t acc = shift_dot(plan_, f, in_data);
+      const std::int64_t acc =
+          use_vector
+              ? kern.shift_dot_i32(
+                    in_data, plan_.pad_element.data(), plan_.pad_mult.data(),
+                    plan_.pad_begin[static_cast<std::size_t>(f)],
+                    plan_.pad_begin[static_cast<std::size_t>(f) + 1])
+              : shift_dot(plan_, f, in_data);
       const float b = bias_.empty() ? 0.0F : bias_[f];
       output[f] = static_cast<float>(acc) * scale + b;
     }
@@ -801,6 +897,30 @@ tensor::Tensor ShiftLinear::run_reference(const QuantizedActivations& input,
     counts->adds += total_adds.load(std::memory_order_relaxed);
   }
   return output;
+}
+
+const char* ShiftConv2d::kernel_tier(int act_bits) const {
+  const ShiftKernels& kern = active_shift_kernels();
+  // Static eligibility: |q| <= 2^(bits-1) - 1 for any properly quantized
+  // activation, so if the narrow bound holds at that ceiling it holds for
+  // every batch and run() will dispatch the vector tier. (An individual
+  // batch with smaller abs-max may vectorize even when this reports
+  // scalar; the report is the conservative steady-state answer.)
+  const std::int64_t q_max = (std::int64_t{1} << (act_bits - 1)) - 1;
+  const bool vector = kern.tier != KernelTier::kScalar && stride_ == 1 &&
+                      plan_.vector_streams_built &&
+                      narrow_bound_ok(plan_max_gain(plan_), q_max);
+  return kernel_tier_name(vector ? kern.tier : KernelTier::kScalar);
+}
+
+const char* ShiftLinear::kernel_tier(int act_bits) const {
+  const ShiftKernels& kern = active_shift_kernels();
+  const std::int64_t q_max = (std::int64_t{1} << (act_bits - 1)) - 1;
+  const bool vector = kern.tier != KernelTier::kScalar &&
+                      plan_.vector_streams_built &&
+                      !plan_.pad_begin.empty() &&
+                      narrow_bound_ok(plan_max_gain(plan_), q_max);
+  return kernel_tier_name(vector ? kern.tier : KernelTier::kScalar);
 }
 
 tensor::Tensor reference_conv(const tensor::Tensor& weights,

@@ -138,6 +138,11 @@ class ShiftConv2d {
   [[nodiscard]] const std::vector<int>& filter_k() const;
   [[nodiscard]] std::int64_t out_channels() const { return out_channels_; }
   [[nodiscard]] const ShiftPlan& plan() const { return plan_; }
+  // Name of the kernel tier run() dispatches to for activations quantized
+  // at `act_bits` ("scalar" / "avx2"): the static form of run()'s dynamic
+  // gate, using |q| <= 2^(bits-1)-1. Reflects the currently active dispatch
+  // (CPU, FLIGHTNN_FORCE_SCALAR, test override).
+  [[nodiscard]] const char* kernel_tier(int act_bits) const;
 
  private:
   core::Decomposition decomposition_;  // empty for plan-adopting engines
@@ -186,6 +191,8 @@ class ShiftLinear {
   [[nodiscard]] std::int64_t out_features() const { return out_features_; }
   [[nodiscard]] std::int64_t in_features() const { return in_features_; }
   [[nodiscard]] const ShiftPlan& plan() const { return plan_; }
+  // Kernel-tier name for `act_bits` activations (see ShiftConv2d).
+  [[nodiscard]] const char* kernel_tier(int act_bits) const;
 
  private:
   core::Decomposition decomposition_;  // empty for plan-adopting engines

@@ -1,0 +1,261 @@
+#include "inference/shift_kernels.hpp"
+
+#include <atomic>
+
+#include "support/annotations.hpp"
+#include "support/env.hpp"
+#include "support/simd.hpp"
+
+#if FLIGHTNN_X86_DISPATCH
+#include <immintrin.h>
+#endif
+
+namespace flightnn::inference {
+
+namespace {
+
+// Portable scalar tier: entry-outer over the interior rectangle, exactly the
+// stride-1 interior loop of conv_accumulate_filter. It is both the fallback
+// on non-AVX2 hosts and the oracle the differential tests pin the vector
+// tier against.
+FLIGHTNN_HOT FLIGHTNN_INT_KERNEL void conv_interior_i32_scalar(
+    const std::int32_t* in, const std::int64_t* off, const std::int32_t* mult,
+    std::int64_t fb, std::int64_t fe, const ConvInteriorGeom& geom,
+    std::int32_t* acc) {
+  const std::int64_t n = geom.ox_hi - geom.ox_lo;
+  for (std::int64_t e = fb; e < fe; ++e) {
+    const std::int32_t m = mult[e];
+    for (std::int64_t oy = geom.oy_lo; oy < geom.oy_hi; ++oy) {
+      const std::int32_t* irow = in + off[e] + (oy - geom.padding) * geom.in_w -
+                                 geom.padding + geom.ox_lo;
+      std::int32_t* a = acc + oy * geom.out_w + geom.ox_lo;
+      for (std::int64_t i = 0; i < n; ++i) a[i] += irow[i] * m;
+    }
+  }
+}
+
+FLIGHTNN_HOT FLIGHTNN_INT_KERNEL std::int64_t shift_dot_i32_scalar(
+    const std::int32_t* in, const std::int32_t* element,
+    const std::int32_t* mult, std::int64_t pb, std::int64_t pe) {
+  std::int64_t acc = 0;
+  for (std::int64_t e = pb; e < pe; ++e) {
+    acc += static_cast<std::int64_t>(in[element[e]]) * mult[e];
+  }
+  return acc;
+}
+
+#if FLIGHTNN_X86_DISPATCH
+
+// AVX2 interior conv: output-stationary register blocking. Accumulators for
+// a 2-row x 16-column macro-block (four ymm) stay in registers across the
+// whole entry walk -- the scalar path streams the accumulator plane through
+// L1 once per entry, so besides the 8-wide multiply-add this removes
+// (entries - 1) round trips of accumulator traffic per block and walks the
+// entry stream (off/mult loads, loop control) once per 32 outputs instead
+// of once per output row. Column remainders step down to one ymm, then a
+// masked ymm covering any 1..7 tail (maskload never touches disabled
+// lanes, so the kernel reads no input or accumulator bytes the scalar tier
+// would not). All regroupings are exact-integer, hence bit-identical
+// (overflow excluded by the caller's narrow bound; see the header).
+FLIGHTNN_HOT FLIGHTNN_INT_KERNEL
+__attribute__((target("avx2"))) void conv_interior_i32_avx2(
+    const std::int32_t* in, const std::int64_t* off, const std::int32_t* mult,
+    std::int64_t fb, std::int64_t fe, const ConvInteriorGeom& geom,
+    std::int32_t* acc) {
+  const std::int64_t n = geom.ox_hi - geom.ox_lo;
+  const std::int64_t in_w = geom.in_w;
+  // Lanes [0..w) enabled; the tail mask for n % 8 columns.
+  const __m256i tail_mask =
+      n % 8 == 0
+          ? _mm256_setzero_si256()
+          : _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(n % 8)),
+                               _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+  std::int64_t oy = geom.oy_lo;
+  for (; oy + 2 <= geom.oy_hi; oy += 2) {
+    const std::int32_t* base =
+        in + (oy - geom.padding) * in_w - geom.padding + geom.ox_lo;
+    std::int32_t* a0 = acc + oy * geom.out_w + geom.ox_lo;
+    std::int32_t* a1 = a0 + geom.out_w;
+    std::int64_t x = 0;
+    for (; x + 16 <= n; x += 16) {
+      __m256i v00 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + x));
+      __m256i v01 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + x + 8));
+      __m256i v10 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + x));
+      __m256i v11 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + x + 8));
+      for (std::int64_t e = fb; e < fe; ++e) {
+        const std::int32_t* p = base + off[e] + x;
+        const __m256i m = _mm256_set1_epi32(mult[e]);
+        v00 = _mm256_add_epi32(
+            v00, _mm256_mullo_epi32(
+                     _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)),
+                     m));
+        v01 = _mm256_add_epi32(
+            v01,
+            _mm256_mullo_epi32(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 8)),
+                m));
+        v10 = _mm256_add_epi32(
+            v10,
+            _mm256_mullo_epi32(_mm256_loadu_si256(
+                                   reinterpret_cast<const __m256i*>(p + in_w)),
+                               m));
+        v11 = _mm256_add_epi32(
+            v11, _mm256_mullo_epi32(
+                     _mm256_loadu_si256(
+                         reinterpret_cast<const __m256i*>(p + in_w + 8)),
+                     m));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a0 + x), v00);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a0 + x + 8), v01);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a1 + x), v10);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a1 + x + 8), v11);
+    }
+    if (x + 8 <= n) {
+      __m256i v0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + x));
+      __m256i v1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + x));
+      for (std::int64_t e = fb; e < fe; ++e) {
+        const std::int32_t* p = base + off[e] + x;
+        const __m256i m = _mm256_set1_epi32(mult[e]);
+        v0 = _mm256_add_epi32(
+            v0, _mm256_mullo_epi32(
+                    _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)),
+                    m));
+        v1 = _mm256_add_epi32(
+            v1,
+            _mm256_mullo_epi32(_mm256_loadu_si256(
+                                   reinterpret_cast<const __m256i*>(p + in_w)),
+                               m));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a0 + x), v0);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a1 + x), v1);
+      x += 8;
+    }
+    if (x < n) {
+      __m256i v0 = _mm256_maskload_epi32(a0 + x, tail_mask);
+      __m256i v1 = _mm256_maskload_epi32(a1 + x, tail_mask);
+      for (std::int64_t e = fb; e < fe; ++e) {
+        const std::int32_t* p = base + off[e] + x;
+        const __m256i m = _mm256_set1_epi32(mult[e]);
+        v0 = _mm256_add_epi32(
+            v0, _mm256_mullo_epi32(_mm256_maskload_epi32(p, tail_mask), m));
+        v1 = _mm256_add_epi32(
+            v1, _mm256_mullo_epi32(_mm256_maskload_epi32(p + in_w, tail_mask),
+                                   m));
+      }
+      _mm256_maskstore_epi32(a0 + x, tail_mask, v0);
+      _mm256_maskstore_epi32(a1 + x, tail_mask, v1);
+    }
+  }
+  if (oy < geom.oy_hi) {
+    const std::int32_t* base =
+        in + (oy - geom.padding) * in_w - geom.padding + geom.ox_lo;
+    std::int32_t* a = acc + oy * geom.out_w + geom.ox_lo;
+    std::int64_t x = 0;
+    for (; x + 8 <= n; x += 8) {
+      __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + x));
+      for (std::int64_t e = fb; e < fe; ++e) {
+        v0 = _mm256_add_epi32(
+            v0, _mm256_mullo_epi32(
+                    _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(base + off[e] + x)),
+                    _mm256_set1_epi32(mult[e])));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + x), v0);
+    }
+    if (x < n) {
+      __m256i v0 = _mm256_maskload_epi32(a + x, tail_mask);
+      for (std::int64_t e = fb; e < fe; ++e) {
+        v0 = _mm256_add_epi32(
+            v0, _mm256_mullo_epi32(
+                    _mm256_maskload_epi32(base + off[e] + x, tail_mask),
+                    _mm256_set1_epi32(mult[e])));
+      }
+      _mm256_maskstore_epi32(a + x, tail_mask, v0);
+    }
+  }
+}
+
+// AVX2 linear dot: 8-wide gather over the plan's padded element stream. The
+// eight int32 lane partials are each bounded by the filter's absolute-sum
+// gain times max|q| (a subset of the terms the narrow bound covers), so
+// int32 lanes cannot wrap; the final cross-lane reduction widens each lane
+// to int64 -- the saturation-safe widening step for whole-filter sums
+// beyond int32. Pad entries are (element 0, mult 0) no-ops, so running to
+// the padded end is exact and never reads past any stream.
+FLIGHTNN_HOT FLIGHTNN_INT_KERNEL
+__attribute__((target("avx2"))) std::int64_t shift_dot_i32_avx2(
+    const std::int32_t* in, const std::int32_t* element,
+    const std::int32_t* mult, std::int64_t pb, std::int64_t pe) {
+  __m256i acc = _mm256_setzero_si256();
+  for (std::int64_t e = pb; e < pe; e += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(element + e));
+    const __m256i q = _mm256_i32gather_epi32(in, idx, 4);
+    const __m256i m =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mult + e));
+    acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(q, m));
+  }
+  alignas(32) std::int32_t lane[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane), acc);
+  std::int64_t total = 0;
+  for (int i = 0; i < 8; ++i) total += lane[i];
+  return total;
+}
+
+#endif  // FLIGHTNN_X86_DISPATCH
+
+constexpr ShiftKernels kScalarKernels{KernelTier::kScalar,
+                                      &conv_interior_i32_scalar,
+                                      &shift_dot_i32_scalar};
+#if FLIGHTNN_X86_DISPATCH
+constexpr ShiftKernels kAvx2Kernels{KernelTier::kAvx2, &conv_interior_i32_avx2,
+                                    &shift_dot_i32_avx2};
+#endif
+
+// -1 = no override; otherwise a KernelTier value forced by tests.
+std::atomic<int> g_tier_override{-1};
+
+}  // namespace
+
+const char* kernel_tier_name(KernelTier tier) {
+  return tier == KernelTier::kAvx2 ? "avx2" : "scalar";
+}
+
+const ShiftKernels& shift_kernels_for(KernelTier tier) {
+#if FLIGHTNN_X86_DISPATCH
+  if (tier == KernelTier::kAvx2 && support::cpu_has_avx2()) {
+    return kAvx2Kernels;
+  }
+#else
+  (void)tier;
+#endif
+  return kScalarKernels;
+}
+
+KernelTier detected_kernel_tier() {
+  static const KernelTier tier = [] {
+    if (support::env_int("FLIGHTNN_FORCE_SCALAR").value_or(0) != 0) {
+      return KernelTier::kScalar;
+    }
+    return support::cpu_has_avx2() ? KernelTier::kAvx2 : KernelTier::kScalar;
+  }();
+  return tier;
+}
+
+const ShiftKernels& active_shift_kernels() {
+  const int forced = g_tier_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return shift_kernels_for(static_cast<KernelTier>(forced));
+  return shift_kernels_for(detected_kernel_tier());
+}
+
+void set_kernel_tier_override(int tier) {
+  g_tier_override.store(tier, std::memory_order_relaxed);
+}
+
+}  // namespace flightnn::inference

@@ -1,0 +1,99 @@
+#pragma once
+
+// Vectorized uniform shift-stream kernels (DESIGN.md §14). The paper's
+// Fig. 3 argument -- a k_i=2 filter is two k=1 filters whose feature maps
+// add -- means every compiled ShiftPlan is already a uniform stream of
+// (input index, signed power-of-two multiplier) entries. These kernels
+// execute that stream in 8-wide int32 lanes: the conv interior as
+// output-stationary register-blocked multiply-accumulate over contiguous
+// rows, the linear dot as a gather over the plan's padded element stream.
+//
+// Tiers. kScalar is the portable fallback and the bit-exact oracle; kAvx2
+// is compiled with a per-function target attribute (the portable build
+// carries no -march flags, same idiom as the GEMM microkernel) and only
+// dispatched after __builtin_cpu_supports confirms AVX2. Both tiers add
+// the same multiset of integer addends to every accumulator and no partial
+// sum can overflow its lane (see the narrow-path bound below), so integer
+// associativity/commutativity makes their outputs bit-identical -- any
+// lane/block/thread regrouping is exact (DESIGN.md §9, §14).
+//
+// Overflow contract. Callers may use these kernels only when the layer's
+// narrow bound holds: max|q| * max_f filter_gain[f] <= INT32_MAX. That
+// bound sums absolute contributions, so it covers every int32 lane partial
+// sum, every scalar partial sum, and the per-entry multiplier
+// sign * 2^shift itself (shift <= 30 follows from the bound). The linear
+// kernel widens its eight lane partials into one int64 at the end -- the
+// saturation-safe widening step; the whole-filter sum may exceed int32 but
+// never int64 (gain is saturated far below the int64 guard).
+//
+// Dispatch. active_shift_kernels() resolves once from the CPU, the
+// FLIGHTNN_FORCE_SCALAR environment knob, and an optional per-process test
+// override. shift_kernels_for() exposes both tables so differential tests
+// can drive each tier explicitly.
+
+#include <cstdint>
+
+namespace flightnn::inference {
+
+// Lane width of the vector tier. ShiftPlan::build_vector_streams pads the
+// linear gather streams to a multiple of this so the 8-wide kernel can run
+// to the padded end without tail masking or overread.
+inline constexpr std::int64_t kShiftVectorLane = 8;
+
+enum class KernelTier : int { kScalar = 0, kAvx2 = 1 };
+
+// Stable lowercase name for bench JSON / --profile output.
+const char* kernel_tier_name(KernelTier tier);
+
+// Geometry the interior-conv stream kernels need. Contract: stride 1 (the
+// engine routes strided layers to the scalar plan path), interior rectangle
+// rows [oy_lo, oy_hi) x cols [ox_lo, ox_hi) in-bounds for every entry
+// offset in `off` (the engine's interior computation guarantees this).
+struct ConvInteriorGeom {
+  std::int64_t in_w = 0;
+  std::int64_t out_w = 0;
+  std::int64_t padding = 0;
+  std::int64_t oy_lo = 0, oy_hi = 0, ox_lo = 0, ox_hi = 0;
+};
+
+// Accumulate filter entries [fb, fe) of a plan's interior region into the
+// int32 plane `acc` (caller zeroes it): for each interior output (oy, ox),
+// acc[oy*out_w+ox] += in[off[e] + (oy-padding)*in_w - padding + ox] * mult[e].
+// `mult` is the plan's derived sign*2^shift stream.
+using ConvInteriorFn = void (*)(const std::int32_t* in, const std::int64_t* off,
+                                const std::int32_t* mult, std::int64_t fb,
+                                std::int64_t fe, const ConvInteriorGeom& geom,
+                                std::int32_t* acc);
+
+// Dot of one linear filter over the plan's padded gather streams:
+// sum over e in [pb, pe) of in[element[e]] * mult[e], returned widened to
+// int64. pe - pb must be a multiple of kShiftVectorLane (pad entries are
+// (element 0, mult 0) no-ops).
+using ShiftDotFn = std::int64_t (*)(const std::int32_t* in,
+                                    const std::int32_t* element,
+                                    const std::int32_t* mult, std::int64_t pb,
+                                    std::int64_t pe);
+
+struct ShiftKernels {
+  KernelTier tier = KernelTier::kScalar;
+  ConvInteriorFn conv_interior_i32 = nullptr;
+  ShiftDotFn shift_dot_i32 = nullptr;
+};
+
+// Kernel table for a tier. Requesting kAvx2 on a CPU without AVX2 returns
+// the scalar table, so the result is always safe to call.
+const ShiftKernels& shift_kernels_for(KernelTier tier);
+
+// Tier resolved once per process from FLIGHTNN_FORCE_SCALAR (any nonzero
+// integer forces kScalar) and the CPU's capabilities.
+KernelTier detected_kernel_tier();
+
+// detected_kernel_tier() unless a test override is installed.
+const ShiftKernels& active_shift_kernels();
+
+// Test hook: force a tier for subsequent active_shift_kernels() calls
+// (0 = scalar, 1 = avx2, -1 = clear the override). Differential tests flip
+// this between runs of the same engine; not for production use.
+void set_kernel_tier_override(int tier);
+
+}  // namespace flightnn::inference

@@ -156,7 +156,39 @@ struct ShiftPlan {
   // overflow check per filter instead of per accumulate.
   PlanArray<std::int64_t> filter_gain;
 
+  // --- Derived uniform vector streams (Fig. 3 lowering; DESIGN.md §14) -----
+  // Built by build_vector_streams() once the core streams exist; always
+  // owned, never serialized. An artifact-adopted plan keeps its core streams
+  // as zero-copy views into the mapping and repacks only these derived
+  // streams at load time -- the `.flnart` format stays at v1.
+  //
+  // mult[e] = sign[e] * 2^shift[e] as int32: the exact per-entry multiplier
+  // the narrow (int32) kernel tier uses. Entries with shift > 30 store 0;
+  // they are unreachable, because such a filter's gain already exceeds the
+  // int32 bound and the engine takes the int64 scalar path before reading
+  // mult.
+  PlanArray<std::int32_t> mult;
+  // Linear-only gather streams, zero-padded per filter to a multiple of
+  // kShiftVectorLane (shift_kernels.hpp): filter f's padded entries are
+  // [pad_begin[f], pad_begin[f+1]), both ends lane-aligned. Pad entries are
+  // (element 0, mult 0) no-ops -- in-bounds for any layer (in_features >= 1)
+  // and contributing nothing -- so the 8-wide gather kernel runs to the
+  // padded end without tail masking or overreading any stream. Empty for
+  // conv plans (the conv kernels iterate output positions, not entries).
+  PlanArray<std::int32_t> pad_element;
+  PlanArray<std::int32_t> pad_mult;
+  PlanArray<std::int64_t> pad_begin;
+  // True once build_vector_streams() has run (it is idempotent).
+  bool vector_streams_built = false;
+
   std::int64_t filters = 0;
+
+  // Derive the vector streams above from the core streams. Called by the
+  // compilers and by the plan-adopting engine constructors (the in-loader
+  // repack for artifact plans); safe on any structurally-valid plan --
+  // out-of-range shifts map to mult 0 and negative filter spans pad to
+  // empty, so even a hostile hand-built plan cannot make this index wild.
+  void build_vector_streams();
 
   [[nodiscard]] std::int64_t entries() const {
     return static_cast<std::int64_t>(element.size());

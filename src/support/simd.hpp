@@ -18,6 +18,33 @@
 // be cloned.
 #if defined(__x86_64__) && defined(__GNUC__)
 #define FLIGHTNN_SIMD_CLONES __attribute__((target_clones("default", "avx2")))
+#define FLIGHTNN_X86_DISPATCH 1
 #else
 #define FLIGHTNN_SIMD_CLONES
+#define FLIGHTNN_X86_DISPATCH 0
 #endif
+
+namespace flightnn::support {
+
+// CPU capability probes backing both the explicit kernel dispatch tables
+// (inference/shift_kernels, core/gemm) and the bench metadata every
+// BENCH_*.json records. Same mechanism the ifunc resolvers behind
+// FLIGHTNN_SIMD_CLONES use, exposed as callable predicates so dispatch
+// decisions are observable and overridable (FLIGHTNN_FORCE_SCALAR).
+inline bool cpu_has_avx2() {
+#if FLIGHTNN_X86_DISPATCH
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+inline bool cpu_has_fma() {
+#if FLIGHTNN_X86_DISPATCH
+  return __builtin_cpu_supports("fma") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace flightnn::support

@@ -1,0 +1,355 @@
+// Differential property suite for the vectorized shift-stream kernels: the
+// AVX2 tier must be byte-identical to the scalar tier and to the pre-plan
+// reference term walk under every geometry the plan compiler can produce --
+// odd interior widths (16-wide / 8-wide / masked-tail paths), strides,
+// paddings, k_max, pruning, thread counts, and artifact-adopted plans whose
+// streams are zero-copy views into an mmap. The direct kernel tests run the
+// dispatch-table function pointers on exactly-sized buffers, so the ASan CI
+// preset turns any padded-stream or masked-lane overread into a hard
+// failure (the vector kernels must touch no byte the scalar tier would
+// not). Tier comparisons skip on hosts without AVX2, where tier 1 resolves
+// to the scalar table and the comparison would be vacuous.
+
+#include "inference/shift_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/quantize_model.hpp"
+#include "inference/quantized_network.hpp"
+#include "inference/shift_engine.hpp"
+#include "models/networks.hpp"
+#include "quant/lightnn.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serialize/artifact.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+
+namespace flightnn::inference {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// Restores runtime dispatch on scope exit so a failing assertion cannot
+// leak a pinned tier into later tests.
+struct TierGuard {
+  TierGuard() = default;
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+  ~TierGuard() { set_kernel_tier_override(-1); }
+};
+
+bool host_has_vector_tier() {
+  return shift_kernels_for(KernelTier::kAvx2).tier == KernelTier::kAvx2;
+}
+
+bool bytes_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+// Zero the first `filters` filter rows of an OIHW (or [out, in]) tensor.
+void prune_filters(Tensor& wq, std::int64_t filters) {
+  const std::int64_t row = wq.numel() / wq.shape()[0];
+  for (std::int64_t f = 0; f < filters; ++f) {
+    float* data = wq.data() + f * row;
+    std::fill(data, data + row, 0.0F);
+  }
+}
+
+// --- Engine-level sweeps ---------------------------------------------------
+
+TEST(ShiftKernelDiffTest, ConvSweepTiersAndReferenceBitIdentical) {
+  if (!host_has_vector_tier()) GTEST_SKIP() << "host lacks AVX2";
+  TierGuard guard;
+  const quant::Pow2Config config;
+  support::Rng rng(101);
+  // Odd input sides so interior widths hit the 16-wide, 8-wide and masked
+  // tail paths; kernel 5 with padding 2 keeps borders wide.
+  const Shape img_shape{3, 19, 17};
+  Tensor img = Tensor::randn(img_shape, rng);
+  const auto qimg = quantize_image(img, 8);
+  for (const std::int64_t kernel : {1, 3, 5}) {
+    for (const std::int64_t stride : {1, 2}) {
+      for (const std::int64_t padding : {0, 1, 2}) {
+        if (padding >= kernel) continue;  // degenerate: all-padding taps
+        for (const int k_max : {1, 2, 3}) {
+          for (const bool prune : {false, true}) {
+            Tensor w = Tensor::randn(Shape{6, 3, kernel, kernel}, rng, 0.0F,
+                                     0.3F);
+            Tensor wq = quant::quantize_lightnn(w, k_max, config);
+            if (prune) prune_filters(wq, 3);
+            const ShiftConv2d engine(wq, k_max, config, stride, padding);
+            set_kernel_tier_override(0);
+            const Tensor scalar_out = engine.run(qimg);
+            set_kernel_tier_override(1);
+            const Tensor vector_out = engine.run(qimg);
+            set_kernel_tier_override(-1);
+            const Tensor reference_out = engine.run_reference(qimg);
+            EXPECT_TRUE(bytes_equal(scalar_out, vector_out))
+                << "k=" << kernel << " s=" << stride << " p=" << padding
+                << " k_max=" << k_max << " prune=" << prune;
+            EXPECT_TRUE(bytes_equal(vector_out, reference_out))
+                << "k=" << kernel << " s=" << stride << " p=" << padding
+                << " k_max=" << k_max << " prune=" << prune;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShiftKernelDiffTest, LinearSweepTiersAndReferenceBitIdentical) {
+  if (!host_has_vector_tier()) GTEST_SKIP() << "host lacks AVX2";
+  TierGuard guard;
+  const quant::Pow2Config config;
+  support::Rng rng(102);
+  // Feature counts straddling the 8-lane padding boundary, including rows
+  // whose entry counts land on 1/7/8/9 after pruning.
+  for (const std::int64_t in_features : {1, 7, 8, 9, 31, 64}) {
+    for (const std::int64_t out_features : {1, 5, 10}) {
+      for (const int k_max : {1, 2}) {
+        for (const bool prune : {false, true}) {
+          Tensor w = Tensor::randn(Shape{out_features, in_features}, rng,
+                                   0.0F, 0.3F);
+          Tensor wq = quant::quantize_lightnn(w, k_max, config);
+          if (prune) prune_filters(wq, out_features / 2);
+          Tensor x = Tensor::randn(Shape{in_features}, rng);
+          const auto qx = quantize_tensor(x, 8);
+          const ShiftLinear engine(wq, k_max, config);
+          set_kernel_tier_override(0);
+          const Tensor scalar_out = engine.run(qx);
+          set_kernel_tier_override(1);
+          const Tensor vector_out = engine.run(qx);
+          set_kernel_tier_override(-1);
+          const Tensor reference_out = engine.run_reference(qx);
+          EXPECT_TRUE(bytes_equal(scalar_out, vector_out))
+              << "in=" << in_features << " out=" << out_features
+              << " k_max=" << k_max << " prune=" << prune;
+          EXPECT_TRUE(bytes_equal(vector_out, reference_out))
+              << "in=" << in_features << " out=" << out_features
+              << " k_max=" << k_max << " prune=" << prune;
+        }
+      }
+    }
+  }
+}
+
+// Pruning removes entries; it must not change which tier a layer dispatches
+// to. Strided convs have no vector interior path and stay scalar.
+TEST(ShiftKernelDiffTest, KernelTierReporting) {
+  TierGuard guard;
+  const quant::Pow2Config config;
+  support::Rng rng(103);
+  Tensor w = Tensor::randn(Shape{8, 4, 3, 3}, rng, 0.0F, 0.3F);
+  Tensor wq = quant::quantize_lightnn(w, 2, config);
+  Tensor wq_pruned(wq);
+  prune_filters(wq_pruned, 4);
+  const ShiftConv2d dense(wq, 2, config, 1, 1);
+  const ShiftConv2d pruned(wq_pruned, 2, config, 1, 1);
+  const ShiftConv2d strided(wq, 2, config, 2, 1);
+  EXPECT_STREQ(dense.kernel_tier(8), pruned.kernel_tier(8));
+  EXPECT_STREQ(strided.kernel_tier(8), "scalar");
+  set_kernel_tier_override(0);
+  EXPECT_STREQ(dense.kernel_tier(8), "scalar");
+  set_kernel_tier_override(1);
+  if (host_has_vector_tier()) {
+    EXPECT_STREQ(dense.kernel_tier(8), "avx2");
+  }
+}
+
+// --- Direct kernel-table differentials ------------------------------------
+// Exactly-sized buffers: under ASan any read or write outside what the
+// scalar tier touches (masked tail lanes, padded stream ends) aborts.
+
+TEST(ShiftKernelDiffTest, ConvInteriorKernelDirect) {
+  if (!host_has_vector_tier()) GTEST_SKIP() << "host lacks AVX2";
+  const ConvInteriorFn scalar_fn =
+      shift_kernels_for(KernelTier::kScalar).conv_interior_i32;
+  const ConvInteriorFn vector_fn =
+      shift_kernels_for(KernelTier::kAvx2).conv_interior_i32;
+  support::Rng rng(104);
+  const std::int64_t channels = 2;
+  const std::int64_t kernel = 3;
+  const std::int64_t padding = 1;
+  // Input widths chosen so interior widths n = in_w - 2 sweep the kernel's
+  // block decomposition: masked-only (n<8), 8+masked, 16+masked, 16+8+masked
+  // and exact multiples; odd heights exercise the trailing single row.
+  for (const std::int64_t in_w : {5, 9, 11, 16, 18, 23, 26, 34}) {
+    for (const std::int64_t in_h : {4, 5, 9}) {
+      const std::int64_t out_w = in_w;
+      const std::int64_t out_h = in_h;
+      std::vector<std::int32_t> in(
+          static_cast<std::size_t>(channels * in_h * in_w));
+      for (auto& v : in) {
+        v = static_cast<std::int32_t>(rng.uniform_index(255)) - 127;
+      }
+      // Entry streams in plan layout: offsets into the input plane plus a
+      // per-entry int32 multiplier. Entry counts 1/7/9/all exercise short
+      // filters whose streams end mid-vector.
+      std::vector<std::int64_t> off;
+      std::vector<std::int32_t> mult;
+      for (std::int64_t c = 0; c < channels; ++c) {
+        for (std::int64_t ky = 0; ky < kernel; ++ky) {
+          for (std::int64_t kx = 0; kx < kernel; ++kx) {
+            off.push_back(c * in_h * in_w + ky * in_w + kx);
+            mult.push_back(static_cast<std::int32_t>(rng.uniform_index(129)) -
+                           64);
+          }
+        }
+      }
+      const ConvInteriorGeom geom{in_w, out_w,     padding,
+                                  1,    out_h - 1, 1,
+                                  out_w - 1};
+      for (const std::int64_t entries :
+           {std::int64_t{1}, std::int64_t{7}, std::int64_t{9},
+            static_cast<std::int64_t>(off.size())}) {
+        std::vector<std::int32_t> acc_scalar(
+            static_cast<std::size_t>(out_h * out_w), 0);
+        std::vector<std::int32_t> acc_vector(acc_scalar);
+        scalar_fn(in.data(), off.data(), mult.data(), 0, entries, geom,
+                  acc_scalar.data());
+        vector_fn(in.data(), off.data(), mult.data(), 0, entries, geom,
+                  acc_vector.data());
+        EXPECT_EQ(acc_scalar, acc_vector)
+            << "in_w=" << in_w << " in_h=" << in_h << " entries=" << entries;
+      }
+    }
+  }
+}
+
+TEST(ShiftKernelDiffTest, ShiftDotKernelDirectWithPadding) {
+  if (!host_has_vector_tier()) GTEST_SKIP() << "host lacks AVX2";
+  const ShiftDotFn scalar_fn =
+      shift_kernels_for(KernelTier::kScalar).shift_dot_i32;
+  const ShiftDotFn vector_fn =
+      shift_kernels_for(KernelTier::kAvx2).shift_dot_i32;
+  support::Rng rng(105);
+  std::vector<std::int32_t> in(37);
+  for (auto& v : in) {
+    v = static_cast<std::int32_t>(rng.uniform_index(255)) - 127;
+  }
+  for (std::int64_t len = 1; len <= 17; ++len) {
+    // The plan pads each filter's stream to a lane multiple with
+    // (element 0, mult 0) no-ops; the vector kernel runs to the padded end,
+    // the scalar oracle over the unpadded entries. Buffers are exactly the
+    // padded size -- one element further and ASan fires.
+    const std::int64_t padded =
+        (len + kShiftVectorLane - 1) / kShiftVectorLane * kShiftVectorLane;
+    std::vector<std::int32_t> element(static_cast<std::size_t>(padded), 0);
+    std::vector<std::int32_t> mult(static_cast<std::size_t>(padded), 0);
+    for (std::int64_t e = 0; e < len; ++e) {
+      element[static_cast<std::size_t>(e)] =
+          static_cast<std::int32_t>(rng.uniform_index(in.size()));
+      mult[static_cast<std::size_t>(e)] =
+          static_cast<std::int32_t>(rng.uniform_index(129)) - 64;
+    }
+    const std::int64_t scalar_acc =
+        scalar_fn(in.data(), element.data(), mult.data(), 0, len);
+    const std::int64_t vector_acc =
+        vector_fn(in.data(), element.data(), mult.data(), 0, padded);
+    EXPECT_EQ(scalar_acc, vector_acc) << "len=" << len;
+  }
+}
+
+// --- Whole network across thread counts and tiers --------------------------
+
+std::uint32_t xorshift32(std::uint32_t& state) {
+  state ^= state << 13;
+  state ^= state >> 17;
+  state ^= state << 5;
+  return state;
+}
+
+void fill_grid(Tensor& tensor, std::uint32_t& state) {
+  float* data = tensor.data();
+  for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+    const auto raw = static_cast<int>(xorshift32(state) % 129U) - 64;
+    data[i] = static_cast<float>(raw) / 64.0F;
+  }
+}
+
+std::unique_ptr<nn::Sequential> small_model() {
+  models::BuildOptions build;
+  build.classes = 10;
+  build.in_channels = 3;
+  build.width_scale = 0.125F;
+  build.seed = 23;
+  auto model = models::build_network(models::table1_network(1), build);
+  std::uint32_t state = 0x2545F491U;
+  for (nn::Parameter* parameter : model->parameters()) {
+    fill_grid(parameter->value, state);
+  }
+  core::install_lightnn(*model, 2);
+  return model;
+}
+
+TEST(ShiftKernelDiffTest, WholeNetworkThreadAndTierSweep) {
+  if (!host_has_vector_tier()) GTEST_SKIP() << "host lacks AVX2";
+  TierGuard guard;
+  auto model = small_model();
+  const auto network =
+      QuantizedNetwork::compile(*model, Shape{1, 3, 16, 16});
+  support::Rng rng(106);
+  Tensor image = Tensor::randn(Shape{3, 16, 16}, rng);
+  set_kernel_tier_override(0);
+  runtime::set_num_threads(1);
+  const Tensor baseline = network.run(image);
+  for (const int threads : {1, 2, 4, 7}) {
+    runtime::set_num_threads(threads);
+    for (const int tier : {0, 1}) {
+      set_kernel_tier_override(tier);
+      const Tensor logits = network.run(image);
+      EXPECT_TRUE(bytes_equal(baseline, logits))
+          << "threads=" << threads << " tier=" << tier;
+    }
+  }
+  runtime::set_num_threads(1);
+}
+
+// --- Artifact-adopted plans (zero-copy mmap views) -------------------------
+
+TEST(ShiftKernelDiffTest, ArtifactPlansRunBothTiersBitIdentical) {
+  if (!host_has_vector_tier()) GTEST_SKIP() << "host lacks AVX2";
+  TierGuard guard;
+  runtime::set_num_threads(1);
+  auto model = small_model();
+  const Shape input_shape{1, 3, 16, 16};
+  const auto direct = QuantizedNetwork::compile(*model, input_shape);
+  auto program = compile_program(*model, input_shape);
+  const std::string path = ::testing::TempDir() + "/shift_kernel_diff_" +
+                           std::to_string(::testing::UnitTest::GetInstance()
+                                              ->random_seed()) +
+                           ".flnart";
+  serialize::save_artifact(program, path);
+  {
+    // mmap-backed load: the adopted plans' core streams are views into the
+    // mapping; the derived vector streams are rebuilt (and owned) by the
+    // adopting constructors. Both tiers must match the weights-built
+    // network byte for byte.
+    const serialize::ArtifactModel mapped = serialize::ArtifactModel::load(path);
+    support::Rng rng(107);
+    Tensor image = Tensor::randn(Shape{3, 16, 16}, rng);
+    set_kernel_tier_override(0);
+    const Tensor direct_scalar = direct.run(image);
+    const Tensor mapped_scalar = mapped.network().run(image);
+    set_kernel_tier_override(1);
+    const Tensor direct_vector = direct.run(image);
+    const Tensor mapped_vector = mapped.network().run(image);
+    EXPECT_TRUE(bytes_equal(direct_scalar, mapped_scalar));
+    EXPECT_TRUE(bytes_equal(direct_scalar, direct_vector));
+    EXPECT_TRUE(bytes_equal(direct_scalar, mapped_vector));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flightnn::inference
