@@ -11,6 +11,11 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "runtime/scratch_arena.hpp"
 #include "support/simd.hpp"
 
 namespace flightnn::bench {
@@ -115,12 +120,32 @@ inline bool write_json_file(const std::string& path,
   return ok;
 }
 
+// Process peak resident set in KiB (getrusage ru_maxrss; Linux reports KiB,
+// macOS bytes -- normalized here). 0 on platforms without getrusage. A
+// memory-footprint claim (DESIGN.md §15) is only checkable against what the
+// OS actually charged the process, so every BENCH_*.json carries this.
+inline long long peak_rss_kib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<long long>(usage.ru_maxrss) / 1024;
+#else
+  return static_cast<long long>(usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
+
 // Host provenance block every BENCH_*.json carries: a throughput or kernel
 // number is only comparable to another run if the CPU topology and the ISA
 // tier the dispatcher picked are known. `dispatch_tier` is the tier the
 // bench actually ran with (active_shift_kernels().tier's name), which can
 // differ from the detected ISA under FLIGHTNN_FORCE_SCALAR or the test
-// override.
+// override. The memory fields record what the run actually cost: the OS's
+// peak-RSS charge and the calling thread's scratch-arena footprint at
+// emission time (workers' arenas are per-thread and not visible here).
 inline void add_host_info(JsonObject& object, const std::string& dispatch_tier) {
   JsonObject host;
   host.add_int("hardware_concurrency",
@@ -128,6 +153,10 @@ inline void add_host_info(JsonObject& object, const std::string& dispatch_tier) 
   host.add_bool("avx2", support::cpu_has_avx2());
   host.add_bool("fma", support::cpu_has_fma());
   host.add_string("dispatch_tier", dispatch_tier);
+  host.add_int("peak_rss_kib", peak_rss_kib());
+  host.add_int("main_thread_arena_bytes",
+               static_cast<long long>(
+                   runtime::ScratchArena::current().footprint_bytes()));
   object.add("host", host.to_string(2));
 }
 

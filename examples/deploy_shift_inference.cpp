@@ -8,6 +8,7 @@
 //
 //   $ ./examples/deploy_shift_inference [--threads N] [--max-batch B]
 //                                       [--queue-delay-ms D] [--profile]
+//                                       [--mem-budget MIB]
 //                                       [--save-artifact PATH]
 //                                       [--load-artifact PATH]
 //
@@ -20,9 +21,17 @@
 // engine (0 = FLIGHTNN_NUM_THREADS / hardware default). Outputs are
 // bit-identical at every thread count. --max-batch / --queue-delay-ms are
 // the dynamic batcher's flush knobs (DESIGN.md §11). --profile additionally
-// prints per-layer wall time, shift-term counts, and the kernel tier
-// (scalar vs avx2) each layer dispatched to (QuantizedNetwork::profile) --
-// the deployment check that a host is actually on the vector fast path.
+// prints per-layer wall time, shift-term counts, the kernel tier (scalar
+// vs avx2) each layer dispatched to, and the planned-arena scratch each
+// layer fetches (QuantizedNetwork::profile) -- the deployment check that a
+// host is actually on the vector fast path.
+//
+// --mem-budget caps the deployment's inference memory (MiB, 0 = unlimited):
+// the memory plan's per-thread peak (planned arena + quantization scratch +
+// activation working set) is reported against the budget, and when the
+// requested batch would overshoot, the dynamic batcher's flush size is
+// capped so the in-flight input set fits (DESIGN.md §15). The plan itself
+// never changes -- the knob trades throughput for footprint, not accuracy.
 
 #include <algorithm>
 #include <chrono>
@@ -33,6 +42,7 @@
 
 #include "core/quantize_model.hpp"
 #include "core/trainer.hpp"
+#include "inference/memory_plan.hpp"
 #include "data/dataset.hpp"
 #include "inference/quantized_network.hpp"
 #include "inference/shift_engine.hpp"
@@ -47,6 +57,65 @@
 #include "support/table.hpp"
 
 namespace {
+
+// Report the memory plan's footprint against --mem-budget and, when the
+// requested flush size would overshoot, cap it so the in-flight input set
+// fits. Returns the (possibly reduced) max_batch. budget_mib == 0 means
+// unlimited (report only).
+int apply_mem_budget(const flightnn::inference::QuantizedNetwork& network,
+                     std::int64_t channels, std::int64_t height,
+                     std::int64_t width, int budget_mib, int max_batch) {
+  using namespace flightnn;
+  const inference::MemoryPlan* plan = network.memory_plan();
+  if (plan == nullptr) {
+    std::printf("\nmemory plan: none (dynamic arena route)%s\n",
+                budget_mib > 0 ? "; --mem-budget has no planned peak to "
+                                 "enforce, batch unchanged"
+                               : "");
+    return max_batch;
+  }
+  const auto threads = static_cast<std::size_t>(runtime::num_threads());
+  const std::size_t per_thread =
+      plan->planned_per_thread_bytes() + plan->activation_peak_bytes();
+  const std::size_t fixed = threads * per_thread;
+  const std::size_t per_image =
+      static_cast<std::size_t>(channels * height * width) * sizeof(float);
+  const double mib = 1024.0 * 1024.0;
+  std::printf(
+      "\nmemory plan: arena %.1f KiB + quant %.1f KiB + activations %.1f KiB "
+      "= %.2f MiB/thread x %zu threads = %.2f MiB planned peak\n",
+      static_cast<double>(plan->arena_capacity_bytes()) / 1024.0,
+      static_cast<double>(plan->quant_peak_bytes()) / 1024.0,
+      static_cast<double>(plan->activation_peak_bytes()) / 1024.0,
+      static_cast<double>(per_thread) / mib, threads,
+      static_cast<double>(fixed) / mib);
+  if (budget_mib <= 0) return max_batch;
+
+  const std::size_t budget =
+      static_cast<std::size_t>(budget_mib) * (std::size_t{1} << 20);
+  const std::size_t batch_bytes =
+      static_cast<std::size_t>(max_batch) * per_image;
+  if (fixed + batch_bytes <= budget) {
+    std::printf("mem budget: %d MiB >= %.2f MiB planned peak + %.2f MiB "
+                "batch inputs -- within budget, batch stays %d\n",
+                budget_mib, static_cast<double>(fixed) / mib,
+                static_cast<double>(batch_bytes) / mib, max_batch);
+    return max_batch;
+  }
+  if (fixed + per_image > budget) {
+    std::printf("mem budget: %d MiB is below the planned per-thread peak "
+                "(%.2f MiB) -- degrading to batch 1; expect the budget to "
+                "be exceeded by the fixed working set\n",
+                budget_mib, static_cast<double>(fixed) / mib);
+    return 1;
+  }
+  const int capped = std::max(
+      1, static_cast<int>((budget - fixed) / per_image));
+  std::printf("mem budget: %d MiB < planned peak + %d-image inputs -- "
+              "capping dynamic batch %d -> %d\n",
+              budget_mib, max_batch, max_batch, std::min(capped, max_batch));
+  return std::min(capped, max_batch);
+}
 
 // Push a burst of client-shaped requests (1-4 images each) through the
 // dynamic batcher and print the per-request timing table. Shared between
@@ -128,11 +197,16 @@ void print_profile(const flightnn::inference::QuantizedNetwork& network,
   const auto steps = network.profile(image, /*repeats=*/20);
   double total_us = 0.0;
   for (const auto& step : steps) total_us += step.seconds * 1e6;
-  support::Table table({"step", "kernel", "time (us)", "% of total", "terms",
-                        "shifts", "adds", "float MACs"});
+  support::Table table({"step", "kernel", "scratch", "layout", "time (us)",
+                        "% of total", "terms", "shifts", "adds",
+                        "float MACs"});
   for (const auto& step : steps) {
     const double us = step.seconds * 1e6;
-    table.add_row({step.name, step.kernel_tier, support::format_fixed(us, 1),
+    table.add_row({step.name, step.kernel_tier,
+                   step.planned_scratch_bytes > 0
+                       ? std::to_string(step.planned_scratch_bytes) + "B"
+                       : "-",
+                   step.planned_layout, support::format_fixed(us, 1),
                    support::format_fixed(100.0 * us / total_us, 1),
                    std::to_string(step.terms), std::to_string(step.shifts),
                    std::to_string(step.adds),
@@ -153,6 +227,8 @@ int main(int argc, char** argv) {
                   "0");
   parser.add_flag("--max-batch", "dynamic batcher flush size (images)", "8");
   parser.add_flag("--queue-delay-ms", "dynamic batcher flush deadline", "2");
+  parser.add_flag("--mem-budget",
+                  "inference memory budget in MiB (0 = unlimited)", "0");
   parser.add_flag("--save-artifact",
                   "write the compiled network as a deployment artifact", "");
   parser.add_flag("--load-artifact",
@@ -190,9 +266,13 @@ int main(int argc, char** argv) {
           static_cast<long long>(artifact.input_h()),
           static_cast<long long>(artifact.input_w()),
           artifact.network().step_count(), load_ms);
+      const int batch = apply_mem_budget(
+          artifact.network(), artifact.input_c(), artifact.input_h(),
+          artifact.input_w(), parser.get_int("--mem-budget"),
+          parser.get_int("--max-batch"));
       const int status = serve_burst(artifact.network(), artifact.input_c(),
                                      artifact.input_h(), artifact.input_w(),
-                                     parser.get_int("--max-batch"),
+                                     batch,
                                      parser.get_double("--queue-delay-ms"));
       if (status == 0 && profile) {
         print_profile(artifact.network(), artifact.input_c(),
@@ -292,9 +372,11 @@ int main(int argc, char** argv) {
                 save_path.c_str(), blob.size(), program.ops.size());
   }
 
+  const int batch = apply_mem_budget(network, spec.channels, spec.height,
+                                     spec.width, parser.get_int("--mem-budget"),
+                                     parser.get_int("--max-batch"));
   const int serve_status =
-      serve_burst(network, spec.channels, spec.height, spec.width,
-                  parser.get_int("--max-batch"),
+      serve_burst(network, spec.channels, spec.height, spec.width, batch,
                   parser.get_double("--queue-delay-ms"));
   if (serve_status != 0) return serve_status;
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "support/annotations.hpp"
 #include "support/check.hpp"
 
+#include "inference/memory_plan.hpp"
 #include "nn/loss.hpp"
 
 namespace flightnn::inference {
@@ -45,10 +47,12 @@ class QuantizeActStep final : public Step {
 
 class ShiftConvStep final : public Step {
  public:
-  ShiftConvStep(ShiftConv2d engine, int act_bits, bool use_reference)
+  ShiftConvStep(ShiftConv2d engine, int act_bits, bool use_reference,
+                runtime::PlanContext ctx = {})
       : engine_(std::move(engine)),
         act_bits_(act_bits),
-        use_reference_(use_reference) {}
+        use_reference_(use_reference),
+        ctx_(ctx) {}
   tensor::Tensor run(const tensor::Tensor& input,
                      NetworkOpCounts* counts) const override {
     // Inputs arriving here are already on the activation-quantizer grid, so
@@ -56,9 +60,11 @@ class ShiftConvStep final : public Step {
     QuantizedActivations& q = quant_scratch();
     quantize_image_into(input, act_bits_, q);
     OpCounts ops{};
-    tensor::Tensor out = use_reference_
-                             ? engine_.run_reference(q, counts ? &ops : nullptr)
-                             : engine_.run(q, counts ? &ops : nullptr);
+    tensor::Tensor out =
+        use_reference_
+            ? engine_.run_reference(q, counts ? &ops : nullptr)
+            : engine_.run(q, counts ? &ops : nullptr,
+                          ctx_.layout != nullptr ? &ctx_ : nullptr);
     if (counts != nullptr) {
       counts->shifts += ops.shifts;
       counts->adds += ops.adds;
@@ -80,6 +86,9 @@ class ShiftConvStep final : public Step {
   ShiftConv2d engine_;
   int act_bits_;
   bool use_reference_;
+  // Planned-arena context; layout lives in the owning network's shared
+  // MemoryPlan, so the pointer stays valid across network moves.
+  runtime::PlanContext ctx_;
 };
 
 class FloatConvStep final : public Step {
@@ -343,11 +352,13 @@ class ResidualStep final : public Step {
 // loader leans on this as its final structural gate.
 
 StepPtr build_step(std::vector<ProgramOp>& ops, std::size_t& cursor,
-                   std::size_t end, bool use_reference);
+                   std::size_t end, bool use_reference,
+                   const runtime::ArenaLayout* layout);
 
 std::vector<StepPtr> build_segment(std::vector<ProgramOp>& ops,
                                    std::size_t& cursor, std::int64_t count,
                                    std::size_t end, bool use_reference,
+                                   const runtime::ArenaLayout* layout,
                                    const char* what) {
   FLIGHTNN_CHECK(count >= 0 && static_cast<std::size_t>(count) <= end - cursor,
                  "from_program: residual ", what, " segment claims ", count,
@@ -356,14 +367,18 @@ std::vector<StepPtr> build_segment(std::vector<ProgramOp>& ops,
   std::vector<StepPtr> steps;
   steps.reserve(static_cast<std::size_t>(count));
   while (cursor < segment_end) {
-    steps.push_back(build_step(ops, cursor, segment_end, use_reference));
+    steps.push_back(build_step(ops, cursor, segment_end, use_reference, layout));
   }
   return steps;
 }
 
 StepPtr build_step(std::vector<ProgramOp>& ops, std::size_t& cursor,
-                   std::size_t end, bool use_reference) {
+                   std::size_t end, bool use_reference,
+                   const runtime::ArenaLayout* layout) {
   FLIGHTNN_CHECK(cursor < end, "from_program: op stream exhausted");
+  // The planner keyed this op's arena extents by its flat index.
+  const auto op_index = static_cast<std::uint32_t>(cursor);
+  const runtime::PlanContext ctx{layout, op_index};
   ProgramOp op = std::move(ops[cursor]);
   ++cursor;
   switch (op.kind) {
@@ -381,7 +396,7 @@ StepPtr build_step(std::vector<ProgramOp>& ops, std::size_t& cursor,
         return std::make_unique<ShiftConvStep>(
             ShiftConv2d(op.weights, op.k_max, op.pow2, op.stride, op.padding,
                         std::move(op.bias)),
-            op.act_bits, use_reference);
+            op.act_bits, use_reference, ctx);
       }
       FLIGHTNN_CHECK(!use_reference,
                      "from_program: reference engine requested but the "
@@ -390,7 +405,7 @@ StepPtr build_step(std::vector<ProgramOp>& ops, std::size_t& cursor,
                                op.stride,       op.padding,     op.term_count};
       return std::make_unique<ShiftConvStep>(
           ShiftConv2d(std::move(op.plan), spec, op.pow2, std::move(op.bias)),
-          op.act_bits, /*use_reference=*/false);
+          op.act_bits, /*use_reference=*/false, ctx);
     }
     case ProgramOpKind::kFloatConv:
       FLIGHTNN_CHECK(op.weights.shape().rank() == 4,
@@ -442,12 +457,12 @@ StepPtr build_step(std::vector<ProgramOp>& ops, std::size_t& cursor,
       FLIGHTNN_CHECK(op.has_shortcut || op.shortcut_ops == 0,
                      "from_program: residual without shortcut claims ",
                      op.shortcut_ops, " shortcut ops");
-      auto main_steps =
-          build_segment(ops, cursor, op.main_ops, end, use_reference, "main");
+      auto main_steps = build_segment(ops, cursor, op.main_ops, end,
+                                      use_reference, layout, "main");
       auto shortcut_steps = build_segment(ops, cursor, op.shortcut_ops, end,
-                                          use_reference, "shortcut");
-      auto post_steps =
-          build_segment(ops, cursor, op.post_ops, end, use_reference, "post");
+                                          use_reference, layout, "shortcut");
+      auto post_steps = build_segment(ops, cursor, op.post_ops, end,
+                                      use_reference, layout, "post");
       return std::make_unique<ResidualStep>(
           std::move(main_steps), std::move(shortcut_steps), op.has_shortcut,
           std::move(post_steps));
@@ -458,7 +473,67 @@ StepPtr build_step(std::vector<ProgramOp>& ops, std::size_t& cursor,
   return nullptr;  // unreachable
 }
 
+// Compact byte count for the profile table ("832B", "4.5K", "1.2M").
+std::string format_bytes(std::size_t bytes) {
+  char buffer[32];
+  if (bytes < 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%zuB", bytes);
+  } else if (bytes < (std::size_t{1} << 20)) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fK",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fM",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  }
+  return buffer;
+}
+
+// Fill a step's planned-scratch column from the memory plan: the flat ops
+// [begin, end) the step was built from (a single op for plain steps, the
+// whole subtree for residuals). Single-buffer steps show the exact
+// placement; aggregates summarize.
+void fill_planned_scratch(const MemoryPlan& plan, std::uint32_t begin,
+                          std::uint32_t end, StepProfile& out) {
+  std::size_t total = 0;
+  std::size_t buffers = 0;
+  std::string detail;
+  for (std::uint32_t op = begin; op < end && op < plan.per_op().size(); ++op) {
+    const OpMemory& mem = plan.per_op()[op];
+    if (mem.scratch_bytes == 0) continue;
+    total += mem.scratch_bytes;
+    if (mem.offsets_bytes > 0) ++buffers;
+    if (mem.accumulator_bytes > 0) ++buffers;
+    if (detail.empty()) {
+      const auto off = plan.layout().find(op, runtime::Scratch::kConvOffsets);
+      const auto acc =
+          plan.layout().find(op, runtime::Scratch::kConvAccumulator);
+      if (off.offset != runtime::kUnassignedOffset) {
+        detail += "off@" + std::to_string(off.offset) + "+" +
+                  format_bytes(off.bytes);
+      }
+      if (acc.offset != runtime::kUnassignedOffset) {
+        if (!detail.empty()) detail += " ";
+        detail += "acc@" + std::to_string(acc.offset) + "+" +
+                  format_bytes(acc.bytes);
+      }
+    }
+  }
+  out.planned_scratch_bytes = total;
+  if (total == 0) {
+    out.planned_layout = "-";
+  } else if (buffers <= 2) {
+    out.planned_layout = detail;
+  } else {
+    out.planned_layout =
+        std::to_string(buffers) + " bufs " + format_bytes(total);
+  }
+}
+
 }  // namespace
+
+void reserve_quant_scratch(std::size_t values) {
+  quant_scratch().values.reserve(values);
+}
 
 QuantizedNetwork QuantizedNetwork::compile(nn::Sequential& model,
                                            const tensor::Shape& input_shape,
@@ -470,12 +545,22 @@ QuantizedNetwork QuantizedNetwork::compile(nn::Sequential& model,
 QuantizedNetwork QuantizedNetwork::from_program(NetworkProgram program,
                                                 bool use_reference_engine) {
   QuantizedNetwork network;
+  // Plan the memory layout before build_step consumes the ops. Reference
+  // engines bypass the arena-backed kernels, so they stay unplanned; on the
+  // artifact load path this is the in-loader rebuild (format stays v1).
+  if (!use_reference_engine && memory_planning_enabled()) {
+    network.memory_plan_ = MemoryPlan::try_build(program);
+  }
+  const runtime::ArenaLayout* layout =
+      network.memory_plan_ ? &network.memory_plan_->layout() : nullptr;
   std::size_t cursor = 0;
   const std::size_t end = program.ops.size();
   network.steps_.reserve(end);
   while (cursor < end) {
+    const auto begin = static_cast<std::uint32_t>(cursor);
     network.steps_.push_back(
-        build_step(program.ops, cursor, end, use_reference_engine));
+        build_step(program.ops, cursor, end, use_reference_engine, layout));
+    network.step_ops_.emplace_back(begin, static_cast<std::uint32_t>(cursor));
   }
   return network;
 }
@@ -516,11 +601,16 @@ std::vector<StepProfile> QuantizedNetwork::profile(const tensor::Tensor& image,
 
   std::vector<StepProfile> profiles;
   profiles.reserve(steps_.size());
-  for (const auto& step : steps_) {
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const auto& step = steps_[i];
     StepProfile p;
     p.name = step->describe();
     p.terms = step->term_count();
     p.kernel_tier = step->kernel_tier();
+    if (memory_plan_ != nullptr && i < step_ops_.size()) {
+      fill_planned_scratch(*memory_plan_, step_ops_[i].first,
+                           step_ops_[i].second, p);
+    }
     NetworkOpCounts ops{};
     tensor::Tensor out;
     const auto t0 = std::chrono::steady_clock::now();

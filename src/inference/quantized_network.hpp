@@ -33,6 +33,8 @@
 
 namespace flightnn::inference {
 
+class MemoryPlan;  // inference/memory_plan.hpp
+
 struct NetworkOpCounts {
   std::int64_t shifts = 0;
   std::int64_t adds = 0;
@@ -52,6 +54,12 @@ struct StepProfile {
   // Kernel tier the step dispatches to ("scalar" / "avx2"; "reference" for
   // term-walk steps, "-" for steps that do not run on the shift engine).
   std::string kernel_tier = "-";
+  // Planned arena scratch this step's kernels fetch (0 when the network
+  // runs on the dynamic arena or the step uses no arena scratch).
+  std::size_t planned_scratch_bytes = 0;
+  // Planned placement, "slot@offset+bytes" per extent ("-" when none), e.g.
+  // "off@0+1.1KiB acc@1.2K+4.0KiB".
+  std::string planned_layout = "-";
 };
 
 class QuantizedNetwork {
@@ -90,6 +98,14 @@ class QuantizedNetwork {
   // Number of executable steps (for introspection / tests).
   [[nodiscard]] std::size_t step_count() const { return steps_.size(); }
 
+  // The memory plan attached at from_program time, or nullptr when the
+  // network runs on the dynamic arena (reference engines,
+  // FLIGHTNN_FORCE_DYNAMIC_ARENA, or the planning override). Valid for the
+  // network's lifetime; BatchRunner's warm path adopts it per worker.
+  [[nodiscard]] const MemoryPlan* memory_plan() const {
+    return memory_plan_.get();
+  }
+
   // Human-readable plan ("quant(8b) -> shift_conv[16f/25t] -> affine ...").
   [[nodiscard]] std::string describe() const;
 
@@ -109,6 +125,17 @@ class QuantizedNetwork {
 
  private:
   std::vector<std::unique_ptr<Step>> steps_;
+  // Shared so the steps' PlanContext pointers into the layout stay valid
+  // across moves of the network object.
+  std::shared_ptr<const MemoryPlan> memory_plan_;
+  // Flat-op index range [begin, end) each top-level step was built from;
+  // parallel to steps_. profile() joins this with MemoryPlan::per_op().
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> step_ops_;
 };
+
+// Pre-reserve the calling thread's shared quantization scratch for `values`
+// int32 codes (warm path; MemoryPlan::warm_thread calls this with the
+// largest shift-layer input so steady state starts allocation-free).
+void reserve_quant_scratch(std::size_t values);
 
 }  // namespace flightnn::inference

@@ -513,7 +513,8 @@ const std::vector<int>& ShiftConv2d::filter_k() const {
 }
 
 FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftConv2d::run(
-    const QuantizedActivations& input, OpCounts* counts) const {
+    const QuantizedActivations& input, OpCounts* counts,
+    const runtime::PlanContext* ctx) const {
   FLIGHTNN_CHECK(input.shape.rank() == 3 && input.shape[0] == in_channels_,
                  "ShiftConv2d::run: expected [", in_channels_,
                  ", H, W] input, got ", input.shape.to_string());
@@ -548,15 +549,15 @@ FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftConv2d::run(
   // read it through a raw pointer; it stays valid because the caller blocks
   // inside parallel_for and slots are never shared between live kernels.
   const std::int64_t n_entries = plan_.entries();
-  auto& offsets = runtime::ScratchArena::current().i64(
-      runtime::Scratch::kConvOffsets, static_cast<std::size_t>(n_entries));
+  std::int64_t* offsets = runtime::ScratchArena::current().i64p(
+      ctx, runtime::Scratch::kConvOffsets, static_cast<std::size_t>(n_entries));
   for (std::int64_t e = 0; e < n_entries; ++e) {
     const auto ei = static_cast<std::size_t>(e);
     offsets[static_cast<std::size_t>(e)] =
         static_cast<std::int64_t>(plan_.channel[ei]) * in_hw +
         static_cast<std::int64_t>(plan_.ky[ei]) * in_w + plan_.kx[ei];
   }
-  const std::int64_t* off = offsets.data();
+  const std::int64_t* off = offsets;
   const std::int32_t* in_data = input.values.data();
   const float scale = std::ldexp(1.0F, input.scale_exp + config_.e_min);
   tensor::Tensor output(tensor::Shape{out_channels_, out_h, out_w});
@@ -630,20 +631,25 @@ FLIGHTNN_HOT FLIGHTNN_API_ENTRY tensor::Tensor ShiftConv2d::run(
   if (narrow) {
     runtime::parallel_for(0, out_channels_, 1, filter_cost,
                           [&](std::int64_t f_begin, std::int64_t f_end) {
-      auto& acc_buf = runtime::ScratchArena::current().i32(
-          runtime::Scratch::kConvAccumulator, static_cast<std::size_t>(out_hw));
+      // Each helper thread fetches from its own thread-local arena; with a
+      // plan context every replica serves the same planned extent from its
+      // own adopted block.
+      std::int32_t* acc_buf = runtime::ScratchArena::current().i32p(
+          ctx, runtime::Scratch::kConvAccumulator,
+          static_cast<std::size_t>(out_hw));
       if (use_vector) {
-        filter_block_vector(acc_buf.data(), f_begin, f_end);
+        filter_block_vector(acc_buf, f_begin, f_end);
       } else {
-        filter_block(acc_buf.data(), f_begin, f_end);
+        filter_block(acc_buf, f_begin, f_end);
       }
     });
   } else {
     runtime::parallel_for(0, out_channels_, 1, filter_cost,
                           [&](std::int64_t f_begin, std::int64_t f_end) {
-      auto& acc_buf = runtime::ScratchArena::current().i64(
-          runtime::Scratch::kConvAccumulator, static_cast<std::size_t>(out_hw));
-      filter_block(acc_buf.data(), f_begin, f_end);
+      std::int64_t* acc_buf = runtime::ScratchArena::current().i64p(
+          ctx, runtime::Scratch::kConvAccumulator,
+          static_cast<std::size_t>(out_hw));
+      filter_block(acc_buf, f_begin, f_end);
     });
   }
 
@@ -921,6 +927,11 @@ const char* ShiftLinear::kernel_tier(int act_bits) const {
                       !plan_.pad_begin.empty() &&
                       narrow_bound_ok(plan_max_gain(plan_), q_max);
   return kernel_tier_name(vector ? kern.tier : KernelTier::kScalar);
+}
+
+bool plan_narrow_accumulator(const ShiftPlan& plan, int act_bits) {
+  const std::int64_t q_max = (std::int64_t{1} << (act_bits - 1)) - 1;
+  return narrow_bound_ok(plan_max_gain(plan), q_max);
 }
 
 tensor::Tensor reference_conv(const tensor::Tensor& weights,

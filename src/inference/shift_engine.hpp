@@ -31,6 +31,10 @@
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
+namespace flightnn::runtime {
+struct PlanContext;  // runtime/memory_plan.hpp
+}  // namespace flightnn::runtime
+
 namespace flightnn::inference {
 
 // Activations quantized to signed integers with scale 2^scale_exp.
@@ -120,9 +124,12 @@ class ShiftConv2d {
   // non-null. Executes the compiled plan: zero elements and pruned filters
   // cost nothing, interior pixels run without padding bounds checks, and
   // scratch comes from the per-thread arena (zero steady-state allocation
-  // beyond the pooled output tensor).
-  [[nodiscard]] tensor::Tensor run(const QuantizedActivations& input,
-                                   OpCounts* counts = nullptr) const;
+  // beyond the pooled output tensor). With a non-null `ctx` the scratch is
+  // served from the planned arena at offsets the memory planner assigned
+  // offline (DESIGN.md §15); null keeps the dynamic grow-once route.
+  [[nodiscard]] tensor::Tensor run(
+      const QuantizedActivations& input, OpCounts* counts = nullptr,
+      const runtime::PlanContext* ctx = nullptr) const;
 
   // The pre-plan engine: walks the decomposition's term vectors directly,
   // zero elements and all. Kept as the differential oracle / seed baseline;
@@ -207,6 +214,15 @@ class ShiftLinear {
   std::vector<std::vector<std::size_t>> filter_terms_;
   std::vector<std::int64_t> filter_gain_;
 };
+
+// Whether ShiftConv2d::run takes the int32 narrow-accumulator path for ANY
+// properly quantized `act_bits` input executing `plan` -- the static form of
+// run()'s dynamic gate, using |q| <= 2^(act_bits-1) - 1 (same predicate as
+// kernel_tier). The memory planner sizes conv accumulator extents with this:
+// 4 bytes/element when the bound holds for every batch, 8 otherwise. A
+// planned-narrow layer can never see a wider request from a properly
+// quantized input, and a planned-wide layer's extent covers both widths.
+[[nodiscard]] bool plan_narrow_accumulator(const ShiftPlan& plan, int act_bits);
 
 // Reference float convolution of one image (for bit-exactness tests):
 // weights [O, I, K, K], image [C, H, W] -> [O, OH, OW]. Accumulates in

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "inference/memory_plan.hpp"
 #include "nn/loss.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/annotations.hpp"
@@ -35,7 +36,28 @@ int argmax_of(const tensor::Tensor& logits) {
   return best;
 }
 
+// Calling-thread per-image counter scratch, reused across batches. A named
+// accessor (not a function-local in run) so warm() can pre-reserve it.
+std::vector<inference::NetworkOpCounts>& counts_scratch() {
+  thread_local std::vector<inference::NetworkOpCounts> counts;
+  return counts;
+}
+
 }  // namespace
+
+FLIGHTNN_COLD_ALLOC void BatchRunner::warm(std::size_t max_batch) const {
+  counts_scratch().reserve(max_batch);
+  const inference::MemoryPlan* plan = network_->memory_plan();
+  if (plan != nullptr) {
+    // Every thread that can execute a forward pass gets the planned arena
+    // and a pool prewarmed to the network's activation working set: the
+    // caller (which participates in its own parallel_for) and each pool
+    // worker (for_each_worker's rendezvous guarantees all of them run it).
+    plan->warm_thread();
+    global_pool().for_each_worker([plan] { plan->warm_thread(); });
+  }
+  warmed_.store(true, std::memory_order_relaxed);
+}
 
 FLIGHTNN_HOT void BatchRunner::run_images(
     const tensor::Tensor* images, std::size_t n,
@@ -52,6 +74,13 @@ FLIGHTNN_HOT void BatchRunner::run_images(
                [&](std::int64_t lo, std::int64_t hi) {
                  for (std::int64_t i = lo; i < hi; ++i) {
                    const auto idx = static_cast<std::size_t>(i);
+                   // Release last batch's logits buffer into THIS worker's
+                   // pool before the forward pass acquires its output.
+                   // Image->worker assignment varies run to run; releasing
+                   // first keeps each worker's acquire/release cycle locally
+                   // balanced instead of needing a spare buffer per thread
+                   // that happened to own the index last time.
+                   logits[idx] = tensor::Tensor();
                    logits[idx] = network_->run(images[idx], &counts[idx]);
                  }
                });
@@ -69,12 +98,16 @@ FLIGHTNN_HOT FLIGHTNN_API_ENTRY void BatchRunner::run(
                    "BatchRunner::run: images must be [C,H,W] or [1,C,H,W], "
                    "got ", image.shape().to_string());
   }
+  // First call pays the warmup (arena adoption + pool prewarm on every
+  // thread); after that the latch short-circuits.
+  if (!warmed_.load(std::memory_order_relaxed)) {
+    warm(request.images.size());
+  }
   // Calling-thread scratch, reused across batches. The local reference is
-  // load-bearing: a thread_local named directly inside a worker lambda
-  // would resolve to each worker's own (empty) instance.
-  thread_local std::vector<inference::NetworkOpCounts> counts_tls;
+  // load-bearing: a thread_local resolved inside a worker lambda would
+  // name each worker's own (empty) instance.
   auto& counts =
-      per_image_counts != nullptr ? *per_image_counts : counts_tls;
+      per_image_counts != nullptr ? *per_image_counts : counts_scratch();
 
   result.id = request.id;
   const auto start = std::chrono::steady_clock::now();
@@ -146,8 +179,7 @@ FLIGHTNN_API_ENTRY double BatchRunner::evaluate(
 
 void BatchRunner::run_legacy(const std::vector<tensor::Tensor>& images,
                              BatchResult& result) const {
-  thread_local std::vector<inference::NetworkOpCounts> counts_tls;
-  auto& counts = counts_tls;
+  auto& counts = counts_scratch();
   run_images(images.data(), images.size(), result.logits, counts);
   result.counts = {};
   for (const auto& c : counts) merge_counts(result.counts, c);

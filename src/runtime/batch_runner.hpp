@@ -19,6 +19,7 @@
 // any thread count, and the aggregate op counts are sums of per-image
 // integers, so they are thread-count-invariant too.
 
+#include <atomic>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -55,6 +56,17 @@ class BatchRunner {
   void run(const InferenceRequest& request, InferenceResult& result,
            std::vector<inference::NetworkOpCounts>* per_image_counts =
                nullptr) const;
+
+  // Pre-size every thread's planned arena and scratch pools to the
+  // network's memory plan so the FIRST batch already runs allocation-free
+  // (no grow-once warmup): adopts the plan's arena layout and prewarms the
+  // tensor pool on the calling thread and on every pool worker, and
+  // reserves the caller's per-image counter scratch for `max_batch` images.
+  // No-op beyond the counter reserve when the network has no plan (dynamic
+  // arena route). Must be called from outside the pool (any non-worker
+  // thread); idempotent and cheap to repeat. run() warms lazily on first
+  // use, so calling this is an optimization, not a requirement.
+  void warm(std::size_t max_batch = 64) const;
 
   // Top-k classification accuracy over a dataset. A thin wrapper over the
   // request path: the dataset is evaluated as a sequence of fixed-size
@@ -94,6 +106,10 @@ class BatchRunner {
                   BatchResult& result) const;
 
   const inference::QuantizedNetwork* network_;
+  // First-run lazy-warm latch (see warm()). Relaxed: a racing duplicate
+  // warm is idempotent, and the warming thread synchronizes with its own
+  // subsequent batch by program order.
+  mutable std::atomic<bool> warmed_{false};
 };
 
 }  // namespace flightnn::runtime

@@ -1,0 +1,112 @@
+#include "runtime/memory_plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace flightnn::runtime {
+
+namespace {
+
+// Live ranges are inclusive on both ends, so two intervals conflict iff the
+// ranges intersect at any op.
+bool temporally_overlap(const BufferInterval& a, const BufferInterval& b) {
+  return a.def_op <= b.last_use_op && b.def_op <= a.last_use_op;
+}
+
+std::atomic<std::uint64_t> g_next_layout_id{1};
+
+}  // namespace
+
+std::size_t assign_arena_offsets(std::vector<BufferInterval>& intervals) {
+  // Deterministic placement order: biggest first (classic best-fit heuristic
+  // for interval coloring), earliest definition breaking ties so the layout
+  // is stable across runs and platforms.
+  std::vector<std::size_t> order(intervals.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&intervals](std::size_t a, std::size_t b) {
+              const BufferInterval& ia = intervals[a];
+              const BufferInterval& ib = intervals[b];
+              if (ia.bytes != ib.bytes) return ia.bytes > ib.bytes;
+              if (ia.def_op != ib.def_op) return ia.def_op < ib.def_op;
+              if (ia.op != ib.op) return ia.op < ib.op;
+              return static_cast<std::size_t>(ia.slot) <
+                     static_cast<std::size_t>(ib.slot);
+            });
+
+  std::vector<std::size_t> placed;
+  placed.reserve(intervals.size());
+  // Busy byte ranges among placed intervals that temporally overlap the one
+  // being placed; reused across iterations to stay allocation-light.
+  std::vector<std::pair<std::size_t, std::size_t>> busy;
+  std::size_t capacity = 0;
+
+  for (const std::size_t index : order) {
+    BufferInterval& interval = intervals[index];
+    FLIGHTNN_CHECK(interval.def_op <= interval.last_use_op,
+                   "memory plan: inverted live range for op ", interval.op);
+    if (interval.bytes == 0) {
+      interval.offset = 0;
+      continue;
+    }
+    busy.clear();
+    for (const std::size_t j : placed) {
+      const BufferInterval& other = intervals[j];
+      if (temporally_overlap(interval, other)) {
+        busy.emplace_back(other.offset, other.offset + align_up(other.bytes));
+      }
+    }
+    std::sort(busy.begin(), busy.end());
+
+    // Best fit: the smallest gap between busy ranges that holds the request;
+    // fall back to the open-ended region past the last conflicting byte.
+    // Every busy bound is 64-byte aligned, so gaps and the tail cursor are
+    // aligned by construction.
+    const std::size_t need = align_up(interval.bytes);
+    std::size_t best_offset = kUnassignedOffset;
+    std::size_t best_gap = kUnassignedOffset;
+    std::size_t cursor = 0;
+    for (const auto& range : busy) {
+      if (range.first > cursor) {
+        const std::size_t gap = range.first - cursor;
+        if (gap >= need && gap < best_gap) {
+          best_offset = cursor;
+          best_gap = gap;
+        }
+      }
+      cursor = std::max(cursor, range.second);
+    }
+    interval.offset = best_offset == kUnassignedOffset ? cursor : best_offset;
+    capacity = std::max(capacity, interval.offset + need);
+    placed.push_back(index);
+  }
+  return align_up(capacity);
+}
+
+ArenaLayout::ArenaLayout(std::vector<BufferInterval> intervals,
+                         std::uint32_t op_count)
+    : id_(g_next_layout_id.fetch_add(1, std::memory_order_relaxed)),
+      op_count_(op_count),
+      intervals_(std::move(intervals)) {
+  capacity_bytes_ = assign_arena_offsets(intervals_);
+  table_.assign(static_cast<std::size_t>(op_count_) * kScratchSlotCount,
+                Extent{});
+  for (const BufferInterval& interval : intervals_) {
+    FLIGHTNN_CHECK(interval.op < op_count_,
+                   "memory plan: interval op ", interval.op,
+                   " out of range (op_count ", op_count_, ")");
+    Extent& extent =
+        table_[static_cast<std::size_t>(interval.op) * kScratchSlotCount +
+               static_cast<std::size_t>(interval.slot)];
+    FLIGHTNN_CHECK(extent.offset == kUnassignedOffset,
+                   "memory plan: duplicate buffer for op ", interval.op,
+                   " slot ", static_cast<std::size_t>(interval.slot));
+    extent.offset = interval.offset;
+    extent.bytes = interval.bytes;
+  }
+}
+
+}  // namespace flightnn::runtime

@@ -134,6 +134,50 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+// COLD_ALLOC: warm-path only (submit allocates a std::function per worker);
+// never called from steady-state inference.
+FLIGHTNN_COLD_ALLOC void ThreadPool::for_each_worker(
+    const std::function<void()>& fn) {
+  FLIGHTNN_CHECK(fn != nullptr, "ThreadPool::for_each_worker: null fn");
+  const int workers = static_cast<int>(workers_.size());
+  if (workers == 0) return;
+  // Rendezvous: every task blocks after running `fn` until all `workers`
+  // tasks have entered, which forces the queue entries onto distinct worker
+  // threads (a worker stuck inside one task cannot pop a second).
+  struct Rendezvous {
+    support::Mutex mutex;
+    support::CondVar arrived;
+    support::CondVar released;
+    int entered FLIGHTNN_GUARDED_BY(mutex) = 0;
+    int finished FLIGHTNN_GUARDED_BY(mutex) = 0;
+    bool release FLIGHTNN_GUARDED_BY(mutex) = false;
+    std::exception_ptr error FLIGHTNN_GUARDED_BY(mutex);
+  } sync;
+  for (int w = 0; w < workers; ++w) {
+    submit([&sync, &fn] {
+      std::exception_ptr err;
+      try {
+        fn();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      support::MutexLock lock(sync.mutex);
+      if (err && !sync.error) sync.error = err;
+      ++sync.entered;
+      sync.arrived.notify_all();
+      while (!sync.release) sync.released.wait(sync.mutex);
+      ++sync.finished;
+      sync.arrived.notify_all();
+    });
+  }
+  const support::MutexLock lock(sync.mutex);
+  while (sync.entered < workers) sync.arrived.wait(sync.mutex);
+  sync.release = true;
+  sync.released.notify_all();
+  while (sync.finished < workers) sync.arrived.wait(sync.mutex);
+  if (sync.error) std::rethrow_exception(sync.error);
+}
+
 void ThreadPool::run_parallel(std::int64_t begin, std::int64_t end,
                               std::int64_t grain,
                               void (*invoke)(void*, std::int64_t, std::int64_t),

@@ -58,6 +58,17 @@ class ThreadPool {
   // allocate a std::function; the hot inference loops only use parallel_for.)
   void submit(std::function<void()> task) FLIGHTNN_EXCLUDES(mutex_);
 
+  // Run `fn` exactly once on each of the size()-1 worker threads (not on the
+  // caller), rendezvousing so no worker runs it twice. Warm paths use this
+  // to initialize thread_local state (planned arenas, buffer-pool prewarm)
+  // on every thread before the first batch, upholding the zero-allocation
+  // contract from the very first inference. Must be called from outside the
+  // pool (a worker calling it would deadlock the rendezvous). Exceptions
+  // thrown by `fn` are rethrown on the caller (first one wins; every worker
+  // still completes the rendezvous). No-op when the pool has no workers.
+  void for_each_worker(const std::function<void()>& fn)
+      FLIGHTNN_EXCLUDES(mutex_);
+
   // Invoke `body(lo, hi)` over disjoint subranges covering [begin, end)
   // exactly once, with each subrange at least `grain` long (except possibly
   // the last). Blocks until every subrange has completed. Safe to call

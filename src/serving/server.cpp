@@ -30,6 +30,10 @@ Server::Server(const runtime::BatchRunner& runner, ServerConfig config)
                  config_.max_queue_images);
   max_delay_ = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(config_.max_queue_delay_s));
+  // Pay the memory-plan warmup (planned arenas + pool prewarm on every
+  // inference thread) at construction so the first request's latency is
+  // steady-state, not cold-start.
+  runner_->warm(static_cast<std::size_t>(config_.max_batch));
   batcher_ = std::thread([this] { batcher_loop(); });
 }
 
@@ -85,6 +89,10 @@ ServerStats Server::stats() const {
 }
 
 void Server::batcher_loop() {
+  // The batcher thread participates in its own parallel_for when executing
+  // batches, so it needs the plan warmup too (the ctor warmed its own
+  // thread and the pool workers, not this one).
+  runner_->warm(static_cast<std::size_t>(config_.max_batch));
   std::vector<Pending> batch;
   support::MutexLock lock(mutex_);
   for (;;) {

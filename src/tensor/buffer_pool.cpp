@@ -68,6 +68,20 @@ void release(std::vector<float>&& buffer) noexcept {
   }
 }
 
+void prewarm(std::size_t n, std::size_t count) {
+  if (n == 0 || count == 0) return;
+  ThreadPool& p = tls();
+  auto& list = p.free_lists[n];
+  const std::size_t bytes = n * sizeof(float);
+  while (list.size() < count &&
+         p.counters.cached_bytes + bytes <= kMaxPooledBytes) {
+    std::vector<float> buffer;
+    buffer.resize(n);
+    list.push_back(std::move(buffer));
+    p.counters.cached_bytes += bytes;
+  }
+}
+
 Stats stats() { return tls().counters; }
 
 void trim() {

@@ -45,6 +45,14 @@ FLIGHTNN_COLD_ALLOC std::vector<float> acquire(std::size_t n);
 // Never throws; an empty vector is a no-op.
 FLIGHTNN_COLD_ALLOC void release(std::vector<float>&& buffer) noexcept;
 
+// Park `count` buffers of exactly `n` elements in the calling thread's pool
+// (topping up an existing free list, not adding to it blindly), so the first
+// acquire of each hits the free list instead of the allocator. The memory
+// planner's warm path uses this with the program's exact activation working
+// set (DESIGN.md §15). Respects kMaxPooledBytes; requests past the cap are
+// dropped.
+FLIGHTNN_COLD_ALLOC void prewarm(std::size_t n, std::size_t count);
+
 // --- Introspection / test hooks ----------------------------------------------
 
 struct Stats {

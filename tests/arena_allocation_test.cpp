@@ -25,10 +25,12 @@
 #include <vector>
 
 #include "core/quantize_model.hpp"
+#include "inference/memory_plan.hpp"
 #include "inference/network_program.hpp"
 #include "inference/quantized_network.hpp"
 #include "models/networks.hpp"
 #include "runtime/batch_runner.hpp"
+#include "runtime/scratch_arena.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serialize/artifact.hpp"
 #include "serving/server.hpp"
@@ -193,6 +195,86 @@ TEST(ArenaAllocationTest, ArtifactMmapLoadedSteadyStateAllocatesNothing) {
     }
     EXPECT_EQ(result.logits.size(), request.images.size());
     EXPECT_EQ(result.argmax.size(), request.images.size());
+  }
+  std::remove(path.c_str());
+}
+
+// Memory-planned route (DESIGN.md §15): after BatchRunner::warm() the very
+// FIRST batch must already be allocation-free -- the plan pre-sizes the
+// arena, the pooled activation working set, the quantization scratch and
+// the counter vectors offline, so there is no grow-once warmup left to pay.
+// The client-owned result storage is reserved by the client (that is its
+// cost, like the request tensors above).
+TEST(ArenaAllocationTest, PlannedWarmMakesFirstBatchAllocationFree) {
+  runtime::set_num_threads(1);
+  const auto network = make_network();
+  ASSERT_NE(network.memory_plan(), nullptr)
+      << "network compiled without a memory plan";
+  const runtime::BatchRunner runner(network);
+  const auto request = make_request(1, 7007);
+
+  runtime::InferenceResult result;
+  result.logits.reserve(1);
+  result.argmax.reserve(1);
+  runner.warm(1);
+
+  runtime::ScratchArena::current().reset_plan_counters();
+  const long long allocs = count_allocs_in_batch(runner, request, result);
+  EXPECT_EQ(allocs, 0) << "first planned batch hit the heap " << allocs
+                       << " times";
+  EXPECT_EQ(runtime::ScratchArena::current().plan_misses(), 0U);
+  EXPECT_GT(runtime::ScratchArena::current().planned_hits(), 0U);
+  EXPECT_EQ(result.logits.size(), 1U);
+
+  // And it stays free, of course.
+  for (int batch = 0; batch < 3; ++batch) {
+    EXPECT_EQ(count_allocs_in_batch(runner, request, result), 0);
+  }
+}
+
+// Same first-batch guarantee for a network served out of an mmap-loaded
+// artifact: the in-loader plan rebuild must produce a plan as complete as
+// the in-process one.
+TEST(ArenaAllocationTest, PlannedWarmFirstBatchAllocationFreeFromArtifact) {
+  runtime::set_num_threads(1);
+
+  models::BuildOptions build;
+  build.classes = 10;
+  build.width_scale = 0.125F;
+  build.seed = 17;
+  auto model = models::build_network(models::table1_network(1), build);
+  core::install_lightnn(*model, 2);
+  const inference::NetworkProgram program =
+      inference::compile_program(*model, Shape{1, 3, 16, 16});
+
+#ifdef FLIGHTNN_ARENA_TEST_HAS_PID
+  const std::string pid = std::to_string(static_cast<long>(::getpid()));
+#else
+  const std::string pid = "0";
+#endif
+  const std::string path =
+      ::testing::TempDir() + "/arena_planned_artifact_" + pid + ".flnart";
+  serialize::save_artifact(program, path);
+
+  {
+    const serialize::ArtifactModel artifact =
+        serialize::ArtifactModel::load(path);
+    ASSERT_NE(artifact.network().memory_plan(), nullptr)
+        << "artifact loader did not rebuild the memory plan";
+    const runtime::BatchRunner runner(artifact.network());
+    const auto request = make_request(1, 8008);
+
+    runtime::InferenceResult result;
+    result.logits.reserve(1);
+    result.argmax.reserve(1);
+    runner.warm(1);
+
+    const long long allocs = count_allocs_in_batch(runner, request, result);
+    EXPECT_EQ(allocs, 0) << "first artifact-backed planned batch hit the heap "
+                         << allocs << " times";
+    for (int batch = 0; batch < 3; ++batch) {
+      EXPECT_EQ(count_allocs_in_batch(runner, request, result), 0);
+    }
   }
   std::remove(path.c_str());
 }
